@@ -1,0 +1,118 @@
+// Package anmat is the public facade of the ANMAT reproduction: automatic
+// knowledge discovery and error detection through pattern functional
+// dependencies (Qahtan et al., SIGMOD 2019).
+//
+// The typical flow mirrors the demo:
+//
+//	t, _ := anmat.LoadCSV("employees.csv")
+//	sys := anmat.NewSystem("")                   // "" = in-memory store
+//	sess := sys.NewSession("myproject", t, anmat.DefaultParams())
+//	if err := sess.Run(); err != nil { ... }
+//	for _, p := range sess.Discovered { fmt.Println(p, p.Tableau) }
+//	for _, v := range sess.Violations { fmt.Println(v.Row, v.Cells) }
+//
+// The facade re-exports the pipeline types from the internal packages so
+// example programs and the CLI share one entry point.
+package anmat
+
+import (
+	"io"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/discovery"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/table"
+)
+
+// Re-exported core types.
+type (
+	// Table is the relational substrate all operations run on.
+	Table = table.Table
+	// Params are the two user parameters of the demo: minimum coverage
+	// and allowed violation ratio.
+	Params = core.Params
+	// System is the ANMAT engine bound to a document store.
+	System = core.System
+	// Session is one dataset's run through the pipeline.
+	Session = core.Session
+	// PFD is a pattern functional dependency.
+	PFD = pfd.PFD
+	// Violation is a detected violation (2 cells for constant rules,
+	// 4 cells for variable rules).
+	Violation = pfd.Violation
+	// Repair is a suggested cell fix.
+	Repair = detect.Repair
+	// DiscoveryConfig is the full knob set of the discovery algorithm.
+	DiscoveryConfig = discovery.Config
+)
+
+// DefaultParams returns the demo's default user parameters.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// DefaultDiscoveryConfig returns the full default discovery configuration.
+func DefaultDiscoveryConfig() DiscoveryConfig { return discovery.Default() }
+
+// NewSystem builds a system. With a non-empty path the document store
+// persists there; with "" it is memory-only.
+func NewSystem(storePath string) (*System, error) {
+	if storePath == "" {
+		return core.NewSystem(docstore.NewMem()), nil
+	}
+	st, err := docstore.Open(storePath)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSystem(st), nil
+}
+
+// LoadCSV reads a table from a CSV file (header row required).
+func LoadCSV(path string) (*Table, error) { return table.ReadCSVFile(path) }
+
+// ReadCSV reads a table from a reader.
+func ReadCSV(name string, r io.Reader) (*Table, error) { return table.ReadCSV(name, r) }
+
+// NewTable builds an empty table with the given columns.
+func NewTable(name string, columns []string) (*Table, error) { return table.New(name, columns) }
+
+// Discover runs only the discovery stage with a full configuration,
+// bypassing the session pipeline.
+func Discover(t *Table, cfg DiscoveryConfig) ([]*PFD, error) {
+	res, err := discovery.Discover(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.PFDs, nil
+}
+
+// Detect evaluates the given PFDs against a table with all optimizations
+// enabled.
+func Detect(t *Table, ps []*PFD) ([]Violation, error) {
+	return detect.New(t, detect.Options{}).DetectAll(ps)
+}
+
+// SuggestRepairs derives repair suggestions for the PFDs' violations.
+func SuggestRepairs(t *Table, ps []*PFD) ([]Repair, error) {
+	d := detect.New(t, detect.Options{})
+	var out []Repair
+	seen := map[string]bool{}
+	for _, p := range ps {
+		rs, err := d.Repairs(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			k := r.Cell.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ApplyRepairs writes the suggestions into the table and returns the
+// number of changed cells.
+func ApplyRepairs(t *Table, rs []Repair) (int, error) { return detect.Apply(t, rs) }

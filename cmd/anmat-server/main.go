@@ -1,0 +1,61 @@
+// Command anmat-server runs the HTTP GUI substitute (Figures 3–5):
+//
+//	anmat-server [-addr :8080] [-store anmat.json] [-in data.csv]
+//
+// With -in the dataset is loaded and the pipeline run at startup;
+// otherwise POST a CSV to /api/upload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/server"
+	"github.com/anmat/anmat/internal/table"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "", "document-store file (empty = in-memory)")
+	in := flag.String("in", "", "CSV to load at startup")
+	coverage := flag.Float64("coverage", core.DefaultParams().MinCoverage, "minimum coverage γ")
+	violations := flag.Float64("violations", core.DefaultParams().AllowedViolations, "allowed violation ratio")
+	flag.Parse()
+
+	var store *docstore.Store
+	var err error
+	if *storePath == "" {
+		store = docstore.NewMem()
+	} else if store, err = docstore.Open(*storePath); err != nil {
+		fmt.Fprintln(os.Stderr, "anmat-server:", err)
+		os.Exit(1)
+	}
+	sys := core.NewSystem(store)
+	sys.CreateProject("default")
+	srv := server.New(sys)
+
+	if *in != "" {
+		t, err := table.ReadCSVFile(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anmat-server:", err)
+			os.Exit(1)
+		}
+		params := core.Params{MinCoverage: *coverage, AllowedViolations: *violations}
+		if err := srv.LoadSession("default", t, params); err != nil {
+			fmt.Fprintln(os.Stderr, "anmat-server:", err)
+			os.Exit(1)
+		}
+		log.Printf("loaded %s: %d rows", t.Name(), t.NumRows())
+	}
+
+	log.Printf("ANMAT server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "anmat-server:", err)
+		os.Exit(1)
+	}
+}

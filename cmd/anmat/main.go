@@ -1,0 +1,346 @@
+// Command anmat is the command-line interface to the ANMAT system:
+//
+//	anmat profile   -in data.csv
+//	anmat discover  -in data.csv [-coverage 0.05] [-violations 0.02]
+//	anmat detect    -in data.csv [-coverage 0.05] [-violations 0.02]
+//	anmat repair    -in data.csv -out fixed.csv
+//	anmat experiments [-exp table3-d1] [-n 20000]
+//
+// profile prints the Figure 3 view (per-column patterns), discover the
+// Figure 4 view (PFD tableaux), detect the Figure 5 view (violations),
+// repair applies majority/constant repairs, and experiments regenerates
+// the paper's evaluation artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/dmv"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/experiments"
+	"github.com/anmat/anmat/internal/profile"
+	"github.com/anmat/anmat/internal/report"
+	"github.com/anmat/anmat/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "anmat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	switch args[0] {
+	case "profile":
+		return cmdProfile(args[1:])
+	case "discover":
+		return cmdDiscover(args[1:])
+	case "detect":
+		return cmdDetect(args[1:])
+	case "repair":
+		return cmdRepair(args[1:])
+	case "report":
+		return cmdReport(args[1:])
+	case "stream":
+		return cmdStream(args[1:])
+	case "dmv":
+		return cmdDMV(args[1:])
+	case "experiments":
+		return cmdExperiments(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: anmat <profile|discover|detect|repair|experiments> [flags]
+
+  profile     -in data.csv                         per-column pattern listing
+  discover    -in data.csv [-coverage f] [-violations f]   mine PFDs
+  detect      -in data.csv [-coverage f] [-violations f]   mine + detect errors
+  repair      -in data.csv -out fixed.csv          mine + detect + apply repairs
+  report      -in data.csv [-out report.md]        full pipeline as Markdown
+  stream      -history clean.csv -in new.csv       mine from history, validate new rows
+  dmv         -in data.csv                         flag disguised missing values
+  experiments [-exp id] [-n rows]                  regenerate paper artifacts`)
+}
+
+type pipelineFlags struct {
+	fs         *flag.FlagSet
+	in         *string
+	coverage   *float64
+	violations *float64
+}
+
+func newPipelineFlags(name string) pipelineFlags {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	d := core.DefaultParams()
+	return pipelineFlags{
+		fs:         fs,
+		in:         fs.String("in", "", "input CSV file (required)"),
+		coverage:   fs.Float64("coverage", d.MinCoverage, "minimum coverage γ"),
+		violations: fs.Float64("violations", d.AllowedViolations, "allowed violation ratio"),
+	}
+}
+
+func (p pipelineFlags) session(args []string) (*core.Session, error) {
+	if err := p.fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *p.in == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	t, err := table.ReadCSVFile(*p.in)
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(docstore.NewMem())
+	return sys.NewSession("cli", t, core.Params{
+		MinCoverage:       *p.coverage,
+		AllowedViolations: *p.violations,
+	}), nil
+}
+
+func cmdProfile(args []string) error {
+	pf := newPipelineFlags("profile")
+	se, err := pf.session(args)
+	if err != nil {
+		return err
+	}
+	tp := se.RunProfile()
+	fmt.Printf("table %s: %d rows, %d columns\n\n", tp.Table, tp.Rows, len(tp.Columns))
+	for i, cp := range tp.Columns {
+		fmt.Printf("column %-20s type=%-8s distinct=%-6d avg_len=%.1f\n",
+			cp.Name, cp.Type, cp.Distinct, cp.AvgLen)
+		vals := se.Table.ColumnByIndex(i)
+		sums := profile.ColumnPatterns(vals)
+		// Text columns additionally list per-token patterns, following
+		// the Figure 3 position convention (token number, first = 0).
+		if cp.Type == profile.Text {
+			sums = append(sums, profile.TokenPatterns(vals)...)
+		}
+		for j, ps := range sums {
+			if j >= 8 {
+				fmt.Println("    …")
+				break
+			}
+			fmt.Printf("    %s::%d, %d\n", ps.Pattern, ps.Position, ps.Frequency)
+		}
+	}
+	return nil
+}
+
+func cmdDiscover(args []string) error {
+	pf := newPipelineFlags("discover")
+	se, err := pf.session(args)
+	if err != nil {
+		return err
+	}
+	se.RunProfile()
+	ps, err := se.RunDiscovery()
+	if err != nil {
+		return err
+	}
+	if len(ps) == 0 {
+		fmt.Println("no PFDs found; try lowering -coverage or raising -violations")
+		return nil
+	}
+	for _, p := range ps {
+		fmt.Printf("%s → %s  (coverage %.1f%%)\n", p.LHS, p.RHS, p.Coverage*100)
+		for _, row := range p.Tableau.Rows() {
+			fmt.Printf("  %s  [support %d]\n", row, row.Support)
+		}
+	}
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	pf := newPipelineFlags("detect")
+	se, err := pf.session(args)
+	if err != nil {
+		return err
+	}
+	if err := se.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("%d PFD(s), %d violation(s)\n", len(se.Discovered), len(se.Violations))
+	for i, v := range se.Violations {
+		if i >= 50 {
+			fmt.Printf("… %d more\n", len(se.Violations)-50)
+			break
+		}
+		cells := make([]string, len(v.Cells))
+		for j, c := range v.Cells {
+			cells[j] = c.String()
+		}
+		fmt.Printf("  rule %-45s cells %-30s observed %q expected %q\n",
+			v.Row, strings.Join(cells, " "), v.Observed, v.Expected)
+	}
+	return nil
+}
+
+func cmdRepair(args []string) error {
+	pf := newPipelineFlags("repair")
+	out := pf.fs.String("out", "", "output CSV for the repaired table (required)")
+	se, err := pf.session(args)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if err := se.Run(); err != nil {
+		return err
+	}
+	n, err := detect.Apply(se.Table, se.Repairs)
+	if err != nil {
+		return err
+	}
+	if err := se.Table.WriteCSVFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("applied %d repair(s); wrote %s\n", n, *out)
+	return nil
+}
+
+func cmdReport(args []string) error {
+	pf := newPipelineFlags("report")
+	out := pf.fs.String("out", "", "output Markdown path (default stdout)")
+	se, err := pf.session(args)
+	if err != nil {
+		return err
+	}
+	if err := se.Run(); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return report.Write(w, se, report.Options{})
+}
+
+// cmdDMV scans every column for disguised missing values (placeholders,
+// sentinel numbers, signature outliers) and prints the suspects.
+func cmdDMV(args []string) error {
+	fs := flag.NewFlagSet("dmv", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	t, err := table.ReadCSVFile(*in)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for i, col := range t.Columns() {
+		suspects := dmv.Detect(t.ColumnByIndex(i), dmv.Options{})
+		if len(suspects) == 0 {
+			continue
+		}
+		fmt.Printf("column %s:\n", col)
+		for _, s := range suspects {
+			total++
+			fmt.Printf("  %-20q rows=%-5d score=%.2f %s\n", s.Value, len(s.Rows), s.Score, s.Reason)
+		}
+	}
+	if total == 0 {
+		fmt.Println("no disguised missing values found")
+	}
+	return nil
+}
+
+// cmdStream mines PFDs from a trusted history CSV, seeds the incremental
+// detector with it, then validates the rows of the incoming CSV one by
+// one, printing an alert per suspect row.
+func cmdStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	history := fs.String("history", "", "trusted history CSV (required)")
+	in := fs.String("in", "", "incoming rows CSV with the same schema (required)")
+	d := core.DefaultParams()
+	coverage := fs.Float64("coverage", d.MinCoverage, "minimum coverage γ")
+	violations := fs.Float64("violations", d.AllowedViolations, "allowed violation ratio")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *history == "" || *in == "" {
+		return fmt.Errorf("-history and -in are required")
+	}
+	hist, err := table.ReadCSVFile(*history)
+	if err != nil {
+		return err
+	}
+	incoming, err := table.ReadCSVFile(*in)
+	if err != nil {
+		return err
+	}
+	sys := core.NewSystem(docstore.NewMem())
+	se := sys.NewSession("stream", hist, core.Params{
+		MinCoverage:       *coverage,
+		AllowedViolations: *violations,
+	})
+	se.RunProfile()
+	pfds, err := se.RunDiscovery()
+	if err != nil {
+		return err
+	}
+	if len(pfds) == 0 {
+		return fmt.Errorf("no PFDs mined from history; loosen -coverage/-violations")
+	}
+	fmt.Printf("mined %d PFD(s) from %d history rows\n", len(pfds), hist.NumRows())
+
+	inc, err := detect.NewIncremental(hist.Columns(), pfds)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < hist.NumRows(); r++ {
+		inc.Seed(hist.Row(r))
+	}
+	alerts := 0
+	for r := 0; r < incoming.NumRows(); r++ {
+		for _, a := range inc.Ingest(incoming.Row(r)) {
+			alerts++
+			if alerts <= 100 {
+				fmt.Printf("ALERT row %d: observed %q, rule %s expects %q\n",
+					r, a.Observed, a.Rule, a.Expected)
+			}
+		}
+	}
+	fmt.Printf("streamed %d rows: %d alert(s)\n", incoming.NumRows(), alerts)
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment id (default: all); one of "+strings.Join(experiments.Names(), ", "))
+	n := fs.Int("n", 20000, "problem size (rows)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exp == "" {
+		return experiments.RunAll(os.Stdout, *n)
+	}
+	return experiments.Run(os.Stdout, *exp, *n)
+}

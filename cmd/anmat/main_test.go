@@ -1,0 +1,202 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/anmat/anmat/internal/datagen"
+)
+
+// writeDataset generates a small zip dataset CSV for the CLI tests.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "zips.csv")
+	ds := datagen.ZipCity(600, 0.01, 55)
+	if err := ds.Table.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs run(args) with stdout redirected and returns the output.
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(args)
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestCmdProfile(t *testing.T) {
+	in := writeDataset(t)
+	out, err := capture(t, []string{"profile", "-in", in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "zip") || !strings.Contains(out, "type=code") {
+		t.Errorf("profile output:\n%s", out)
+	}
+	if !strings.Contains(out, `\D{5}`) {
+		t.Errorf("profile should list the zip signature:\n%s", out)
+	}
+}
+
+func TestCmdDiscover(t *testing.T) {
+	in := writeDataset(t)
+	out, err := capture(t, []string{"discover", "-in", in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "zip → city") {
+		t.Errorf("discover output:\n%s", out)
+	}
+	if !strings.Contains(out, "support") {
+		t.Error("tableau rows missing support annotation")
+	}
+}
+
+func TestCmdDetect(t *testing.T) {
+	in := writeDataset(t)
+	out, err := capture(t, []string{"detect", "-in", in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "violation(s)") {
+		t.Errorf("detect output:\n%s", out)
+	}
+}
+
+func TestCmdRepair(t *testing.T) {
+	in := writeDataset(t)
+	outPath := filepath.Join(t.TempDir(), "fixed.csv")
+	out, err := capture(t, []string{"repair", "-in", in, "-out", outPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "applied") {
+		t.Errorf("repair output:\n%s", out)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Errorf("repaired CSV not written: %v", err)
+	}
+}
+
+func TestCmdReport(t *testing.T) {
+	in := writeDataset(t)
+	outPath := filepath.Join(t.TempDir(), "report.md")
+	if _, err := capture(t, []string{"report", "-in", in, "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "# ANMAT report") {
+		t.Errorf("report content:\n%s", string(b)[:200])
+	}
+}
+
+func TestCmdExperimentsSmall(t *testing.T) {
+	out, err := capture(t, []string{"experiments", "-exp", "table3-d5city", "-n", "1500"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 3 block") {
+		t.Errorf("experiments output:\n%s", out)
+	}
+}
+
+func TestCmdStream(t *testing.T) {
+	dir := t.TempDir()
+	histPath := filepath.Join(dir, "history.csv")
+	newPath := filepath.Join(dir, "new.csv")
+	hist := datagen.ZipCity(800, 0, 66)
+	if err := hist.Table.WriteCSVFile(histPath); err != nil {
+		t.Fatal(err)
+	}
+	incoming := datagen.ZipCity(200, 0.05, 67)
+	if err := incoming.Table.WriteCSVFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"stream", "-history", histPath, "-in", newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mined") || !strings.Contains(out, "alert(s)") {
+		t.Errorf("stream output:\n%s", out)
+	}
+	if !strings.Contains(out, "ALERT") {
+		t.Error("dirty incoming rows should raise alerts")
+	}
+	if err := run([]string{"stream", "-history", histPath}); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run([]string{"stream", "-history", "/nope.csv", "-in", newPath}); err == nil {
+		t.Error("missing history file should error")
+	}
+}
+
+func TestCmdDMV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dirty.csv")
+	ds := datagen.ZipCity(500, 0, 68)
+	zi, _ := ds.Table.ColIndex("zip")
+	for r := 0; r < ds.Table.NumRows(); r += 50 {
+		ds.Table.SetCell(r, zi, "N/A")
+	}
+	if err := ds.Table.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, []string{"dmv", "-in", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "N/A") || !strings.Contains(out, "placeholder") {
+		t.Errorf("dmv output:\n%s", out)
+	}
+	if err := run([]string{"dmv"}); err == nil {
+		t.Error("missing -in should error")
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should error")
+	}
+	if err := run([]string{"profile"}); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run([]string{"repair", "-in", "x.csv"}); err == nil {
+		t.Error("missing -out should error")
+	}
+	if err := run([]string{"profile", "-in", "/does/not/exist.csv"}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := run([]string{"experiments", "-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Error("help should succeed")
+	}
+}

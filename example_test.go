@@ -1,0 +1,79 @@
+package anmat_test
+
+import (
+	"fmt"
+	"log"
+
+	anmat "github.com/anmat/anmat"
+)
+
+// ExampleDiscover mines the paper's λ3-style rule from a small dirty zip
+// table and detects the seeded error.
+func ExampleDiscover() {
+	t, err := anmat.NewTable("Zip", []string{"zip", "city"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := [][]string{
+		{"90001", "Los Angeles"}, {"90002", "Los Angeles"},
+		{"90003", "Los Angeles"}, {"90005", "Los Angeles"},
+		{"90006", "Los Angeles"},
+		{"90004", "New York"}, // the erroneous s4 of Table 2
+	}
+	for _, r := range rows {
+		if err := t.Append(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := anmat.DefaultDiscoveryConfig()
+	cfg.MinCoverage = 0.3
+	cfg.MaxViolationRatio = 0.25
+	cfg.MineVariable = false
+	pfds, err := anmat.Discover(t, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pfds {
+		for _, row := range p.Tableau.Rows() {
+			fmt.Println(row.String())
+		}
+	}
+	vs, err := anmat.Detect(t, pfds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range vs {
+		fmt.Printf("violation at row %d: observed %q, expected %q\n",
+			v.Tuples[0], v.Observed, v.Expected)
+	}
+	// Output:
+	// <9000>\D → Los Angeles
+	// violation at row 5: observed "New York", expected "Los Angeles"
+}
+
+// ExampleSuggestRepairs completes the loop: the violation's cell is
+// repaired to the rule's constant.
+func ExampleSuggestRepairs() {
+	t, _ := anmat.NewTable("Zip", []string{"zip", "city"})
+	for _, r := range [][]string{
+		{"90001", "Los Angeles"}, {"90002", "Los Angeles"},
+		{"90003", "Los Angeles"}, {"90005", "Los Angeles"},
+		{"90006", "Los Angeles"}, {"90004", "New York"},
+	} {
+		_ = t.Append(r)
+	}
+	cfg := anmat.DefaultDiscoveryConfig()
+	cfg.MinCoverage = 0.3
+	cfg.MaxViolationRatio = 0.25
+	cfg.MineVariable = false
+	pfds, _ := anmat.Discover(t, cfg)
+	rs, _ := anmat.SuggestRepairs(t, pfds)
+	n, _ := anmat.ApplyRepairs(t, rs)
+	fmt.Printf("repaired %d cell(s)\n", n)
+	v, _ := t.CellByName(5, "city")
+	fmt.Println(v)
+	// Output:
+	// repaired 1 cell(s)
+	// Los Angeles
+}

@@ -1,0 +1,61 @@
+// Employeeids reproduces the paper's introduction example: employee IDs
+// like "F-9-107" where the letter determines the department (F → Finance)
+// and the digit the grade. ANMAT mines these partial-value rules with
+// n-grams/prefixes — rules no whole-value FD can express, because almost
+// every ID is unique.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	anmat "github.com/anmat/anmat"
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/fd"
+)
+
+func main() {
+	ds := datagen.EmployeeID(10000, 0.005, 2019)
+	fmt.Printf("generated %d employee rows with %d injected errors\n\n",
+		ds.Table.NumRows(), len(ds.Injected))
+
+	sys, err := anmat.NewSystem("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := sys.NewSession("employees", ds.Table, anmat.DefaultParams())
+	if err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range sess.Discovered {
+		if p.LHS != "emp_id" {
+			continue
+		}
+		fmt.Printf("PFD %s → %s (coverage %.1f%%):\n", p.LHS, p.RHS, p.Coverage*100)
+		for i, row := range p.Tableau.Rows() {
+			if i >= 10 {
+				fmt.Println("  …")
+				break
+			}
+			fmt.Printf("  %s\n", row)
+		}
+	}
+	fmt.Printf("\nPFD violations: %d\n", len(sess.Violations))
+
+	// The contrast the intro draws: whole-value FDs cannot even see the
+	// dependency, because emp_id is (nearly) a key.
+	fdViolations := 0
+	for _, f := range []fd.FD{
+		{LHS: "emp_id", RHS: "department"},
+		{LHS: "emp_id", RHS: "grade"},
+	} {
+		vs, err := fd.Check(ds.Table, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fdViolations += len(vs)
+	}
+	fmt.Printf("whole-value FD violations on the same errors: %d\n", fdViolations)
+	fmt.Println("\n(the partial-value rules F-…→Finance etc. are invisible to classical FDs)")
+}

@@ -1,0 +1,129 @@
+// Package blocking de-quadratifies variable-PFD checking (Section 3 cites
+// BigDansing's blocking for this). Tuples are hashed into blocks by the
+// constrained-segment keys extracted from their LHS values; only tuples
+// sharing a block can be ≡Q-equivalent, so violation checking runs within
+// blocks instead of over all pairs.
+//
+// A value with an ambiguous segmentation extracts several keys and joins
+// several blocks; de-duplication of reported pairs happens in the
+// detection engine via violation keys.
+package blocking
+
+import (
+	"sort"
+
+	"github.com/anmat/anmat/internal/pattern"
+)
+
+// Block is one equivalence bucket: the shared constrained key and the
+// member rows with their RHS values.
+type Block struct {
+	Key     string
+	Rows    []int
+	RHSVals []string // parallel to Rows
+}
+
+// Blocks partitions (lhs[i], rhs[i]) pairs by constrained key under q.
+// Rows whose LHS does not match q's embedded pattern are skipped. The
+// result is sorted by key for deterministic iteration.
+func Blocks(q pattern.Constrained, lhs, rhs []string) []Block {
+	m := make(map[string]*Block)
+	for i := range lhs {
+		for _, key := range q.Extract(lhs[i]) {
+			b := m[key]
+			if b == nil {
+				b = &Block{Key: key}
+				m[key] = b
+			}
+			b.Rows = append(b.Rows, i)
+			b.RHSVals = append(b.RHSVals, rhs[i])
+		}
+	}
+	out := make([]Block, 0, len(m))
+	for _, b := range m {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ConflictPair is a pair of rows in one block disagreeing on the RHS.
+type ConflictPair struct {
+	I, J       int
+	RHSI, RHSJ string
+}
+
+// Conflicts reports the disagreeing pairs of a block. Within a block the
+// rows are grouped by RHS value; semantically every cross-group pair is a
+// conflict. With firstOnly set the output is kept linear: each row outside
+// the majority RHS group is paired once against the majority group's first
+// row (the likely-clean witness), so the number of reported violations
+// tracks the number of erroneous cells rather than the block size. With
+// firstOnly false the full cross product is produced (the reference
+// semantics used for engine-equivalence tests).
+func (b Block) Conflicts(firstOnly bool) []ConflictPair {
+	groups := make(map[string][]int)
+	var order []string
+	for k, r := range b.Rows {
+		v := b.RHSVals[k]
+		if _, ok := groups[v]; !ok {
+			order = append(order, v)
+		}
+		groups[v] = append(groups[v], r)
+	}
+	if len(groups) < 2 {
+		return nil
+	}
+	sort.Strings(order)
+	var out []ConflictPair
+	if firstOnly {
+		maj, _ := b.MajorityRHS()
+		rep := groups[maj][0]
+		for _, v := range order {
+			if v == maj {
+				continue
+			}
+			for _, r := range groups[v] {
+				out = append(out, orderedPair(rep, r, maj, v))
+			}
+		}
+		return out
+	}
+	for _, va := range order {
+		for _, vb := range order {
+			if va >= vb {
+				continue
+			}
+			for _, ri := range groups[va] {
+				for _, rj := range groups[vb] {
+					out = append(out, orderedPair(ri, rj, va, vb))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func orderedPair(i, j int, vi, vj string) ConflictPair {
+	if j < i {
+		return ConflictPair{I: j, J: i, RHSI: vj, RHSJ: vi}
+	}
+	return ConflictPair{I: i, J: j, RHSI: vi, RHSJ: vj}
+}
+
+// MajorityRHS returns the most frequent RHS value of the block (ties
+// break lexicographically) and its count — the repair suggestion for
+// variable-PFD violations.
+func (b Block) MajorityRHS() (string, int) {
+	counts := make(map[string]int)
+	for _, v := range b.RHSVals {
+		counts[v]++
+	}
+	best, bestN := "", -1
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best, bestN
+}

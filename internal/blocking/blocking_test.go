@@ -1,0 +1,126 @@
+package blocking
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/anmat/anmat/internal/pattern"
+)
+
+func TestBlocksByZipPrefix(t *testing.T) {
+	q := pattern.MustParseConstrained(`<\D{3}>\D{2}`)
+	lhs := []string{"90001", "90002", "91001", "90003", "bad"}
+	rhs := []string{"LA", "LA", "Pasadena", "LA", "?"}
+	bs := Blocks(q, lhs, rhs)
+	if len(bs) != 2 {
+		t.Fatalf("Blocks = %d, want 2", len(bs))
+	}
+	if bs[0].Key != "900" || !reflect.DeepEqual(bs[0].Rows, []int{0, 1, 3}) {
+		t.Errorf("block 900 = %+v", bs[0])
+	}
+	if bs[1].Key != "910" || !reflect.DeepEqual(bs[1].Rows, []int{2}) {
+		t.Errorf("block 910 = %+v", bs[1])
+	}
+}
+
+func TestBlocksSkipNonMatching(t *testing.T) {
+	q := pattern.MustParseConstrained(`<John\ >\A*`)
+	lhs := []string{"John Charles", "Susan Orlean", "John Bosco"}
+	rhs := []string{"M", "F", "M"}
+	bs := Blocks(q, lhs, rhs)
+	if len(bs) != 1 || len(bs[0].Rows) != 2 {
+		t.Fatalf("Blocks = %+v", bs)
+	}
+}
+
+func TestConflictsNoDisagreement(t *testing.T) {
+	b := Block{Key: "k", Rows: []int{0, 1}, RHSVals: []string{"x", "x"}}
+	if got := b.Conflicts(true); got != nil {
+		t.Errorf("agreeing block should have no conflicts: %v", got)
+	}
+}
+
+func TestConflictsAllPairs(t *testing.T) {
+	b := Block{Key: "k", Rows: []int{0, 1, 2}, RHSVals: []string{"x", "x", "y"}}
+	all := b.Conflicts(false)
+	// Pairs: (0,2) and (1,2).
+	if len(all) != 2 {
+		t.Fatalf("all pairs = %v", all)
+	}
+	for _, c := range all {
+		if c.J != 2 && c.I != 2 {
+			t.Errorf("every conflict involves row 2: %+v", c)
+		}
+		if c.I > c.J {
+			t.Errorf("pair not ordered: %+v", c)
+		}
+	}
+}
+
+func TestConflictsFirstOnlyCoversEveryOffender(t *testing.T) {
+	// Three groups; majority pairing must mention every non-majority row
+	// at least once, always against the majority representative.
+	b := Block{
+		Key:     "k",
+		Rows:    []int{0, 1, 2, 3, 4},
+		RHSVals: []string{"x", "x", "y", "y", "z"},
+	}
+	cs := b.Conflicts(true)
+	seen := map[int]bool{}
+	for _, c := range cs {
+		seen[c.I] = true
+		seen[c.J] = true
+	}
+	for _, r := range []int{2, 3, 4} { // non-majority rows
+		if !seen[r] {
+			t.Errorf("offender row %d never mentioned in conflicts", r)
+		}
+	}
+	if len(cs) != 3 {
+		t.Errorf("expected 3 offender pairs, got %d", len(cs))
+	}
+	// One dirty row in a big block yields exactly one pair, not O(block).
+	big := Block{Key: "k"}
+	for i := 0; i < 100; i++ {
+		big.Rows = append(big.Rows, i)
+		if i == 0 {
+			big.RHSVals = append(big.RHSVals, "odd")
+		} else {
+			big.RHSVals = append(big.RHSVals, "even")
+		}
+	}
+	lin := big.Conflicts(true)
+	if len(lin) != 1 {
+		t.Errorf("majority pairing produced %d pairs, want 1", len(lin))
+	}
+}
+
+func TestMajorityRHS(t *testing.T) {
+	b := Block{Rows: []int{0, 1, 2}, RHSVals: []string{"LA", "LA", "NY"}}
+	maj, n := b.MajorityRHS()
+	if maj != "LA" || n != 2 {
+		t.Errorf("MajorityRHS = %q/%d", maj, n)
+	}
+	// Tie breaks lexicographically.
+	tie := Block{Rows: []int{0, 1}, RHSVals: []string{"b", "a"}}
+	maj, n = tie.MajorityRHS()
+	if maj != "a" || n != 1 {
+		t.Errorf("tie MajorityRHS = %q/%d", maj, n)
+	}
+}
+
+func TestBlocksAmbiguousKeysJoinMultipleBlocks(t *testing.T) {
+	// <\LL*>\LL* splits "ab" ambiguously: keys "", "a", "ab".
+	q := pattern.MustParseConstrained(`<\LL*>\LL*`)
+	bs := Blocks(q, []string{"ab"}, []string{"x"})
+	if len(bs) != 3 {
+		t.Fatalf("ambiguous value should join 3 blocks, got %d", len(bs))
+	}
+}
+
+func TestBlocksEmptyInput(t *testing.T) {
+	q := pattern.MustParseConstrained(`<\D>\D`)
+	if bs := Blocks(q, nil, nil); len(bs) != 0 {
+		t.Errorf("empty input blocks = %v", bs)
+	}
+}

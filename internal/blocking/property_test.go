@@ -1,0 +1,80 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/anmat/anmat/internal/pattern"
+)
+
+// Property: blocking is a partition refinement — two rows land in a
+// common block iff they are ≡Q-equivalent (for unambiguous patterns
+// whose extraction yields a single key per value).
+func TestBlocksMatchEquivalence(t *testing.T) {
+	q := pattern.MustParseConstrained(`<\D{3}>\D{2}`)
+	rng := rand.New(rand.NewSource(19))
+	var lhs, rhs []string
+	for i := 0; i < 120; i++ {
+		lhs = append(lhs, fmt.Sprintf("%05d", 10000+rng.Intn(500)))
+		rhs = append(rhs, fmt.Sprintf("v%d", rng.Intn(3)))
+	}
+	bs := Blocks(q, lhs, rhs)
+	inSame := map[[2]int]bool{}
+	for _, b := range bs {
+		for _, i := range b.Rows {
+			for _, j := range b.Rows {
+				if i < j {
+					inSame[[2]int{i, j}] = true
+				}
+			}
+		}
+	}
+	for i := 0; i < len(lhs); i++ {
+		for j := i + 1; j < len(lhs); j++ {
+			want := q.EquivalentUnder(lhs[i], lhs[j])
+			if got := inSame[[2]int{i, j}]; got != want {
+				t.Fatalf("rows %d,%d (%q,%q): same-block=%v, ≡Q=%v",
+					i, j, lhs[i], lhs[j], got, want)
+			}
+		}
+	}
+}
+
+// Property: every row appears in exactly one block for single-key
+// patterns, and block sizes sum to the number of matching rows.
+func TestBlocksPartitionRows(t *testing.T) {
+	q := pattern.MustParseConstrained(`<\D{2}>\D{3}`)
+	var lhs, rhs []string
+	rng := rand.New(rand.NewSource(20))
+	matching := 0
+	for i := 0; i < 200; i++ {
+		if rng.Intn(5) == 0 {
+			lhs = append(lhs, "bad") // does not match
+		} else {
+			lhs = append(lhs, fmt.Sprintf("%05d", rng.Intn(100000)))
+			matching++
+		}
+		rhs = append(rhs, "x")
+	}
+	bs := Blocks(q, lhs, rhs)
+	seen := map[int]int{}
+	total := 0
+	for _, b := range bs {
+		total += len(b.Rows)
+		for _, r := range b.Rows {
+			seen[r]++
+		}
+	}
+	if total != matching {
+		t.Errorf("block sizes sum to %d, matching rows = %d", total, matching)
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Errorf("row %d appears in %d blocks", r, n)
+		}
+		if lhs[r] == "bad" {
+			t.Errorf("non-matching row %d blocked", r)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package core orchestrates the ANMAT system: project and dataset
+// management over the document store, and the Profile → Discover →
+// Confirm → Detect → Repair pipeline the demo walks through (Section 4).
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/discovery"
+	"github.com/anmat/anmat/internal/dmv"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/profile"
+	"github.com/anmat/anmat/internal/table"
+)
+
+// Params are the two user inputs of Section 4 ("Anmat accepts two user
+// input parameters"): the minimum coverage and the ratio of allowed
+// violations.
+type Params struct {
+	// MinCoverage is γ.
+	MinCoverage float64 `json:"min_coverage"`
+	// AllowedViolations is ρ, the tolerated violation ratio per rule.
+	AllowedViolations float64 `json:"allowed_violations"`
+}
+
+// DefaultParams mirrors discovery.Default.
+func DefaultParams() Params {
+	d := discovery.Default()
+	return Params{MinCoverage: d.MinCoverage, AllowedViolations: d.MaxViolationRatio}
+}
+
+// System is the ANMAT engine bound to a document store.
+type System struct {
+	store *docstore.Store
+}
+
+// NewSystem builds a system over the store (use docstore.NewMem for
+// ephemeral sessions).
+func NewSystem(store *docstore.Store) *System {
+	return &System{store: store}
+}
+
+// Store exposes the underlying document store.
+func (s *System) Store() *docstore.Store { return s.store }
+
+// Collections used by the system.
+const (
+	CollProjects   = "projects"
+	CollPFDs       = "pfds"
+	CollViolations = "violations"
+	CollProfiles   = "profiles"
+)
+
+// CreateProject registers a project ("new users can create their own
+// projects") and returns its id.
+func (s *System) CreateProject(name string) int64 {
+	return s.store.Insert(CollProjects, docstore.Doc{"name": name})
+}
+
+// Projects lists the registered project names.
+func (s *System) Projects() []string {
+	docs := s.store.Find(CollProjects, nil)
+	out := make([]string, 0, len(docs))
+	for _, d := range docs {
+		if n, ok := d["name"].(string); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadPFDs retrieves previously stored PFDs for a table from the document
+// store — the demo's flow of reloading rules mined in an earlier session
+// instead of re-running discovery. Filters by table name; pass "" for all.
+func (s *System) LoadPFDs(tableName string) ([]*pfd.PFD, error) {
+	var f docstore.Filter
+	if tableName != "" {
+		f = docstore.Filter{"table": tableName}
+	}
+	docs := s.store.Find(CollPFDs, f)
+	out := make([]*pfd.PFD, 0, len(docs))
+	for _, d := range docs {
+		b, err := json.Marshal(d)
+		if err != nil {
+			return nil, err
+		}
+		var p pfd.PFD
+		if err := json.Unmarshal(b, &p); err != nil {
+			return nil, fmt.Errorf("load pfd %v: %w", d[docstore.IDField], err)
+		}
+		out = append(out, &p)
+	}
+	return out, nil
+}
+
+// Session is one dataset loaded into a project, carrying the pipeline's
+// intermediate products.
+type Session struct {
+	sys     *System
+	Project string
+	Table   *table.Table
+	Params  Params
+
+	Profile    profile.TableProfile
+	Discovered []*pfd.PFD
+	Confirmed  []*pfd.PFD
+	Violations []pfd.Violation
+	Repairs    []detect.Repair
+	Stats      []discovery.CandidateStats
+	DMVs       []DMVFinding
+}
+
+// NewSession binds a table to a project with the given parameters.
+func (s *System) NewSession(project string, t *table.Table, p Params) *Session {
+	return &Session{sys: s, Project: project, Table: t, Params: p}
+}
+
+// RunProfile computes and stores the table profile (the Figure 3 step:
+// "the system will automatically profile the dataset").
+func (se *Session) RunProfile() profile.TableProfile {
+	se.Profile = profile.Profile(se.Table)
+	doc := docstore.Doc{
+		"project": se.Project,
+		"table":   se.Table.Name(),
+		"rows":    se.Profile.Rows,
+		"columns": len(se.Profile.Columns),
+	}
+	se.sys.store.Insert(CollProfiles, doc)
+	return se.Profile
+}
+
+// DMVFinding pairs a column with its suspected disguised missing values.
+type DMVFinding struct {
+	Column   string        `json:"column"`
+	Suspects []dmv.Suspect `json:"suspects"`
+}
+
+// RunDMV scans every column for disguised missing values; findings are
+// kept on the session and stored. It does not modify the table — use
+// discovery.Config.CleanDMVs to exclude them from mining.
+func (se *Session) RunDMV() []DMVFinding {
+	se.DMVs = se.DMVs[:0]
+	for i, col := range se.Table.Columns() {
+		suspects := dmv.Detect(se.Table.ColumnByIndex(i), dmv.Options{})
+		if len(suspects) == 0 {
+			continue
+		}
+		se.DMVs = append(se.DMVs, DMVFinding{Column: col, Suspects: suspects})
+	}
+	for _, f := range se.DMVs {
+		_, _ = se.sys.store.InsertJSON("dmv_findings", f)
+	}
+	return se.DMVs
+}
+
+// RunDiscovery mines PFDs with the session parameters and stores them.
+func (se *Session) RunDiscovery() ([]*pfd.PFD, error) {
+	cfg := discovery.Default()
+	cfg.MinCoverage = se.Params.MinCoverage
+	cfg.MaxViolationRatio = se.Params.AllowedViolations
+	res, err := discovery.Discover(se.Table, cfg)
+	if err != nil {
+		return nil, err
+	}
+	se.Discovered = res.PFDs
+	se.Stats = res.Stats
+	for _, p := range res.PFDs {
+		if _, err := se.sys.store.InsertJSON(CollPFDs, p); err != nil {
+			return nil, fmt.Errorf("store pfd %s: %w", p.ID(), err)
+		}
+	}
+	return res.PFDs, nil
+}
+
+// Confirm marks a subset of the discovered PFDs as validated by the user
+// ("the user … can display the tableau of each dependency and confirm
+// whether that discovered dependency is valid"). Passing no ids confirms
+// everything.
+func (se *Session) Confirm(ids ...string) []*pfd.PFD {
+	if len(ids) == 0 {
+		se.Confirmed = se.Discovered
+		return se.Confirmed
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	se.Confirmed = se.Confirmed[:0]
+	for _, p := range se.Discovered {
+		if want[p.ID()] {
+			se.Confirmed = append(se.Confirmed, p)
+		}
+	}
+	return se.Confirmed
+}
+
+// UseRules installs externally obtained PFDs (e.g. loaded from the store
+// via System.LoadPFDs) as the session's confirmed rule set, bypassing
+// discovery.
+func (se *Session) UseRules(ps []*pfd.PFD) {
+	se.Confirmed = ps
+}
+
+// RunDetection evaluates the confirmed PFDs (all discovered ones when
+// none were explicitly confirmed) and stores the violations.
+func (se *Session) RunDetection() ([]pfd.Violation, error) {
+	ps := se.Confirmed
+	if ps == nil {
+		ps = se.Discovered
+	}
+	d := detect.New(se.Table, detect.Options{})
+	vs, err := d.DetectAll(ps)
+	if err != nil {
+		return nil, err
+	}
+	se.Violations = vs
+	for _, v := range vs {
+		if _, err := se.sys.store.InsertJSON(CollViolations, v); err != nil {
+			return nil, err
+		}
+	}
+	return vs, nil
+}
+
+// RunRepairs derives repair suggestions from the confirmed PFDs.
+func (se *Session) RunRepairs() ([]detect.Repair, error) {
+	ps := se.Confirmed
+	if ps == nil {
+		ps = se.Discovered
+	}
+	d := detect.New(se.Table, detect.Options{})
+	var out []detect.Repair
+	seen := map[string]bool{}
+	for _, p := range ps {
+		rs, err := d.Repairs(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rs {
+			k := r.Cell.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell.Less(out[j].Cell) })
+	se.Repairs = out
+	return out, nil
+}
+
+// Run executes the whole pipeline: profile, discovery, detection, repair
+// suggestions (confirming every discovered PFD).
+func (se *Session) Run() error {
+	se.RunProfile()
+	if _, err := se.RunDiscovery(); err != nil {
+		return err
+	}
+	se.Confirm()
+	if _, err := se.RunDetection(); err != nil {
+		return err
+	}
+	_, err := se.RunRepairs()
+	return err
+}

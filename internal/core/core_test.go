@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/docstore"
+)
+
+func TestPipelineEndToEnd(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	sys.CreateProject("demo")
+	if ps := sys.Projects(); len(ps) != 1 || ps[0] != "demo" {
+		t.Fatalf("Projects = %v", ps)
+	}
+
+	d := datagen.ZipCity(1500, 0.005, 42)
+	se := sys.NewSession("demo", d.Table, DefaultParams())
+	if err := se.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(se.Profile.Columns) != 3 {
+		t.Errorf("profile columns = %d", len(se.Profile.Columns))
+	}
+	if len(se.Discovered) == 0 {
+		t.Fatal("no PFDs discovered")
+	}
+	if len(se.Violations) == 0 {
+		t.Fatal("no violations on dirty data")
+	}
+	if len(se.Repairs) == 0 {
+		t.Fatal("no repairs suggested")
+	}
+
+	// Results were persisted.
+	if sys.Store().Count(CollPFDs, nil) == 0 {
+		t.Error("PFDs not stored")
+	}
+	if sys.Store().Count(CollViolations, nil) == 0 {
+		t.Error("violations not stored")
+	}
+	if sys.Store().Count(CollProfiles, nil) != 1 {
+		t.Error("profile not stored")
+	}
+}
+
+func TestDetectionFindsInjectedErrors(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.PhoneState(3000, 0.005, 43)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if err := se.Run(); err != nil {
+		t.Fatal(err)
+	}
+	flagged := map[int]bool{}
+	for _, v := range se.Violations {
+		for _, tu := range v.Tuples {
+			flagged[tu] = true
+		}
+	}
+	injected := d.InjectedRows()
+	caught := 0
+	for r := range injected {
+		if flagged[r] {
+			caught++
+		}
+	}
+	if len(injected) == 0 {
+		t.Fatal("no injected errors to find")
+	}
+	recall := float64(caught) / float64(len(injected))
+	if recall < 0.9 {
+		t.Errorf("recall = %.2f (%d/%d)", recall, caught, len(injected))
+	}
+}
+
+func TestConfirmSubset(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(1200, 0.005, 44)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	se.RunProfile()
+	if _, err := se.RunDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	if len(se.Discovered) < 2 {
+		t.Skipf("need ≥2 PFDs, got %d", len(se.Discovered))
+	}
+	only := se.Discovered[0].ID()
+	got := se.Confirm(only)
+	if len(got) != 1 || got[0].ID() != only {
+		t.Fatalf("Confirm(%s) = %v", only, got)
+	}
+	vs, err := se.RunDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		if v.PFDID != only {
+			t.Errorf("violation from unconfirmed PFD %s", v.PFDID)
+		}
+	}
+}
+
+func TestConfirmAllByDefault(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(800, 0, 45)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if _, err := se.RunDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	if got := se.Confirm(); len(got) != len(se.Discovered) {
+		t.Errorf("Confirm() = %d, want all %d", len(got), len(se.Discovered))
+	}
+}
+
+func TestRunDMV(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(600, 0, 47)
+	zi, _ := d.Table.ColIndex("zip")
+	for r := 0; r < d.Table.NumRows(); r += 60 {
+		d.Table.SetCell(r, zi, "N/A")
+	}
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	findings := se.RunDMV()
+	if len(findings) == 0 {
+		t.Fatal("no DMV findings")
+	}
+	found := false
+	for _, f := range findings {
+		if f.Column == "zip" {
+			for _, s := range f.Suspects {
+				if s.Value == "N/A" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("N/A not flagged: %+v", findings)
+	}
+	if sys.Store().Count("dmv_findings", nil) == 0 {
+		t.Error("findings not stored")
+	}
+	// Re-running replaces, not duplicates, the in-session findings.
+	if got := se.RunDMV(); len(got) != len(findings) {
+		t.Errorf("re-run findings = %d, want %d", len(got), len(findings))
+	}
+}
+
+func TestLoadPFDsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/store.json"
+	store, err := docstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(store)
+	d := datagen.ZipCity(1000, 0.01, 46)
+
+	// Session 1: discover and persist.
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if _, err := se.RunDiscovery(); err != nil {
+		t.Fatal(err)
+	}
+	if len(se.Discovered) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	wantViolations, err := se.RunDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2 (fresh store handle): reload rules and re-detect without
+	// discovery.
+	store2, err := docstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2 := NewSystem(store2)
+	loaded, err := sys2.LoadPFDs(d.Table.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(se.Discovered) {
+		t.Fatalf("loaded %d PFDs, stored %d", len(loaded), len(se.Discovered))
+	}
+	se2 := sys2.NewSession("p", d.Table, DefaultParams())
+	se2.UseRules(loaded)
+	got, err := se2.RunDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(wantViolations) {
+		t.Errorf("reloaded rules found %d violations, original %d", len(got), len(wantViolations))
+	}
+
+	// Filter by table name.
+	none, err := sys2.LoadPFDs("not-a-table")
+	if err != nil || len(none) != 0 {
+		t.Errorf("LoadPFDs(bogus) = %d, %v", len(none), err)
+	}
+	all, err := sys2.LoadPFDs("")
+	if err != nil || len(all) != len(loaded) {
+		t.Errorf("LoadPFDs(all) = %d, %v", len(all), err)
+	}
+}
+
+func TestLoadPFDsCorruptDoc(t *testing.T) {
+	store := docstore.NewMem()
+	store.Insert(CollPFDs, docstore.Doc{"table": "t", "tableau": []any{map[string]any{"lhs": "<\\L", "rhs": "x"}}})
+	sys := NewSystem(store)
+	if _, err := sys.LoadPFDs("t"); err == nil {
+		t.Error("corrupt stored PFD should error")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.MinCoverage <= 0 || p.MinCoverage >= 1 {
+		t.Errorf("MinCoverage = %f", p.MinCoverage)
+	}
+	if p.AllowedViolations < 0 || p.AllowedViolations >= 1 {
+		t.Errorf("AllowedViolations = %f", p.AllowedViolations)
+	}
+}

@@ -1,0 +1,178 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPhoneStateShape(t *testing.T) {
+	d := PhoneState(500, 0.01, 1)
+	tb := d.Table
+	if tb.NumRows() != 500 || tb.NumCols() != 2 {
+		t.Fatalf("shape = %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	pi, _ := tb.ColIndex("phone")
+	si, _ := tb.ColIndex("state")
+	for r := 0; r < tb.NumRows(); r++ {
+		phone := tb.Cell(r, pi)
+		if len(phone) != 10 {
+			t.Fatalf("phone %q not 10 digits", phone)
+		}
+		for _, c := range phone {
+			if c < '0' || c > '9' {
+				t.Fatalf("phone %q has non-digit", phone)
+			}
+		}
+		if len(tb.Cell(r, si)) != 2 {
+			t.Fatalf("state %q not 2 chars", tb.Cell(r, si))
+		}
+	}
+}
+
+func TestPhoneStateDeterministic(t *testing.T) {
+	a := PhoneState(100, 0.05, 7)
+	b := PhoneState(100, 0.05, 7)
+	for r := 0; r < 100; r++ {
+		if a.Table.Cell(r, 0) != b.Table.Cell(r, 0) || a.Table.Cell(r, 1) != b.Table.Cell(r, 1) {
+			t.Fatalf("row %d differs between same-seed runs", r)
+		}
+	}
+	if len(a.Injected) != len(b.Injected) {
+		t.Error("injection not deterministic")
+	}
+	c := PhoneState(100, 0.05, 8)
+	same := true
+	for r := 0; r < 100; r++ {
+		if a.Table.Cell(r, 0) != c.Table.Cell(r, 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestInjectionGroundTruth(t *testing.T) {
+	d := PhoneState(1000, 0.02, 3)
+	if len(d.Injected) == 0 {
+		t.Fatal("no errors injected at 2%")
+	}
+	// Roughly 2% ± generous slack.
+	if len(d.Injected) > 60 {
+		t.Errorf("too many injections: %d", len(d.Injected))
+	}
+	si, _ := d.Table.ColIndex("state")
+	for _, e := range d.Injected {
+		if e.Clean == e.Dirty {
+			t.Errorf("injection %v did not change the value", e)
+		}
+		if got := d.Table.Cell(e.Cell.Row, si); got != e.Dirty {
+			t.Errorf("table cell %d = %q, ground truth says %q", e.Cell.Row, got, e.Dirty)
+		}
+	}
+	rows := d.InjectedRows()
+	if len(rows) == 0 || len(rows) > len(d.Injected) {
+		t.Errorf("InjectedRows = %d for %d injections", len(rows), len(d.Injected))
+	}
+}
+
+func TestZeroErrorRate(t *testing.T) {
+	d := PhoneState(200, 0, 4)
+	if len(d.Injected) != 0 {
+		t.Errorf("errRate 0 injected %d errors", len(d.Injected))
+	}
+}
+
+func TestNameGenderShape(t *testing.T) {
+	d := NameGender(300, 0.01, 5)
+	ni, _ := d.Table.ColIndex("full_name")
+	gi, _ := d.Table.ColIndex("gender")
+	for r := 0; r < d.Table.NumRows(); r++ {
+		name := d.Table.Cell(r, ni)
+		if !strings.Contains(name, ", ") {
+			t.Fatalf("name %q lacks 'Last, First' shape", name)
+		}
+		g := d.Table.Cell(r, gi)
+		if g != "M" && g != "F" {
+			t.Fatalf("gender %q", g)
+		}
+	}
+}
+
+func TestZipCityShape(t *testing.T) {
+	d := ZipCity(300, 0.02, 6)
+	zi, _ := d.Table.ColIndex("zip")
+	for r := 0; r < d.Table.NumRows(); r++ {
+		zip := d.Table.Cell(r, zi)
+		if len(zip) != 5 {
+			t.Fatalf("zip %q not 5 digits", zip)
+		}
+	}
+	// City and state errors both appear with a fair sample.
+	var cityErr, stateErr bool
+	for _, e := range d.Injected {
+		switch e.Cell.Column {
+		case "city":
+			cityErr = true
+		case "state":
+			stateErr = true
+		}
+	}
+	if !cityErr || !stateErr {
+		t.Errorf("expected both error kinds, city=%v state=%v", cityErr, stateErr)
+	}
+}
+
+func TestEmployeeIDShape(t *testing.T) {
+	d := EmployeeID(300, 0.01, 7)
+	ii, _ := d.Table.ColIndex("emp_id")
+	for r := 0; r < d.Table.NumRows(); r++ {
+		id := d.Table.Cell(r, ii)
+		parts := strings.Split(id, "-")
+		if len(parts) != 3 || len(parts[0]) != 1 || len(parts[1]) != 1 || len(parts[2]) != 3 {
+			t.Fatalf("emp_id %q malformed", id)
+		}
+	}
+}
+
+func TestCompoundShape(t *testing.T) {
+	d := Compound(300, 0.01, 8)
+	ci, _ := d.Table.ColIndex("compound_id")
+	for r := 0; r < d.Table.NumRows(); r++ {
+		id := d.Table.Cell(r, ci)
+		if !strings.HasPrefix(id, "CHEMBL") {
+			t.Fatalf("compound id %q", id)
+		}
+	}
+	if len(d.Injected) == 0 {
+		t.Error("no type errors injected")
+	}
+}
+
+func TestAddressesShape(t *testing.T) {
+	d := Addresses(300, 0.01, 10)
+	ai, _ := d.Table.ColIndex("address")
+	si, _ := d.Table.ColIndex("state")
+	for r := 0; r < d.Table.NumRows(); r++ {
+		addr := d.Table.Cell(r, ai)
+		if !strings.Contains(addr, ", ") {
+			t.Fatalf("address %q lacks city part", addr)
+		}
+		if len(d.Table.Cell(r, si)) != 2 {
+			t.Fatalf("state %q", d.Table.Cell(r, si))
+		}
+	}
+	if len(d.Injected) == 0 {
+		t.Error("no state errors injected")
+	}
+}
+
+func TestTypoNeverIdentityForLongStrings(t *testing.T) {
+	d := ZipCity(2000, 0.05, 9)
+	for _, e := range d.Injected {
+		if e.Clean == e.Dirty {
+			t.Errorf("typo injection left value unchanged: %+v", e)
+		}
+	}
+}

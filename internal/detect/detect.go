@@ -1,0 +1,332 @@
+// Package detect is the error-detection engine of Section 3. It evaluates
+// a set of PFDs against a table and reports violations:
+//
+//   - constant rows: scan (or, with the pattern index, probe) the LHS
+//     column for tuples matching tp[A] whose RHS differs from tp[B];
+//   - variable rows: group matching tuples into blocks by constrained key
+//     and flag intra-block RHS disagreements (or run the quadratic
+//     reference when blocking is disabled, for the ablation).
+//
+// The engine also produces repair suggestions: constant violations repair
+// to the rule's constant; variable violations repair to the block's
+// majority RHS value.
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/anmat/anmat/internal/blocking"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/pindex"
+	"github.com/anmat/anmat/internal/table"
+	"github.com/anmat/anmat/internal/tableau"
+)
+
+// Options configures the engine; the zero value enables all optimizations.
+type Options struct {
+	// DisableIndex forces full scans for constant rows.
+	DisableIndex bool
+	// DisableBlocking forces the quadratic pair check for variable rows.
+	DisableBlocking bool
+	// AllPairs reports every conflicting pair inside a block instead of
+	// the linear representative pairing. It matches the brute-force
+	// reference output and is used in equivalence tests.
+	AllPairs bool
+}
+
+// Detector evaluates PFDs against one table, caching per-column indexes.
+type Detector struct {
+	t       *table.Table
+	opts    Options
+	indexes map[string]*pindex.Index
+}
+
+// New builds a detector for the table.
+func New(t *table.Table, opts Options) *Detector {
+	return &Detector{t: t, opts: opts, indexes: make(map[string]*pindex.Index)}
+}
+
+// index returns (building on demand) the pattern index of a column.
+func (d *Detector) index(col string) (*pindex.Index, error) {
+	if ix, ok := d.indexes[col]; ok {
+		return ix, nil
+	}
+	vals, err := d.t.Column(col)
+	if err != nil {
+		return nil, err
+	}
+	ix := pindex.Build(vals)
+	d.indexes[col] = ix
+	return ix, nil
+}
+
+// Detect returns all violations of the PFD, de-duplicated and sorted by
+// first cell.
+func (d *Detector) Detect(p *pfd.PFD) ([]pfd.Violation, error) {
+	li, ok := d.t.ColIndex(p.LHS)
+	if !ok {
+		return nil, fmt.Errorf("detect %s: no column %q", p.ID(), p.LHS)
+	}
+	ri, ok := d.t.ColIndex(p.RHS)
+	if !ok {
+		return nil, fmt.Errorf("detect %s: no column %q", p.ID(), p.RHS)
+	}
+	var out []pfd.Violation
+	for _, row := range p.Tableau.Rows() {
+		var vs []pfd.Violation
+		var err error
+		if row.Variable() {
+			vs, err = d.detectVariable(p, row, li, ri)
+		} else {
+			vs, err = d.detectConstant(p, row, li, ri)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return dedupe(out), nil
+}
+
+// DetectAll evaluates several PFDs and concatenates their violations.
+func (d *Detector) DetectAll(ps []*pfd.PFD) ([]pfd.Violation, error) {
+	var out []pfd.Violation
+	for _, p := range ps {
+		vs, err := d.Detect(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return dedupe(out), nil
+}
+
+func (d *Detector) detectConstant(p *pfd.PFD, row tableau.Row, li, ri int) ([]pfd.Violation, error) {
+	emb := row.LHS.Embedded()
+	var out []pfd.Violation
+	if !d.opts.DisableIndex {
+		ix, err := d.index(p.LHS)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range ix.Match(emb) {
+			if rv := d.t.Cell(r, ri); rv != row.RHS {
+				out = append(out, pfd.ConstantViolation(p, row, r, d.t.Cell(r, li), rv))
+			}
+		}
+		return out, nil
+	}
+	for r := 0; r < d.t.NumRows(); r++ {
+		lv := d.t.Cell(r, li)
+		if !emb.MatchesDFA(lv) {
+			continue
+		}
+		if rv := d.t.Cell(r, ri); rv != row.RHS {
+			out = append(out, pfd.ConstantViolation(p, row, r, lv, rv))
+		}
+	}
+	return out, nil
+}
+
+func (d *Detector) detectVariable(p *pfd.PFD, row tableau.Row, li, ri int) ([]pfd.Violation, error) {
+	lhs := d.t.ColumnByIndex(li)
+	rhs := d.t.ColumnByIndex(ri)
+	var out []pfd.Violation
+	if d.opts.DisableBlocking {
+		// Quadratic reference: restrict to rows matching the embedded
+		// pattern first (the paper's index optimization applies here too
+		// unless the index is also disabled).
+		cand := make([]int, 0)
+		emb := row.LHS.Embedded()
+		if !d.opts.DisableIndex {
+			ix, err := d.index(p.LHS)
+			if err != nil {
+				return nil, err
+			}
+			cand = ix.Match(emb)
+		} else {
+			for r := range lhs {
+				if emb.MatchesDFA(lhs[r]) {
+					cand = append(cand, r)
+				}
+			}
+		}
+		for a := 0; a < len(cand); a++ {
+			for b := a + 1; b < len(cand); b++ {
+				i, j := cand[a], cand[b]
+				if rhs[i] == rhs[j] {
+					continue
+				}
+				if row.LHS.EquivalentUnder(lhs[i], lhs[j]) {
+					out = append(out, pfd.VariableViolation(p, row, i, j, rhs[i], rhs[j]))
+				}
+			}
+		}
+		return out, nil
+	}
+	for _, b := range blocking.Blocks(row.LHS, lhs, rhs) {
+		for _, c := range b.Conflicts(!d.opts.AllPairs) {
+			out = append(out, pfd.VariableViolation(p, row, c.I, c.J, c.RHSI, c.RHSJ))
+		}
+	}
+	return out, nil
+}
+
+// dedupe removes duplicate violations (a pair found through two blocks, a
+// cell flagged by two tableau rows of the same PFD stays distinct because
+// the rule differs) and sorts by first cell for stable output.
+func dedupe(vs []pfd.Violation) []pfd.Violation {
+	seen := make(map[string]bool, len(vs))
+	out := vs[:0]
+	for _, v := range vs {
+		k := v.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if len(a.Cells) > 0 && len(b.Cells) > 0 && a.Cells[0] != b.Cells[0] {
+			return a.Cells[0].Less(b.Cells[0])
+		}
+		// The violation key is a total order; using it keeps the output
+		// identical across detection engines.
+		return a.Key() < b.Key()
+	})
+	return out
+}
+
+// Repair is a suggested fix for one cell.
+type Repair struct {
+	Cell      table.CellRef `json:"cell"`
+	Current   string        `json:"current"`
+	Suggested string        `json:"suggested"`
+	Rule      string        `json:"rule"`
+	// Confidence is the fraction of evidence supporting the suggestion:
+	// 1.0 for constant rules, the majority fraction for variable rules.
+	Confidence float64 `json:"confidence"`
+}
+
+// Repairs derives cell-repair suggestions from the PFD's violations,
+// assuming (as Section 3 does) that the LHS value is correct and the RHS
+// should change. For variable rows the block majority wins; rows already
+// holding the majority value receive no suggestion.
+func (d *Detector) Repairs(p *pfd.PFD) ([]Repair, error) {
+	li, ok := d.t.ColIndex(p.LHS)
+	if !ok {
+		return nil, fmt.Errorf("repair %s: no column %q", p.ID(), p.LHS)
+	}
+	ri, ok := d.t.ColIndex(p.RHS)
+	if !ok {
+		return nil, fmt.Errorf("repair %s: no column %q", p.ID(), p.RHS)
+	}
+	var out []Repair
+	seen := map[int]bool{}
+	for _, row := range p.Tableau.Rows() {
+		if !row.Variable() {
+			vs, err := d.detectConstant(p, row, li, ri)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range vs {
+				r := v.Tuples[0]
+				if seen[r] {
+					continue
+				}
+				seen[r] = true
+				out = append(out, Repair{
+					Cell:       table.CellRef{Row: r, Column: p.RHS},
+					Current:    v.Observed,
+					Suggested:  row.RHS,
+					Rule:       row.String(),
+					Confidence: 1,
+				})
+			}
+			continue
+		}
+		lhs := d.t.ColumnByIndex(li)
+		rhs := d.t.ColumnByIndex(ri)
+		for _, b := range blocking.Blocks(row.LHS, lhs, rhs) {
+			maj, n := b.MajorityRHS()
+			if n == len(b.Rows) {
+				continue // no disagreement
+			}
+			conf := float64(n) / float64(len(b.Rows))
+			for k, r := range b.Rows {
+				if b.RHSVals[k] == maj || seen[r] {
+					continue
+				}
+				seen[r] = true
+				out = append(out, Repair{
+					Cell:       table.CellRef{Row: r, Column: p.RHS},
+					Current:    b.RHSVals[k],
+					Suggested:  maj,
+					Rule:       row.String(),
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell.Less(out[j].Cell) })
+	return out, nil
+}
+
+// RepairToFixpoint alternates detection and repair until no suggestions
+// remain or maxIters passes complete, returning the total cells changed
+// and the violations left at the end. Repairing one rule can surface new
+// block majorities for another, so a single pass is not always enough.
+func RepairToFixpoint(t *table.Table, ps []*pfd.PFD, maxIters int) (changed int, remaining []pfd.Violation, err error) {
+	if maxIters <= 0 {
+		maxIters = 5
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		d := New(t, Options{})
+		var all []Repair
+		seen := map[string]bool{}
+		for _, p := range ps {
+			rs, err := d.Repairs(p)
+			if err != nil {
+				return changed, nil, err
+			}
+			for _, r := range rs {
+				k := r.Cell.String()
+				if !seen[k] {
+					seen[k] = true
+					all = append(all, r)
+				}
+			}
+		}
+		if len(all) == 0 {
+			break
+		}
+		n, err := Apply(t, all)
+		if err != nil {
+			return changed, nil, err
+		}
+		changed += n
+		if n == 0 {
+			break // suggestions exist but change nothing; avoid looping
+		}
+	}
+	remaining, err = New(t, Options{}).DetectAll(ps)
+	return changed, remaining, err
+}
+
+// Apply writes the repairs into the table (in place) and returns how many
+// cells changed.
+func Apply(t *table.Table, repairs []Repair) (int, error) {
+	n := 0
+	for _, r := range repairs {
+		ci, ok := t.ColIndex(r.Cell.Column)
+		if !ok {
+			return n, fmt.Errorf("apply repair: no column %q", r.Cell.Column)
+		}
+		if t.Cell(r.Cell.Row, ci) != r.Suggested {
+			t.SetCell(r.Cell.Row, ci, r.Suggested)
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,72 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/discovery"
+	"github.com/anmat/anmat/internal/pfd"
+)
+
+func TestRepairToFixpoint(t *testing.T) {
+	ds := datagen.ZipCity(1500, 0.02, 61)
+	res, err := discovery.Discover(ds.Table, discovery.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps []*pfd.PFD
+	for _, p := range res.PFDs {
+		if p.LHS == "zip" {
+			ps = append(ps, p)
+		}
+	}
+	if len(ps) == 0 {
+		t.Fatal("no zip PFDs")
+	}
+	before, err := New(ds.Table, Options{}).DetectAll(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("no violations to repair")
+	}
+	changed, remaining, err := RepairToFixpoint(ds.Table, ps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("no cells repaired")
+	}
+	if len(remaining) >= len(before) {
+		t.Errorf("fixpoint did not reduce violations: %d -> %d", len(before), len(remaining))
+	}
+	// Fix the fixed point: a second run changes nothing.
+	again, rem2, err := RepairToFixpoint(ds.Table, ps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Errorf("second fixpoint run changed %d cells", again)
+	}
+	if len(rem2) != len(remaining) {
+		t.Errorf("violations changed across idempotent runs: %d vs %d", len(remaining), len(rem2))
+	}
+}
+
+func TestRepairToFixpointNoViolations(t *testing.T) {
+	ds := datagen.ZipCity(500, 0, 62)
+	res, err := discovery.Discover(ds.Table, discovery.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, remaining, err := RepairToFixpoint(ds.Table, res.PFDs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed != 0 {
+		t.Errorf("clean table repaired %d cells", changed)
+	}
+	if len(remaining) != 0 {
+		t.Errorf("clean table has %d violations", len(remaining))
+	}
+}

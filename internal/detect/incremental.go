@@ -1,0 +1,165 @@
+package detect
+
+import (
+	"fmt"
+
+	"github.com/anmat/anmat/internal/pfd"
+)
+
+// Incremental checks rows one at a time against a fixed set of PFDs —
+// the streaming counterpart of the batch engine, for ingestion pipelines
+// that validate records on arrival. Constant rows are checked directly;
+// variable rows are checked against running per-block majorities, so a
+// row that disagrees with the majority of the previously seen rows in its
+// block is flagged immediately (and a block whose majority flips reports
+// the flip).
+type Incremental struct {
+	pfds []*pfd.PFD
+	// blocks[pfdIdx][rowIdx][key] = RHS histogram for the block.
+	blocks []map[int]map[string]map[string]int
+	// cols caches LHS/RHS column positions per PFD for the row schema.
+	cols   [][2]int
+	nextID int
+}
+
+// NewIncremental builds a streaming checker for PFDs over a schema given
+// as a column-name list (the order rows will arrive in).
+func NewIncremental(columns []string, pfds []*pfd.PFD) (*Incremental, error) {
+	idx := make(map[string]int, len(columns))
+	for i, c := range columns {
+		idx[c] = i
+	}
+	inc := &Incremental{pfds: pfds}
+	for _, p := range pfds {
+		li, ok := idx[p.LHS]
+		if !ok {
+			return nil, fmt.Errorf("incremental: schema lacks column %q", p.LHS)
+		}
+		ri, ok := idx[p.RHS]
+		if !ok {
+			return nil, fmt.Errorf("incremental: schema lacks column %q", p.RHS)
+		}
+		inc.cols = append(inc.cols, [2]int{li, ri})
+		rowBlocks := make(map[int]map[string]map[string]int)
+		for i, row := range p.Tableau.Rows() {
+			if row.Variable() {
+				rowBlocks[i] = make(map[string]map[string]int)
+			}
+		}
+		inc.blocks = append(inc.blocks, rowBlocks)
+	}
+	return inc, nil
+}
+
+// Alert is one streaming violation.
+type Alert struct {
+	// RowID is the arrival index of the offending row.
+	RowID int
+	// Rule is the violated tableau row.
+	Rule string
+	// PFDID identifies the dependency.
+	PFDID string
+	// Observed and Expected mirror pfd.Violation.
+	Observed, Expected string
+}
+
+// Ingest checks one row (in schema order) and returns any alerts. The row
+// is then folded into the per-block state so later rows are judged
+// against it too.
+func (inc *Incremental) Ingest(row []string) []Alert {
+	id := inc.nextID
+	inc.nextID++
+	var alerts []Alert
+	for pi, p := range inc.pfds {
+		li, ri := inc.cols[pi][0], inc.cols[pi][1]
+		lhs, rhs := row[li], row[ri]
+		for rowIdx, tRow := range p.Tableau.Rows() {
+			if !tRow.Variable() {
+				if tRow.LHS.Embedded().Matches(lhs) && rhs != tRow.RHS {
+					alerts = append(alerts, Alert{
+						RowID: id, Rule: tRow.String(), PFDID: p.ID(),
+						Observed: rhs, Expected: tRow.RHS,
+					})
+				}
+				continue
+			}
+			keys := tRow.LHS.Extract(lhs)
+			for _, key := range keys {
+				blk := inc.blocks[pi][rowIdx][key]
+				if blk == nil {
+					blk = make(map[string]int)
+					inc.blocks[pi][rowIdx][key] = blk
+				}
+				maj, majN := majorityOf(blk)
+				if majN > 0 && rhs != maj {
+					alerts = append(alerts, Alert{
+						RowID: id, Rule: tRow.String(), PFDID: p.ID(),
+						Observed: rhs, Expected: maj,
+					})
+				}
+				blk[rhs]++
+			}
+		}
+	}
+	return alerts
+}
+
+// Seed folds a row into the block state without checking it — used to
+// prime the detector with trusted history before streaming starts.
+func (inc *Incremental) Seed(row []string) {
+	inc.nextID++
+	for pi, p := range inc.pfds {
+		li, ri := inc.cols[pi][0], inc.cols[pi][1]
+		lhs, rhs := row[li], row[ri]
+		for rowIdx, tRow := range p.Tableau.Rows() {
+			if !tRow.Variable() {
+				continue
+			}
+			for _, key := range tRow.LHS.Extract(lhs) {
+				blk := inc.blocks[pi][rowIdx][key]
+				if blk == nil {
+					blk = make(map[string]int)
+					inc.blocks[pi][rowIdx][key] = blk
+				}
+				blk[rhs]++
+			}
+		}
+	}
+}
+
+// majorityOf returns the majority RHS and its count (ties break
+// lexicographically), with (“”, 0) for an empty histogram.
+func majorityOf(counts map[string]int) (string, int) {
+	best, bestN := "", 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && n > 0 && v < best) {
+			best, bestN = v, n
+		}
+	}
+	return best, bestN
+}
+
+// BlockStats summarizes the streaming state for observability.
+type BlockStats struct {
+	PFDID  string
+	Rule   string
+	Blocks int
+}
+
+// Stats lists per-variable-rule block counts.
+func (inc *Incremental) Stats() []BlockStats {
+	var out []BlockStats
+	for pi, p := range inc.pfds {
+		for rowIdx, tRow := range p.Tableau.Rows() {
+			if !tRow.Variable() {
+				continue
+			}
+			out = append(out, BlockStats{
+				PFDID:  p.ID(),
+				Rule:   tRow.String(),
+				Blocks: len(inc.blocks[pi][rowIdx]),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package discovery
+
+import (
+	"math"
+
+	"github.com/anmat/anmat/internal/invlist"
+)
+
+// This file provides alternative implementations of the decision function
+// f of Figure 2 ("a function to decide whether a set of value pairs forms
+// a PFD"). The default (Config.defaultDecision) thresholds the raw
+// confidence; the Wilson variant below corrects for small supports, where
+// a 4/4 agreement is far weaker evidence than 400/400.
+
+// WilsonDecision returns a decision function that accepts an entry when
+// the lower bound of the Wilson score interval (confidence level given by
+// z; 1.96 ≈ 95%) on the rule's agreement ratio exceeds minConfidence.
+// Small-support entries need proportionally cleaner evidence, which
+// suppresses the long-tail of overfit rules that a raw threshold admits
+// at low support.
+func WilsonDecision(minSupport int, minConfidence, z float64) DecisionFunc {
+	if z <= 0 {
+		z = 1.96
+	}
+	return func(e invlist.Entry) bool {
+		if e.Support < minSupport {
+			return false
+		}
+		return wilsonLower(e.TopCount, e.Support, z) >= minConfidence
+	}
+}
+
+// wilsonLower computes the lower bound of the Wilson score interval for
+// k successes out of n trials.
+func wilsonLower(k, n int, z float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	return (center - margin) / denom
+}
+
+// LiftDecision accepts entries that clear a confidence floor AND whose
+// majority RHS is over-represented relative to the RHS's base rate in the
+// column by at least minLift (e.g. 2 = twice as frequent as chance). The
+// lift guard rejects "rules" that merely restate a dominant RHS: in a
+// column that is 95% "Small molecule", confidence 0.95 carries no signal.
+// Lift is a filter on top of confidence, not a replacement — high lift
+// with low confidence is still a bad rule.
+func LiftDecision(minSupport int, minConfidence, minLift float64, rhsBase map[string]float64) DecisionFunc {
+	return func(e invlist.Entry) bool {
+		if e.Support < minSupport {
+			return false
+		}
+		if e.Confidence() < minConfidence {
+			return false
+		}
+		base := rhsBase[e.TopRHS]
+		if base <= 0 {
+			return false
+		}
+		return e.Confidence()/base >= minLift
+	}
+}
+
+// RHSBaseRates computes each value's frequency share in a column,
+// for LiftDecision.
+func RHSBaseRates(values []string) map[string]float64 {
+	counts := make(map[string]int)
+	n := 0
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		counts[v]++
+		n++
+	}
+	out := make(map[string]float64, len(counts))
+	for v, c := range counts {
+		out[v] = float64(c) / float64(n)
+	}
+	return out
+}

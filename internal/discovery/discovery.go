@@ -1,0 +1,820 @@
+// Package discovery implements the Discover PFDs algorithm of Figure 2:
+// profile the table to obtain pruned candidate dependencies, build a
+// hash-based inverted list of LHS tokens/n-grams paired with RHS values,
+// apply a decision function f to each entry, fold accepted entries into
+// pattern tuples, and keep the PFDs whose tableau coverage meets γ.
+package discovery
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/anmat/anmat/internal/dmv"
+	"github.com/anmat/anmat/internal/invlist"
+	"github.com/anmat/anmat/internal/pattern"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/profile"
+	"github.com/anmat/anmat/internal/table"
+	"github.com/anmat/anmat/internal/tableau"
+	"github.com/anmat/anmat/internal/tokenize"
+)
+
+// Mode selects how LHS values are decomposed into inverted-list keys.
+type Mode uint8
+
+const (
+	// ModeAuto picks per candidate: token mode for Text LHS columns,
+	// n-gram/prefix mode for Code and Category LHS columns.
+	ModeAuto Mode = iota
+	// ModeTokens forces Tokenize (Figure 2 line 6, first alternative).
+	ModeTokens
+	// ModeNGrams forces NGrams/prefixes (second alternative; "n-grams are
+	// mainly used to extract patterns from attributes that contain [a]
+	// single token which could be a code or id").
+	ModeNGrams
+)
+
+// Config carries the two user parameters of Section 4 plus the structural
+// knobs of the algorithm.
+type Config struct {
+	// MinCoverage is γ: the minimum fraction of LHS records matching at
+	// least one tableau pattern for the PFD to be reported.
+	MinCoverage float64
+	// MaxViolationRatio is the tolerated fraction of supporting tuples
+	// that disagree with a rule ("since we assume the data is dirty, we
+	// tolerate a specific ratio of violations").
+	MaxViolationRatio float64
+	// MinSupport is the minimum number of distinct tuples an inverted-
+	// list entry needs before f considers it.
+	MinSupport int
+	// Mode selects token vs n-gram decomposition.
+	Mode Mode
+	// NGramN is the n-gram length for mid-value patterns (default 3).
+	NGramN int
+	// MaxPrefix bounds the prefix lengths indexed in n-gram mode
+	// (default 8).
+	MaxPrefix int
+	// Decision overrides the default decision function f when non-nil.
+	Decision DecisionFunc
+	// MineVariable enables mining wildcard (variable) rows in addition
+	// to constant rows.
+	MineVariable bool
+	// VariableKeyFraction is the fraction of keys of a family that must
+	// individually look functional for a variable row to be emitted
+	// (default 0.9).
+	VariableKeyFraction float64
+	// MaxTableauRows caps the constant rows kept per PFD, favouring
+	// high-support rows (0 = unlimited).
+	MaxTableauRows int
+	// Parallelism bounds the number of candidate dependencies mined
+	// concurrently (0 = GOMAXPROCS). Candidates are independent, so the
+	// result is identical to the serial run.
+	Parallelism int
+	// CleanDMVs blanks suspected disguised missing values (N/A, 99999,
+	// signature outliers — see internal/dmv) before mining, keeping
+	// placeholder tokens out of rules and out of rule support counts.
+	CleanDMVs bool
+}
+
+// Default returns the configuration used by the demo scenarios: γ = 5%,
+// 2% tolerated violations, support ≥ 4.
+func Default() Config {
+	return Config{
+		MinCoverage:         0.05,
+		MaxViolationRatio:   0.02,
+		MinSupport:          4,
+		Mode:                ModeAuto,
+		NGramN:              3,
+		MaxPrefix:           8,
+		MineVariable:        true,
+		VariableKeyFraction: 0.9,
+	}
+}
+
+// DecisionFunc is the function f of Figure 2: it inspects one inverted-
+// list entry and decides whether the entry forms a pattern tuple.
+type DecisionFunc func(invlist.Entry) bool
+
+// defaultDecision accepts entries with enough distinct-tuple support whose
+// majority RHS explains at least 1 − MaxViolationRatio of the support.
+func (c Config) defaultDecision() DecisionFunc {
+	return func(e invlist.Entry) bool {
+		if e.Support < c.MinSupport {
+			return false
+		}
+		return e.Confidence() >= 1-c.MaxViolationRatio
+	}
+}
+
+// Result pairs the discovered PFDs with per-candidate diagnostics.
+type Result struct {
+	PFDs []*pfd.PFD
+	// Stats records, per candidate dependency, how many inverted-list
+	// entries were examined and accepted.
+	Stats []CandidateStats
+}
+
+// CandidateStats is the per-candidate diagnostic record.
+type CandidateStats struct {
+	Candidate profile.Candidate
+	Entries   int
+	Accepted  int
+	Coverage  float64
+	Kept      bool
+}
+
+// Discover runs the full Figure 2 algorithm over every candidate
+// dependency of the table.
+func Discover(t *table.Table, cfg Config) (*Result, error) {
+	if cfg.NGramN <= 0 {
+		cfg.NGramN = 3
+	}
+	if cfg.MaxPrefix <= 0 {
+		cfg.MaxPrefix = 8
+	}
+	if cfg.VariableKeyFraction <= 0 {
+		cfg.VariableKeyFraction = 0.9
+	}
+	f := cfg.Decision
+	if f == nil {
+		f = cfg.defaultDecision()
+	}
+	tp := profile.Profile(t)
+	cands := profile.Candidates(tp)
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	type outcome struct {
+		p     *pfd.PFD
+		stats CandidateStats
+		err   error
+	}
+	outs := make([]outcome, len(cands))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p, stats, err := discoverCandidate(t, cands[i], cfg, f)
+				outs[i] = outcome{p: p, stats: stats, err: err}
+			}
+		}()
+	}
+	for i := range cands {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Stats = append(res.Stats, o.stats)
+		if o.p != nil {
+			res.PFDs = append(res.PFDs, o.p)
+		}
+	}
+	return res, nil
+}
+
+// discoverCandidate mines one A → B candidate.
+func discoverCandidate(t *table.Table, cand profile.Candidate, cfg Config, f DecisionFunc) (*pfd.PFD, CandidateStats, error) {
+	stats := CandidateStats{Candidate: cand}
+	lhsVals, err := t.Column(cand.LHS)
+	if err != nil {
+		return nil, stats, err
+	}
+	rhsVals, err := t.Column(cand.RHS)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	if cfg.CleanDMVs {
+		lhsVals, _ = dmv.CleanColumn(lhsVals, dmv.Options{})
+		rhsVals, _ = dmv.CleanColumn(rhsVals, dmv.Options{})
+	}
+
+	useTokens := tokenModeFor(cand, cfg.Mode)
+	list := buildInvertedList(lhsVals, rhsVals, useTokens, cfg)
+	entries := list.Entries()
+	stats.Entries = len(entries)
+
+	tab := tableau.New()
+	accepted := make([]invlist.Entry, 0)
+	for _, e := range entries {
+		if !f(e) {
+			continue
+		}
+		accepted = append(accepted, e)
+	}
+	stats.Accepted = len(accepted)
+
+	// Extensional dedup: several keys can support exactly the same tuple
+	// set with the same RHS (a prefix and the interior n-gram it implies).
+	// Keep one rule per (tuple set, RHS): prefixes beat n-grams, then
+	// higher specificity wins.
+	accepted = dedupeExtensional(accepted, useTokens)
+
+	// Subset dedup: an entry whose supporting tuples are a subset of a
+	// larger accepted entry with the same RHS is extensionally redundant
+	// (<CHEMBL30>… adds nothing over <CHEMBL3>… → Protein). Dropping it
+	// keeps tableaux the size the paper's Figure 4 shows.
+	accepted = dropSubsumedEntries(accepted)
+
+	// Constant rows from accepted entries.
+	rows := make([]tableau.Row, 0, len(accepted))
+	for _, e := range accepted {
+		q, ok := patternTupleFor(e, lhsVals, useTokens)
+		if !ok {
+			continue
+		}
+		rows = append(rows, tableau.Row{
+			LHS:      q,
+			RHS:      e.TopRHS,
+			Support:  e.Support,
+			Position: e.DominantLHSPos,
+		})
+	}
+	// Keep the highest-support rows when capped.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Support != rows[j].Support {
+			return rows[i].Support > rows[j].Support
+		}
+		return rows[i].LHS.String() < rows[j].LHS.String()
+	})
+	if cfg.MaxTableauRows > 0 && len(rows) > cfg.MaxTableauRows {
+		rows = rows[:cfg.MaxTableauRows]
+	}
+	for _, r := range rows {
+		tab.Add(r)
+	}
+
+	// Variable rows: if almost every key of a positional family is
+	// individually functional, the family generalizes to a wildcard rule.
+	if cfg.MineVariable {
+		for _, vr := range mineVariableRows(entries, lhsVals, useTokens, cfg) {
+			tab.Add(vr)
+		}
+	}
+
+	tab.Minimize()
+	tab.Sort()
+	if tab.Empty() {
+		return nil, stats, nil
+	}
+	cov := tab.Coverage(lhsVals)
+	stats.Coverage = cov
+	if cov < cfg.MinCoverage {
+		return nil, stats, nil
+	}
+	stats.Kept = true
+	p := pfd.New(t.Name(), cand.LHS, cand.RHS, tab)
+	p.Coverage = cov
+	p.Source = "discovered"
+	return p, stats, nil
+}
+
+// tokenModeFor resolves ModeAuto per candidate.
+func tokenModeFor(cand profile.Candidate, m Mode) bool {
+	switch m {
+	case ModeTokens:
+		return true
+	case ModeNGrams:
+		return false
+	default:
+		return cand.LHSType == profile.Text
+	}
+}
+
+// buildInvertedList is lines 4–8 of Figure 2. In token mode the keys are
+// tokens of t[A]; in n-gram mode the keys are prefixes (anchored rules
+// like Table 3's `850…`) plus interior n-grams. The RHS value u is the
+// whole of t[B]: Table 3's rules predict complete RHS values, and pairing
+// with whole values keeps multi-token constants like "Los Angeles" intact.
+func buildInvertedList(lhs, rhs []string, useTokens bool, cfg Config) *invlist.List {
+	list := invlist.NewList()
+	for id := range lhs {
+		v := lhs[id]
+		if v == "" {
+			continue
+		}
+		u := rhs[id]
+		if u == "" {
+			// A missing RHS carries no evidence for or against any rule.
+			continue
+		}
+		if useTokens {
+			for _, tok := range tokenize.Tokenize(v) {
+				list.Insert(tok.Text, invlist.Posting{TupleID: id, LHSPos: tok.Pos, RHS: u, RHSPos: 0})
+			}
+			continue
+		}
+		for _, tok := range tokenize.Prefixes(v, cfg.MaxPrefix) {
+			list.Insert(prefixKey(tok.Text), invlist.Posting{TupleID: id, LHSPos: 0, RHS: u, RHSPos: 0})
+		}
+		for _, tok := range tokenize.NGrams(v, cfg.NGramN) {
+			if tok.Pos == 0 {
+				continue // prefix of same length already indexed
+			}
+			list.Insert(gramKey(tok.Text, tok.Pos), invlist.Posting{TupleID: id, LHSPos: tok.Pos, RHS: u, RHSPos: 0})
+		}
+	}
+	return list
+}
+
+// Key namespaces: prefixes and positioned n-grams share one hash map but
+// must not collide ("900" as a prefix vs "900" at position 3).
+func prefixKey(s string) string        { return "p\x00" + s }
+func gramKey(s string, pos int) string { return "g\x00" + s + "\x00" + itoa(pos) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// keyParts recovers the namespace, text and position of an inverted-list
+// key produced by buildInvertedList; token-mode keys are returned as-is.
+func keyParts(key string, useTokens bool) (kind byte, text string, pos int) {
+	if useTokens {
+		return 't', key, -1
+	}
+	if len(key) > 2 && key[1] == 0 {
+		switch key[0] {
+		case 'p':
+			return 'p', key[2:], 0
+		case 'g':
+			rest := key[2:]
+			for i := len(rest) - 1; i >= 0; i-- {
+				if rest[i] == 0 {
+					p := 0
+					for _, c := range rest[i+1:] {
+						p = p*10 + int(c-'0')
+					}
+					return 'g', rest[:i], p
+				}
+			}
+		}
+	}
+	return '?', key, -1
+}
+
+// patternTupleFor is line 12 of Figure 2: turn an accepted entry into a
+// pattern tuple. The construction depends on the key kind:
+//
+//   - token at position 0:   <tok\ >\A*        (λ1-style first-token rule)
+//   - token at position k>0: \A*\ <tok>\A*     (Table 3 D2-style; when the
+//     preceding token always ends with a comma the free prefix becomes
+//     \A*,\ to match the paper's rendering)
+//   - prefix:                <pre>tail         (tail = LCG of supporting
+//     suffixes, e.g. <850>\D{7})
+//   - interior n-gram:       \A{pos}<gram>\A*
+func patternTupleFor(e invlist.Entry, lhsVals []string, useTokens bool) (pattern.Constrained, bool) {
+	kind, text, pos := keyParts(e.Key, useTokens)
+	switch kind {
+	case 't':
+		return tokenPatternTuple(e, text, lhsVals)
+	case 'p':
+		return prefixPatternTuple(e, text, lhsVals)
+	case 'g':
+		if text == "" {
+			return pattern.Constrained{}, false
+		}
+		segs := []pattern.Segment{
+			{Pat: pattern.New(pattern.ClassTok(gentreeAll()).WithCount(pos))},
+			{Pat: pattern.Literal(text), Constrained: true},
+			{Pat: pattern.AnyString()},
+		}
+		q, err := pattern.NewConstrained(segs...)
+		if err != nil {
+			return pattern.Constrained{}, false
+		}
+		return q, true
+	default:
+		return pattern.Constrained{}, false
+	}
+}
+
+func tokenPatternTuple(e invlist.Entry, tok string, lhsVals []string) (pattern.Constrained, bool) {
+	if tok == "" {
+		return pattern.Constrained{}, false
+	}
+	if e.PosPurity < 0.8 {
+		// The token floats between positions; no anchored rule.
+		return pattern.Constrained{}, false
+	}
+	if e.DominantLHSPos == 0 {
+		// First-token rule. If every supporting value is exactly the
+		// token, constrain the whole value; otherwise token + separator.
+		allWhole := true
+		for _, p := range e.Postings {
+			if p.LHSPos == 0 && lhsVals[p.TupleID] != tok {
+				allWhole = false
+				break
+			}
+		}
+		if allWhole {
+			return pattern.WholeValue(pattern.Literal(tok)), true
+		}
+		q, err := pattern.NewConstrained(
+			pattern.Segment{Pat: pattern.Literal(tok + " "), Constrained: true},
+			pattern.Segment{Pat: pattern.AnyString()},
+		)
+		if err != nil {
+			return pattern.Constrained{}, false
+		}
+		return q, true
+	}
+	// Interior token: free prefix, constrained token, free suffix. Render
+	// the paper's `\A*,\ tok\A*` shape when the token always follows a
+	// comma-terminated token, and drop the trailing \A* when the token is
+	// always value-final (Table 3's `\A*,\ David` row has no tail).
+	prefix := pattern.AnyString().Concat(pattern.Literal(" "))
+	if alwaysAfterComma(e, lhsVals, tok) {
+		prefix = pattern.AnyString().Concat(pattern.Literal(", "))
+	}
+	segs := []pattern.Segment{
+		{Pat: prefix},
+		{Pat: pattern.Literal(tok), Constrained: true},
+	}
+	if !alwaysValueFinal(e, lhsVals, tok) {
+		segs = append(segs, pattern.Segment{Pat: pattern.AnyString()})
+	}
+	q, err := pattern.NewConstrained(segs...)
+	if err != nil {
+		return pattern.Constrained{}, false
+	}
+	return q, true
+}
+
+// alwaysValueFinal reports whether the token ends every supporting value.
+func alwaysValueFinal(e invlist.Entry, lhsVals []string, tok string) bool {
+	checked := 0
+	for _, p := range e.Postings {
+		v := lhsVals[p.TupleID]
+		if len(v) < len(tok) || v[len(v)-len(tok):] != tok {
+			return false
+		}
+		checked++
+		if checked >= 64 {
+			break
+		}
+	}
+	return checked > 0
+}
+
+// alwaysAfterComma samples supporting values and reports whether the
+// character immediately before the token's occurrences is always ", ".
+func alwaysAfterComma(e invlist.Entry, lhsVals []string, tok string) bool {
+	checked := 0
+	for _, p := range e.Postings {
+		v := lhsVals[p.TupleID]
+		toks := tokenize.Tokenize(v)
+		if p.LHSPos >= len(toks) || toks[p.LHSPos].Text != tok {
+			continue
+		}
+		if p.LHSPos == 0 {
+			return false
+		}
+		prev := toks[p.LHSPos-1].Text
+		if len(prev) == 0 || prev[len(prev)-1] != ',' {
+			return false
+		}
+		checked++
+		if checked >= 32 {
+			break
+		}
+	}
+	return checked > 0
+}
+
+// prefixPatternTuple builds <prefix>tail where tail generalizes the
+// suffixes of the supporting values.
+func prefixPatternTuple(e invlist.Entry, prefix string, lhsVals []string) (pattern.Constrained, bool) {
+	if prefix == "" {
+		return pattern.Constrained{}, false
+	}
+	var suffixes []string
+	seen := map[string]bool{}
+	for _, p := range e.Postings {
+		v := lhsVals[p.TupleID]
+		if len(v) < len(prefix) || v[:len(prefix)] != prefix {
+			continue
+		}
+		sfx := v[len(prefix):]
+		if !seen[sfx] {
+			seen[sfx] = true
+			suffixes = append(suffixes, sfx)
+		}
+	}
+	sort.Strings(suffixes)
+	var tail pattern.Pattern
+	switch {
+	case len(suffixes) == 0:
+		return pattern.Constrained{}, false
+	case len(suffixes) == 1 && suffixes[0] == "":
+		// The prefix is the whole value.
+		return pattern.WholeValue(pattern.Literal(prefix)), true
+	default:
+		tail = pattern.LCGAll(suffixes)
+		// Degrade all-literal tails (a single distinct suffix) to their
+		// class-run shape so the rule generalizes beyond the sample.
+		if len(suffixes) == 1 {
+			tail = pattern.Generalize(suffixes[0], pattern.LevelClassRun)
+		}
+	}
+	return pattern.PrefixKey(pattern.Literal(prefix), tail.Normalize()), true
+}
+
+// dedupeExtensional keeps one accepted entry per (supporting tuple set,
+// majority RHS). Interior n-grams implied by a prefix ("060" at position 1
+// inside every "6060…" zip) duplicate the prefix rule's extension and are
+// dropped in its favour.
+func dedupeExtensional(entries []invlist.Entry, useTokens bool) []invlist.Entry {
+	type best struct {
+		e    invlist.Entry
+		rank int
+	}
+	rankOf := func(e invlist.Entry) int {
+		kind, text, _ := keyParts(e.Key, useTokens)
+		switch kind {
+		case 't':
+			return 3
+		case 'p':
+			// Among extensionally equal rules, the longer prefix anchors
+			// more of the key without changing the matched set ("850"
+			// beats "85" when every 85x is 850).
+			return 2_000 + len(text)
+		default:
+			return 1
+		}
+	}
+	byExt := make(map[string]*best)
+	var order []string
+	for _, e := range entries {
+		ids := make([]int, 0, len(e.Postings))
+		seen := map[int]bool{}
+		for _, p := range e.Postings {
+			if !seen[p.TupleID] {
+				seen[p.TupleID] = true
+				ids = append(ids, p.TupleID)
+			}
+		}
+		sort.Ints(ids)
+		var sb []byte
+		for _, id := range ids {
+			sb = append(sb, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		key := e.TopRHS + "\x00" + string(sb)
+		r := rankOf(e)
+		if b, ok := byExt[key]; !ok {
+			byExt[key] = &best{e: e, rank: r}
+			order = append(order, key)
+		} else if r > b.rank || (r == b.rank && e.Key < b.e.Key) {
+			b.e, b.rank = e, r
+		}
+	}
+	out := make([]invlist.Entry, 0, len(order))
+	for _, k := range order {
+		out = append(out, byExt[k].e)
+	}
+	return out
+}
+
+// dropSubsumedEntries removes accepted entries whose distinct-tuple set
+// is a strict subset of another accepted entry with the same majority
+// RHS. Entries are processed largest-first so survivors are the most
+// general rules.
+func dropSubsumedEntries(entries []invlist.Entry) []invlist.Entry {
+	type holder struct {
+		e   invlist.Entry
+		ids map[int]bool
+	}
+	hs := make([]holder, 0, len(entries))
+	for _, e := range entries {
+		ids := make(map[int]bool, len(e.Postings))
+		for _, p := range e.Postings {
+			ids[p.TupleID] = true
+		}
+		hs = append(hs, holder{e: e, ids: ids})
+	}
+	sort.SliceStable(hs, func(i, j int) bool {
+		if len(hs[i].ids) != len(hs[j].ids) {
+			return len(hs[i].ids) > len(hs[j].ids)
+		}
+		return hs[i].e.Key < hs[j].e.Key
+	})
+	keptByRHS := make(map[string][]map[int]bool)
+	var out []invlist.Entry
+	for _, h := range hs {
+		subsumed := false
+		for _, big := range keptByRHS[h.e.TopRHS] {
+			if len(h.ids) > len(big) {
+				continue
+			}
+			all := true
+			for id := range h.ids {
+				if !big[id] {
+					all = false
+					break
+				}
+			}
+			if all {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			continue
+		}
+		keptByRHS[h.e.TopRHS] = append(keptByRHS[h.e.TopRHS], h.ids)
+		out = append(out, h.e)
+	}
+	return out
+}
+
+// mineVariableRows looks for positional key families that are uniformly
+// functional and emits wildcard rows:
+//
+//   - token families: all accepted first-token keys generalize to
+//     <\LU\LL*\ >\A* → ⊥ (λ4) when they share that shape;
+//   - prefix families: all length-L prefixes whose entries are functional
+//     generalize to <\D{L}>tail → ⊥ (λ5).
+func mineVariableRows(entries []invlist.Entry, lhsVals []string, useTokens bool, cfg Config) []tableau.Row {
+	minConf := 1 - cfg.MaxViolationRatio
+	if useTokens {
+		return variableTokenRow(entries, lhsVals, cfg, minConf)
+	}
+	return variablePrefixRows(entries, lhsVals, cfg, minConf)
+}
+
+func variableTokenRow(entries []invlist.Entry, lhsVals []string, cfg Config, minConf float64) []tableau.Row {
+	var keys []string
+	good, total, support := 0, 0, 0
+	for _, e := range entries {
+		kind, text, _ := keyParts(e.Key, true)
+		if kind != 't' || e.DominantLHSPos != 0 || e.Support < cfg.MinSupport {
+			continue
+		}
+		total++
+		if e.Confidence() >= minConf {
+			good++
+			support += e.Support
+			keys = append(keys, text)
+		}
+	}
+	if total == 0 || float64(good)/float64(total) < cfg.VariableKeyFraction || len(keys) < 2 {
+		return nil
+	}
+	gen := pattern.LCGAll(keys)
+	gen = openRunsOf(gen)
+	q, err := pattern.NewConstrained(
+		pattern.Segment{Pat: gen.Concat(pattern.Literal(" ")), Constrained: true},
+		pattern.Segment{Pat: pattern.AnyString()},
+	)
+	if err != nil {
+		return nil
+	}
+	return []tableau.Row{{LHS: q, RHS: tableau.Wildcard, Support: support}}
+}
+
+func variablePrefixRows(entries []invlist.Entry, lhsVals []string, cfg Config, minConf float64) []tableau.Row {
+	// Group prefix entries by length.
+	type fam struct {
+		good, total, support int
+		prefixes             []string
+		tails                []string
+	}
+	fams := map[int]*fam{}
+	for _, e := range entries {
+		kind, text, _ := keyParts(e.Key, false)
+		if kind != 'p' || e.Support < cfg.MinSupport {
+			continue
+		}
+		L := len([]rune(text))
+		f := fams[L]
+		if f == nil {
+			f = &fam{}
+			fams[L] = f
+		}
+		f.total++
+		if e.Confidence() >= minConf {
+			f.good++
+			f.support += e.Support
+			f.prefixes = append(f.prefixes, text)
+			for _, p := range e.Postings {
+				v := lhsVals[p.TupleID]
+				if len(v) >= len(text) && v[:len(text)] == text {
+					f.tails = append(f.tails, v[len(text):])
+					break
+				}
+			}
+		}
+	}
+	var lens []int
+	for L := range fams {
+		lens = append(lens, L)
+	}
+	sort.Ints(lens)
+	var out []tableau.Row
+	for _, L := range lens {
+		f := fams[L]
+		if f.total < 2 || float64(f.good)/float64(f.total) < cfg.VariableKeyFraction || len(f.prefixes) < 2 {
+			continue
+		}
+		keyPat := pattern.LCGAll(f.prefixes).Normalize()
+		if keyPat.HasUnbounded() {
+			continue // variable-length keys do not form a positional family
+		}
+		tail := pattern.LCGAll(dedupStrings(f.tails)).Normalize()
+		q := pattern.PrefixKey(keyPat, tail)
+		out = append(out, tableau.Row{LHS: q, RHS: tableau.Wildcard, Support: f.support})
+		break // the shortest functional family is the most general rule
+	}
+	return out
+}
+
+func dedupStrings(ss []string) []string {
+	seen := map[string]bool{}
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// openRunsOf widens literal-heavy LCG results (e.g. `\LU\LL{3}`) to the
+// open form (`\LU\LL*`) used by the paper's variable rules. A first-name
+// key family has a fixed capital plus a variable-length lower-case run.
+func openRunsOf(p pattern.Pattern) pattern.Pattern {
+	toks := p.Tokens()
+	var out []pattern.Token
+	for _, t := range toks {
+		if t.IsClass && (t.Quant == pattern.Exactly || t.Quant == pattern.Plus) {
+			out = append(out, pattern.ClassTok(t.Class).WithQuant(pattern.Star))
+			continue
+		}
+		if !t.IsClass && t.Quant == pattern.One {
+			// Literal positions inside a mined key family collapse to
+			// their class: the family members differ there.
+			out = append(out, t)
+			continue
+		}
+		out = append(out, t)
+	}
+	return normalizeFamily(pattern.New(out...))
+}
+
+// normalizeFamily converts a mixed literal/class key pattern into the
+// canonical \LU\LL* name shape when it is letter-like; otherwise returns
+// it unchanged.
+func normalizeFamily(p pattern.Pattern) pattern.Pattern {
+	toks := p.Tokens()
+	if len(toks) == 0 {
+		return p
+	}
+	letterish := true
+	for _, t := range toks {
+		c := t.Class
+		if !t.IsClass {
+			c = classOfRune(t.Lit)
+		}
+		if c != upperClass() && c != lowerClass() {
+			letterish = false
+			break
+		}
+	}
+	if !letterish {
+		return p
+	}
+	return pattern.New(
+		pattern.ClassTok(upperClass()),
+		pattern.ClassTok(lowerClass()).WithQuant(pattern.Star),
+	)
+}

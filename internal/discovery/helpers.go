@@ -1,0 +1,11 @@
+package discovery
+
+import "github.com/anmat/anmat/internal/gentree"
+
+// Small indirections keeping discovery.go readable without importing
+// gentree at every call site.
+
+func gentreeAll() gentree.Class        { return gentree.All }
+func upperClass() gentree.Class        { return gentree.Upper }
+func lowerClass() gentree.Class        { return gentree.Lower }
+func classOfRune(r rune) gentree.Class { return gentree.ClassOf(r) }

@@ -1,0 +1,169 @@
+package dmv
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestIsPlaceholderSyntax(t *testing.T) {
+	yes := []string{
+		"N/A", "n/a", "NULL", "None", "unknown", "TBD", "-", "---",
+		"?", "...", "xxx", "XXXX", "aaaa", "#####", "99999", "-999",
+		"  ", "", "Not Available",
+	}
+	for _, v := range yes {
+		if !IsPlaceholderSyntax(v) {
+			t.Errorf("IsPlaceholderSyntax(%q) = false", v)
+		}
+	}
+	no := []string{
+		"Chicago", "90001", "John", "F-9-107", "ab", "x1", "0", "12",
+		"Los Angeles", "M",
+	}
+	for _, v := range no {
+		if IsPlaceholderSyntax(v) {
+			t.Errorf("IsPlaceholderSyntax(%q) = true", v)
+		}
+	}
+}
+
+func zipColumnWithDMVs(n int, seed int64) ([]string, map[string]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	var out []string
+	dmvs := map[string]bool{"N/A": true, "99999": true, "UNKNOWN": true}
+	for i := 0; i < n; i++ {
+		switch {
+		case i%97 == 0:
+			out = append(out, "N/A")
+		case i%131 == 0:
+			out = append(out, "UNKNOWN")
+		case i%151 == 0:
+			out = append(out, "99999")
+		default:
+			out = append(out, fmt.Sprintf("%05d", 10000+rng.Intn(80000)))
+		}
+	}
+	return out, dmvs
+}
+
+func TestDetectFindsClassicDMVs(t *testing.T) {
+	values, want := zipColumnWithDMVs(3000, 5)
+	suspects := Detect(values, Options{})
+	found := map[string]bool{}
+	for _, s := range suspects {
+		found[s.Value] = true
+		if len(s.Rows) == 0 || s.Score <= 0 {
+			t.Errorf("suspect %q has no rows/score", s.Value)
+		}
+	}
+	for v := range want {
+		if !found[v] {
+			t.Errorf("DMV %q not detected; suspects: %v", v, suspects)
+		}
+	}
+}
+
+func TestDetectNoFalsePositivesOnCleanCategorical(t *testing.T) {
+	// A clean 2-value gender column must not be flagged (the majority
+	// class is not a spike in a low-cardinality column).
+	var values []string
+	for i := 0; i < 1000; i++ {
+		if i%3 == 0 {
+			values = append(values, "F")
+		} else {
+			values = append(values, "M")
+		}
+	}
+	if suspects := Detect(values, Options{}); len(suspects) != 0 {
+		t.Errorf("clean categorical column flagged: %v", suspects)
+	}
+}
+
+func TestDetectSpike(t *testing.T) {
+	// High-cardinality column where one non-placeholder value dominates.
+	var values []string
+	for i := 0; i < 500; i++ {
+		values = append(values, "DEFAULTCITY")
+	}
+	for i := 0; i < 40; i++ {
+		values = append(values, fmt.Sprintf("City%02d", i))
+	}
+	suspects := Detect(values, Options{})
+	found := false
+	for _, s := range suspects {
+		if s.Value == "DEFAULTCITY" && strings.Contains(s.Reason, "spike") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("spike not detected: %v", suspects)
+	}
+}
+
+func TestDetectSignatureOutlier(t *testing.T) {
+	// A free-text sentinel that is NOT in the curated list ("SINZIP" is
+	// made up) must still surface through the rare-signature channel in
+	// an otherwise all-digit column.
+	rng := rand.New(rand.NewSource(6))
+	var values []string
+	for i := 0; i < 2000; i++ {
+		if i%400 == 0 {
+			values = append(values, "SINZIP")
+		} else {
+			values = append(values, fmt.Sprintf("%05d", 10000+rng.Intn(80000)))
+		}
+	}
+	suspects := Detect(values, Options{})
+	sawOutlier := false
+	for _, s := range suspects {
+		if s.Value == "SINZIP" && strings.Contains(s.Reason, "signature outlier") {
+			sawOutlier = true
+		}
+	}
+	if !sawOutlier {
+		t.Errorf("no signature outliers among %v", suspects)
+	}
+}
+
+func TestDetectEmpty(t *testing.T) {
+	if s := Detect(nil, Options{}); s != nil {
+		t.Errorf("nil input suspects = %v", s)
+	}
+	if s := Detect([]string{"", "", ""}, Options{}); s != nil {
+		t.Errorf("all-empty suspects = %v", s)
+	}
+}
+
+func TestCleanColumn(t *testing.T) {
+	values, want := zipColumnWithDMVs(2000, 7)
+	cleaned, suspects := CleanColumn(values, Options{})
+	if len(suspects) == 0 {
+		t.Fatal("no suspects")
+	}
+	for i, v := range cleaned {
+		if want[values[i]] && v != "" {
+			t.Errorf("row %d: DMV %q not blanked", i, values[i])
+		}
+		if !want[values[i]] && v != values[i] {
+			t.Errorf("row %d: clean value %q changed to %q", i, values[i], v)
+		}
+	}
+	// No suspects → same slice back.
+	clean := []string{"90001", "90002"}
+	got, s := CleanColumn(clean, Options{})
+	if len(s) != 0 || &got[0] != &clean[0] {
+		t.Error("clean column should pass through unchanged")
+	}
+}
+
+func TestSuspectsSortedByScore(t *testing.T) {
+	values, _ := zipColumnWithDMVs(2000, 8)
+	suspects := Detect(values, Options{})
+	for i := 1; i < len(suspects); i++ {
+		if suspects[i].Score > suspects[i-1].Score {
+			t.Fatal("suspects not sorted by score")
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTable3D1(t *testing.T) {
+	rep, err := Table3D1(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Errorf("expected 5 example rules, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Rule == "" {
+			t.Error("empty rule row")
+		}
+	}
+	if rep.Recall < 0.95 {
+		t.Errorf("recall = %.2f, want ≥0.95", rep.Recall)
+	}
+	if rep.Precision < 0.95 {
+		t.Errorf("precision = %.2f, want ≥0.95", rep.Precision)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "850") {
+		t.Errorf("report missing 850 rule:\n%s", buf.String())
+	}
+}
+
+func TestTable3D2(t *testing.T) {
+	rep, err := Table3D2(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 5 {
+		t.Errorf("expected the 5 Table 3 names, got %d", len(rep.Rows))
+	}
+	if rep.Recall < 0.9 {
+		t.Errorf("recall = %.2f", rep.Recall)
+	}
+}
+
+func TestTable3D5(t *testing.T) {
+	city, err := Table3D5City(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.Recall < 0.9 {
+		t.Errorf("city recall = %.2f", city.Recall)
+	}
+	state, err := Table3D5State(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Recall < 0.9 {
+		t.Errorf("state recall = %.2f", state.Recall)
+	}
+}
+
+func TestSweepCoverageMonotone(t *testing.T) {
+	rep, err := SweepCoverage(3000, []float64{0.01, 0.1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	// Higher γ can only prune PFDs.
+	for i := 1; i < len(rep.Points); i++ {
+		if rep.Points[i].PFDs > rep.Points[i-1].PFDs {
+			t.Errorf("PFD count increased with γ: %+v", rep.Points)
+		}
+	}
+}
+
+func TestSweepViolationsImprovesRecall(t *testing.T) {
+	// At ρ=0 the short area-code prefixes (which contain the injected
+	// errors) are rejected and only long clean prefixes survive, missing
+	// errors; loosening ρ restores the general rules and recall rises.
+	rep, err := SweepViolations(3000, []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points[1].Recall < rep.Points[0].Recall {
+		t.Errorf("looser ρ should not lose recall: %+v", rep.Points)
+	}
+	if rep.Points[1].Recall < 0.9 {
+		t.Errorf("recall at ρ=0.1 = %.2f", rep.Points[1].Recall)
+	}
+}
+
+func TestAblationBlockingSpeedup(t *testing.T) {
+	rep, err := AblationBlocking([]int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Points[0]
+	if p.Naive <= p.Optimized {
+		t.Errorf("blocking should beat quadratic at n=2000: opt=%v naive=%v", p.Optimized, p.Naive)
+	}
+}
+
+func TestBaselinePhoneBlindSpot(t *testing.T) {
+	rep, err := BaselinePhone(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected == 0 {
+		t.Fatal("no injected errors")
+	}
+	if rep.PFDCaught == 0 {
+		t.Error("PFDs caught nothing")
+	}
+	// The headline: whole-value FDs are (nearly) blind because phone
+	// numbers are unique.
+	if rep.FDCaught >= rep.PFDCaught {
+		t.Errorf("FD should catch fewer: fd=%d pfd=%d", rep.FDCaught, rep.PFDCaught)
+	}
+	if rep.PFDOnlyRows == 0 {
+		t.Error("no PFD-only errors — the paper's claim fails")
+	}
+}
+
+func TestScaleDiscovery(t *testing.T) {
+	rep, err := ScaleDiscovery([]int{300, 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 || rep.Points[0].PFDCount == 0 {
+		t.Errorf("scale report = %+v", rep.Points)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "token mode") {
+		t.Error("report header missing")
+	}
+}
+
+func TestAblationIndexSmall(t *testing.T) {
+	rep, err := AblationIndex([]int{1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Rows != 1500 {
+		t.Fatalf("points = %+v", rep.Points)
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("report header missing")
+	}
+}
+
+func TestTable3Chembl(t *testing.T) {
+	rep, err := Table3Chembl(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recall < 0.9 || rep.Precision < 0.9 {
+		t.Errorf("chembl quality: recall=%.2f precision=%.2f", rep.Recall, rep.Precision)
+	}
+	if len(rep.Rows) == 0 {
+		t.Error("no example rules")
+	}
+}
+
+func TestDecisionAblationSmall(t *testing.T) {
+	rep, err := DecisionAblation(2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %+v", rep.Rows)
+	}
+	for _, r := range rep.Rows {
+		if r.Rules == 0 {
+			t.Errorf("%s found no rules", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "wilson") {
+		t.Error("wilson row missing")
+	}
+}
+
+func TestRegistryAblationAndScaling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "ablation", 1200); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "blocking vs quadratic") {
+		t.Errorf("ablation output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Run(&buf, "scaling", 1200); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Discovery scaling") {
+		t.Errorf("scaling output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Run(&buf, "baseline", 1500); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fd_holds_on_dirty") {
+		t.Errorf("baseline output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Run(&buf, "param-sweep", 1200); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Run(&buf, "chembl", 2000); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	for _, id := range []string{"table3-d2", "table3-d5state", "decision-ablation"} {
+		if err := Run(&buf, id, 2000); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRunRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "table3-d1", 2000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 3 block") {
+		t.Errorf("run output:\n%s", buf.String())
+	}
+	if err := Run(&buf, "nope", 100); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	names := Names()
+	if len(names) < 7 {
+		t.Errorf("Names = %v", names)
+	}
+}

@@ -1,0 +1,78 @@
+package fd
+
+import (
+	"sort"
+
+	"github.com/anmat/anmat/internal/table"
+)
+
+// CFDConfig controls constant-CFD discovery.
+type CFDConfig struct {
+	// MinSupport is the minimum number of rows sharing the LHS value.
+	MinSupport int
+	// MaxViolationRatio is the tolerated disagreement within a group.
+	MaxViolationRatio float64
+}
+
+// DiscoverCFDs mines constant conditional functional dependencies: for
+// every column pair (A, B), each frequent A-value whose rows agree on a
+// majority B-value within the violation budget becomes a tableau row
+// (a → b). This is the strongest whole-value baseline: strictly more
+// expressive than plain FDs, still blind to partial-value structure.
+func DiscoverCFDs(t *table.Table, cfg CFDConfig) []CFD {
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 4
+	}
+	cols := t.Columns()
+	var out []CFD
+	for ai, a := range cols {
+		for bi, b := range cols {
+			if a == b {
+				continue
+			}
+			rows := mineCFDRows(t, ai, bi, cfg)
+			if len(rows) > 0 {
+				out = append(out, CFD{LHS: a, RHS: b, Rows: rows})
+			}
+		}
+	}
+	return out
+}
+
+func mineCFDRows(t *table.Table, ai, bi int, cfg CFDConfig) []CFDRow {
+	groups := make(map[string]map[string]int)
+	for r := 0; r < t.NumRows(); r++ {
+		a, b := t.Cell(r, ai), t.Cell(r, bi)
+		if a == "" {
+			continue
+		}
+		if groups[a] == nil {
+			groups[a] = make(map[string]int)
+		}
+		groups[a][b]++
+	}
+	var keys []string
+	for a := range groups {
+		keys = append(keys, a)
+	}
+	sort.Strings(keys)
+	var rows []CFDRow
+	for _, a := range keys {
+		counts := groups[a]
+		total, maj, majN := 0, "", -1
+		for b, c := range counts {
+			total += c
+			if c > majN || (c == majN && b < maj) {
+				maj, majN = b, c
+			}
+		}
+		if total < cfg.MinSupport {
+			continue
+		}
+		if float64(total-majN)/float64(total) > cfg.MaxViolationRatio {
+			continue
+		}
+		rows = append(rows, CFDRow{LHSVal: a, RHSVal: maj})
+	}
+	return rows
+}

@@ -1,0 +1,85 @@
+package fd
+
+import (
+	"testing"
+
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/table"
+)
+
+func findCFD(cfds []CFD, lhs, rhs string) *CFD {
+	for i := range cfds {
+		if cfds[i].LHS == lhs && cfds[i].RHS == rhs {
+			return &cfds[i]
+		}
+	}
+	return nil
+}
+
+func TestDiscoverCFDsBasic(t *testing.T) {
+	tb := table.MustNew("t", []string{"city", "state"})
+	for i := 0; i < 5; i++ {
+		tb.MustAppend("Chicago", "IL")
+		tb.MustAppend("Boston", "MA")
+	}
+	tb.MustAppend("Chicago", "WI") // one dirty row
+
+	cfds := DiscoverCFDs(tb, CFDConfig{MinSupport: 4, MaxViolationRatio: 0.2})
+	c := findCFD(cfds, "city", "state")
+	if c == nil {
+		t.Fatal("no city→state CFD")
+	}
+	want := map[string]string{"Chicago": "IL", "Boston": "MA"}
+	if len(c.Rows) != 2 {
+		t.Fatalf("rows = %+v", c.Rows)
+	}
+	for _, r := range c.Rows {
+		if want[r.LHSVal] != r.RHSVal {
+			t.Errorf("row %v, want %q", r, want[r.LHSVal])
+		}
+	}
+	// Checking the mined CFD flags the dirty row.
+	vs, err := CheckCFD(tb, *c)
+	if err != nil || len(vs) != 1 || vs[0].RHSJ != "WI" {
+		t.Errorf("CFD check = %+v, %v", vs, err)
+	}
+}
+
+func TestDiscoverCFDsRespectsSupport(t *testing.T) {
+	tb := table.MustNew("t", []string{"a", "b"})
+	tb.MustAppend("x", "1")
+	tb.MustAppend("x", "1")
+	tb.MustAppend("y", "2")
+	cfds := DiscoverCFDs(tb, CFDConfig{MinSupport: 3, MaxViolationRatio: 0})
+	if findCFD(cfds, "a", "b") != nil {
+		t.Error("groups below support should not form rows")
+	}
+}
+
+func TestDiscoverCFDsRespectsViolationBudget(t *testing.T) {
+	tb := table.MustNew("t", []string{"a", "b"})
+	for i := 0; i < 6; i++ {
+		tb.MustAppend("x", "1")
+	}
+	tb.MustAppend("x", "2")
+	tb.MustAppend("x", "3")
+	strict := DiscoverCFDs(tb, CFDConfig{MinSupport: 4, MaxViolationRatio: 0})
+	if findCFD(strict, "a", "b") != nil {
+		t.Error("strict budget should reject the dirty group")
+	}
+	loose := DiscoverCFDs(tb, CFDConfig{MinSupport: 4, MaxViolationRatio: 0.3})
+	if findCFD(loose, "a", "b") == nil {
+		t.Error("loose budget should keep the group")
+	}
+}
+
+// The PFD-vs-CFD contrast: CFDs mined over whole phone numbers get one
+// row per distinct phone (no support) and therefore mine nothing, while
+// PFD discovery finds the area-code rules (covered in experiments).
+func TestCFDBlindSpotOnCodes(t *testing.T) {
+	ds := datagen.PhoneState(2000, 0.005, 17)
+	cfds := DiscoverCFDs(ds.Table, CFDConfig{MinSupport: 4, MaxViolationRatio: 0.02})
+	if c := findCFD(cfds, "phone", "state"); c != nil && len(c.Rows) > 2 {
+		t.Errorf("whole-value CFDs should find (almost) nothing on unique phones, got %d rows", len(c.Rows))
+	}
+}

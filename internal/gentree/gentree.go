@@ -1,0 +1,162 @@
+// Package gentree implements the generalization tree of Figure 1 in the
+// ANMAT paper: a fixed lattice over an alphabet in which each leaf is a
+// concrete character and each internal node is a character class that
+// generalizes its children.
+//
+// The tree has three levels above the leaves:
+//
+//	All [\A]
+//	├── Upper  [\LU]  A–Z
+//	├── Lower  [\LL]  a–z
+//	├── Digit  [\D]   0–9
+//	└── Symbol [\S]   everything else (punctuation, space, …)
+//
+// The empty string ε is represented at the pattern layer, not here.
+package gentree
+
+import "fmt"
+
+// Class identifies a node in the generalization tree. Leaf characters are
+// not Classes; they generalize to one of the four level-1 classes, which in
+// turn generalize to All.
+type Class uint8
+
+// The character classes of the generalization tree, ordered so that more
+// specific classes have smaller values (useful for deterministic output).
+const (
+	// Upper is the class of upper-case ASCII letters, written \LU.
+	Upper Class = iota
+	// Lower is the class of lower-case ASCII letters, written \LL.
+	Lower
+	// Digit is the class of decimal digits, written \D.
+	Digit
+	// Symbol is the class of every other character, written \S.
+	Symbol
+	// All is the root of the tree and matches any character, written \A.
+	All
+	numClasses
+)
+
+// NumClasses is the number of distinct classes in the tree.
+const NumClasses = int(numClasses)
+
+// String returns the pattern-language spelling of the class.
+func (c Class) String() string {
+	switch c {
+	case Upper:
+		return `\LU`
+	case Lower:
+		return `\LL`
+	case Digit:
+		return `\D`
+	case Symbol:
+		return `\S`
+	case All:
+		return `\A`
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Name returns a human-readable name for the class, matching Figure 1.
+func (c Class) Name() string {
+	switch c {
+	case Upper:
+		return "Upper"
+	case Lower:
+		return "Lower"
+	case Digit:
+		return "Digit"
+	case Symbol:
+		return "Symbol"
+	case All:
+		return "All"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c is one of the defined classes.
+func (c Class) Valid() bool { return c < numClasses }
+
+// ClassOf returns the level-1 class of a character: the parent of the leaf
+// r in the generalization tree.
+func ClassOf(r rune) Class {
+	switch {
+	case r >= 'A' && r <= 'Z':
+		return Upper
+	case r >= 'a' && r <= 'z':
+		return Lower
+	case r >= '0' && r <= '9':
+		return Digit
+	default:
+		return Symbol
+	}
+}
+
+// Parent returns the parent class of c in the tree. The parent of All is
+// All itself (the root is its own fixed point), which makes repeated
+// generalization terminate.
+func (c Class) Parent() Class {
+	if c == All {
+		return All
+	}
+	return All
+}
+
+// Contains reports whether class c generalizes class d, i.e. every
+// character in d is also in c. A class contains itself.
+func (c Class) Contains(d Class) bool {
+	if c == d {
+		return true
+	}
+	return c == All
+}
+
+// Matches reports whether the character r belongs to class c.
+func (c Class) Matches(r rune) bool {
+	if c == All {
+		return true
+	}
+	return ClassOf(r) == c
+}
+
+// LCG returns the least common generalization of two classes: the lowest
+// node in the tree that contains both.
+func LCG(a, b Class) Class {
+	if a == b {
+		return a
+	}
+	return All
+}
+
+// LCGRunes returns the least common generalization of two characters. Two
+// equal characters generalize to themselves conceptually; this function
+// operates at the class layer and returns the lowest class containing both.
+func LCGRunes(a, b rune) Class {
+	return LCG(ClassOf(a), ClassOf(b))
+}
+
+// Classes returns all classes from most specific to most general.
+func Classes() []Class {
+	return []Class{Upper, Lower, Digit, Symbol, All}
+}
+
+// ParseClass parses a pattern-language class spelling such as `\LU`.
+// It returns the class and true on success.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case `\LU`:
+		return Upper, true
+	case `\LL`:
+		return Lower, true
+	case `\D`:
+		return Digit, true
+	case `\S`:
+		return Symbol, true
+	case `\A`:
+		return All, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,63 @@
+package invlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property: per-entry accounting — Support equals the number of distinct
+// tuples, RHS counts sum to the number of distinct (tuple, RHS) pairs,
+// and Confidence is TopCount/Support ∈ (0, 1].
+func TestEntryAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		l := NewList()
+		type pair struct {
+			tup int
+			rhs string
+		}
+		wantTuples := map[string]map[int]bool{}
+		wantPairs := map[string]map[pair]bool{}
+		nPost := 1 + rng.Intn(60)
+		for i := 0; i < nPost; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(5))
+			p := Posting{
+				TupleID: rng.Intn(20),
+				LHSPos:  rng.Intn(3),
+				RHS:     fmt.Sprintf("v%d", rng.Intn(4)),
+			}
+			l.Insert(key, p)
+			if wantTuples[key] == nil {
+				wantTuples[key] = map[int]bool{}
+				wantPairs[key] = map[pair]bool{}
+			}
+			wantTuples[key][p.TupleID] = true
+			wantPairs[key][pair{p.TupleID, p.RHS}] = true
+		}
+		for _, key := range l.Keys() {
+			e := l.Analyze(key)
+			if e.Support != len(wantTuples[key]) {
+				t.Fatalf("key %s: Support=%d want %d", key, e.Support, len(wantTuples[key]))
+			}
+			sum := 0
+			for _, c := range e.RHSCounts {
+				sum += c
+			}
+			if sum != len(wantPairs[key]) {
+				t.Fatalf("key %s: RHS counts sum %d want %d", key, sum, len(wantPairs[key]))
+			}
+			if c := e.Confidence(); c <= 0 || c > 1 {
+				t.Fatalf("key %s: confidence %f out of range", key, c)
+			}
+			if e.RHSCounts[e.TopRHS] != e.TopCount {
+				t.Fatalf("key %s: TopRHS bookkeeping wrong", key)
+			}
+			for _, c := range e.RHSCounts {
+				if c > e.TopCount {
+					t.Fatalf("key %s: TopCount not maximal", key)
+				}
+			}
+		}
+	}
+}

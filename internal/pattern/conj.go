@@ -1,0 +1,245 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Conj is the conjunction operator of the paper's pattern definition
+// ("α & β is the logical and of α and β"): a string matches the
+// conjunction iff it matches every conjunct. The language is the
+// intersection of the conjunct languages.
+type Conj struct {
+	pats []Pattern
+}
+
+// NewConj builds a conjunction. Zero conjuncts give the universal
+// language (an empty intersection).
+func NewConj(ps ...Pattern) Conj {
+	cp := make([]Pattern, len(ps))
+	copy(cp, ps)
+	return Conj{pats: cp}
+}
+
+// ParseConj parses "α&β&…" where & separates conjuncts (escape a literal
+// ampersand as \&; the sub-patterns use the ordinary pattern syntax).
+func ParseConj(s string) (Conj, error) {
+	var parts []string
+	var cur strings.Builder
+	rs := []rune(s)
+	for i := 0; i < len(rs); i++ {
+		switch {
+		case rs[i] == '\\' && i+1 < len(rs) && rs[i+1] == '&':
+			cur.WriteString(`\&`)
+			i++
+		case rs[i] == '&':
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(rs[i])
+		}
+	}
+	parts = append(parts, cur.String())
+	var pats []Pattern
+	for _, part := range parts {
+		if part == "" {
+			return Conj{}, fmt.Errorf("conjunction %q: empty conjunct", s)
+		}
+		p, err := Parse(part)
+		if err != nil {
+			return Conj{}, err
+		}
+		pats = append(pats, p)
+	}
+	return NewConj(pats...), nil
+}
+
+// MustParseConj is ParseConj that panics on error.
+func MustParseConj(s string) Conj {
+	c, err := ParseConj(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Conjuncts returns a copy of the conjunct patterns.
+func (c Conj) Conjuncts() []Pattern {
+	cp := make([]Pattern, len(c.pats))
+	copy(cp, c.pats)
+	return cp
+}
+
+// String renders the conjunction with & separators.
+func (c Conj) String() string {
+	parts := make([]string, len(c.pats))
+	for i, p := range c.pats {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "&")
+}
+
+// Matches reports whether s matches every conjunct.
+func (c Conj) Matches(s string) bool {
+	for _, p := range c.pats {
+		if !p.Matches(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// automata compiles every conjunct.
+func (c Conj) automata() []*nfa {
+	as := make([]*nfa, len(c.pats))
+	for i, p := range c.pats {
+		as[i] = compiled(p)
+	}
+	return as
+}
+
+// alphabetOf builds the symbolic alphabet covering all given patterns.
+func alphabetOf(pats []Pattern) []rune {
+	// Reuse symbolicAlphabet pairwise folding: concatenate all tokens
+	// into two synthetic patterns (symbolicAlphabet only reads literals).
+	var all Pattern
+	for _, p := range pats {
+		all = all.Concat(p)
+	}
+	return symbolicAlphabet(all, Pattern{})
+}
+
+// multiState is the tuple of eps-closed state sets, one per automaton.
+type multiState []stateSet
+
+func (m multiState) key() string {
+	var b strings.Builder
+	for _, s := range m {
+		b.WriteString(s.key())
+		b.WriteByte(0xff)
+	}
+	return b.String()
+}
+
+// Empty reports whether the conjunction's language is empty (no string
+// matches every conjunct), decided by BFS over the product of the
+// conjunct automata.
+func (c Conj) Empty() bool {
+	if len(c.pats) == 0 {
+		return false // universal
+	}
+	as := c.automata()
+	alpha := alphabetOf(c.pats)
+	start := make(multiState, len(as))
+	allAccept := func(m multiState) bool {
+		for i, a := range as {
+			if !a.accepts(m[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, a := range as {
+		start[i] = a.start()
+	}
+	if allAccept(start) {
+		return false
+	}
+	seen := map[string]bool{start.key(): true}
+	queue := []multiState{start}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+	symbols:
+		for _, r := range alpha {
+			next := make(multiState, len(as))
+			for i, a := range as {
+				next[i] = a.step(m[i], r)
+				if next[i].empty() {
+					continue symbols
+				}
+			}
+			if allAccept(next) {
+				return false
+			}
+			k := next.key()
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return true
+}
+
+// ContainedBy reports whether every string matching the conjunction also
+// matches p: L(∩ conjuncts) ⊆ L(p).
+func (c Conj) ContainedBy(p Pattern) bool {
+	if len(c.pats) == 0 {
+		return p.Contains(AnyString())
+	}
+	as := c.automata()
+	b := compiled(p)
+	alpha := alphabetOf(append(c.Conjuncts(), p))
+	start := make(multiState, len(as))
+	for i, a := range as {
+		start[i] = a.start()
+	}
+	bStart := b.start()
+	allAccept := func(m multiState) bool {
+		for i, a := range as {
+			if !a.accepts(m[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	type frame struct {
+		m  multiState
+		bs stateSet
+	}
+	if allAccept(start) && !b.accepts(bStart) {
+		return false
+	}
+	seen := map[string]bool{start.key() + "|" + bStart.key(): true}
+	queue := []frame{{start, bStart}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+	symbols:
+		for _, r := range alpha {
+			next := make(multiState, len(as))
+			for i, a := range as {
+				next[i] = a.step(f.m[i], r)
+				if next[i].empty() {
+					continue symbols // conjunction rejects every extension
+				}
+			}
+			nb := b.step(f.bs, r)
+			if allAccept(next) && !b.accepts(nb) {
+				return false
+			}
+			k := next.key() + "|" + nb.key()
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, frame{next, nb})
+			}
+		}
+	}
+	return true
+}
+
+// EquivalentToPattern reports whether the conjunction's language equals
+// the single pattern's language.
+func (c Conj) EquivalentToPattern(p Pattern) bool {
+	if !c.ContainedBy(p) {
+		return false
+	}
+	// p ⊆ conjunction ⇔ p ⊆ every conjunct.
+	for _, q := range c.pats {
+		if !q.Contains(p) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package pattern
+
+import "testing"
+
+func TestConjParseAndString(t *testing.T) {
+	c := MustParseConj(`\D{5}&900\A*`)
+	if got := c.String(); got != `\D{5}&900\A*` {
+		t.Errorf("String = %q", got)
+	}
+	if len(c.Conjuncts()) != 2 {
+		t.Fatalf("conjuncts = %d", len(c.Conjuncts()))
+	}
+	// Escaped ampersand stays literal.
+	lit := MustParseConj(`a\&b`)
+	if len(lit.Conjuncts()) != 1 {
+		t.Fatalf("escaped & split: %v", lit.Conjuncts())
+	}
+	if !lit.Matches("a&b") {
+		t.Error(`a\&b should match "a&b"`)
+	}
+	if _, err := ParseConj(`a&&b`); err == nil {
+		t.Error("empty conjunct should fail")
+	}
+	if _, err := ParseConj(`a&\L`); err == nil {
+		t.Error("bad conjunct should fail")
+	}
+}
+
+func TestConjMatches(t *testing.T) {
+	// "5-digit string AND starts with 900" = 900\D{2}.
+	c := MustParseConj(`\D{5}&900\A*`)
+	if !c.Matches("90001") {
+		t.Error("90001 satisfies both conjuncts")
+	}
+	if c.Matches("90001x") || c.Matches("10001") || c.Matches("900") {
+		t.Error("conjunction over-matched")
+	}
+}
+
+func TestConjEquivalence(t *testing.T) {
+	c := MustParseConj(`\D{5}&900\A*`)
+	if !c.EquivalentToPattern(MustParse(`900\D{2}`)) {
+		t.Error(`\D{5} & 900\A* should equal 900\D{2}`)
+	}
+	if c.EquivalentToPattern(MustParse(`\D{5}`)) {
+		t.Error("conjunction is strictly smaller than \\D{5}")
+	}
+}
+
+func TestConjEmpty(t *testing.T) {
+	if MustParseConj(`\D+&\LL+`).Empty() != true {
+		t.Error("digits ∩ lowers (non-empty strings) should be empty")
+	}
+	if MustParseConj(`\D*&\LL*`).Empty() {
+		t.Error("both accept ε")
+	}
+	if MustParseConj(`\D{3}&\D{5}`).Empty() != true {
+		t.Error("length-3 ∩ length-5 is empty")
+	}
+	if MustParseConj(`\D{5}&900\A*`).Empty() {
+		t.Error("900xx is in the intersection")
+	}
+	if NewConj().Empty() {
+		t.Error("empty conjunction is universal")
+	}
+}
+
+func TestConjContainedBy(t *testing.T) {
+	c := MustParseConj(`\D{5}&9\A*`)
+	if !c.ContainedBy(MustParse(`\D{5}`)) {
+		t.Error("intersection contained in each conjunct")
+	}
+	if !c.ContainedBy(MustParse(`\D*`)) {
+		t.Error("intersection contained in superset of conjunct")
+	}
+	if c.ContainedBy(MustParse(`8\D{4}`)) {
+		t.Error("9xxxx not contained in 8xxxx")
+	}
+	// Empty conjunction (universal) only contained in universal-ish.
+	if NewConj().ContainedBy(MustParse(`\D*`)) {
+		t.Error("universal not contained in digits")
+	}
+	if !NewConj().ContainedBy(AnyString()) {
+		t.Error("universal contained in \\A*")
+	}
+	// An empty-language conjunction is contained in everything.
+	empty := MustParseConj(`\D+&\LL+`)
+	if !empty.ContainedBy(MustParse(`zzz`)) {
+		t.Error("empty language is a subset of anything")
+	}
+}
+
+func TestConjPaperStyleUse(t *testing.T) {
+	// A name that is both "starts with John " and "has exactly two
+	// tokens of letters" — conjunction sharpens λ1's LHS.
+	c := MustParseConj(`John\ \A*&\LU\LL*\ \LU\LL*`)
+	if !c.Matches("John Charles") {
+		t.Error("John Charles satisfies both")
+	}
+	if c.Matches("John Charles Xavier") {
+		t.Error("three tokens fail the second conjunct")
+	}
+	if c.Matches("Susan Boyle") {
+		t.Error("wrong first name fails the first conjunct")
+	}
+	if !c.ContainedBy(MustParse(`John\ \A*`)) {
+		t.Error("conjunction refines λ1's LHS")
+	}
+}

@@ -1,0 +1,152 @@
+package pattern
+
+import (
+	"github.com/anmat/anmat/internal/gentree"
+)
+
+// Contains reports whether p' (the receiver's argument) is contained by p:
+// p.Contains(q) is true iff every string matching q also matches p, i.e.
+// q ⊆ p in the paper's notation (p is more general than q).
+//
+// The check is exact for the restricted pattern language: it decides
+// language inclusion L(q) ⊆ L(p) via an on-the-fly product of NFA(q) with
+// the determinization of NFA(p), over a symbolic alphabet with one symbol
+// per literal rune appearing in either pattern plus one representative per
+// base character class.
+func (p Pattern) Contains(q Pattern) bool {
+	return included(compiled(q), compiled(p), symbolicAlphabet(p, q))
+}
+
+// ContainedBy is the paper-direction convenience: p ⊆ q.
+func (p Pattern) ContainedBy(q Pattern) bool { return q.Contains(p) }
+
+// EquivalentTo reports whether p and q match exactly the same strings.
+func (p Pattern) EquivalentTo(q Pattern) bool {
+	return p.Contains(q) && q.Contains(p)
+}
+
+// symbolicAlphabet builds a finite alphabet sufficient to distinguish the
+// languages of p and q: every literal rune referenced by either pattern,
+// plus a representative character for each base class chosen to avoid the
+// literals. Transitions only test literal equality or class membership, so
+// two characters of the same class that are not referenced literals are
+// indistinguishable to both automata.
+func symbolicAlphabet(p, q Pattern) []rune {
+	lits := map[rune]bool{}
+	for _, pat := range []Pattern{p, q} {
+		for _, t := range pat.toks {
+			if !t.IsClass {
+				lits[t.Lit] = true
+			}
+		}
+	}
+	alpha := make([]rune, 0, len(lits)+4)
+	for r := range lits {
+		alpha = append(alpha, r)
+	}
+	classRanges := []struct {
+		class    gentree.Class
+		lo, hi   rune
+		fallback []rune
+	}{
+		{gentree.Upper, 'A', 'Z', nil},
+		{gentree.Lower, 'a', 'z', nil},
+		{gentree.Digit, '0', '9', nil},
+		{gentree.Symbol, 0, 0, []rune{' ', '!', '#', '$', '%', '&', '(', ')', '-', '.', '/', ':', ';', '?', '@', '_', '~', '^', '|', '<', '>', '=', ','}},
+	}
+	for _, cr := range classRanges {
+		found := false
+		if cr.fallback != nil {
+			for _, r := range cr.fallback {
+				if !lits[r] {
+					alpha = append(alpha, r)
+					found = true
+					break
+				}
+			}
+		} else {
+			for r := cr.lo; r <= cr.hi; r++ {
+				if !lits[r] {
+					alpha = append(alpha, r)
+					found = true
+					break
+				}
+			}
+		}
+		_ = found // if every member of the class is a literal, the literals already cover it
+	}
+	return alpha
+}
+
+// Intersects reports whether some string matches both p and q. The
+// pattern index uses it to prune signature groups that cannot contain a
+// match for a query pattern.
+func (p Pattern) Intersects(q Pattern) bool {
+	a, b := compiled(p), compiled(q)
+	alpha := symbolicAlphabet(p, q)
+	type pair struct{ ka, kb string }
+	sa, sb := a.start(), b.start()
+	if a.accepts(sa) && b.accepts(sb) {
+		return true
+	}
+	seen := map[pair]bool{{sa.key(), sb.key()}: true}
+	type frame struct{ sa, sb stateSet }
+	queue := []frame{{sa, sb}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, r := range alpha {
+			na := a.step(f.sa, r)
+			if na.empty() {
+				continue
+			}
+			nb := b.step(f.sb, r)
+			if nb.empty() {
+				continue
+			}
+			if a.accepts(na) && b.accepts(nb) {
+				return true
+			}
+			pk := pair{na.key(), nb.key()}
+			if !seen[pk] {
+				seen[pk] = true
+				queue = append(queue, frame{na, nb})
+			}
+		}
+	}
+	return false
+}
+
+// included decides L(a) ⊆ L(b) by exploring reachable pairs
+// (subset of a-states, subset of b-states) over the symbolic alphabet and
+// looking for a pair where a accepts but b does not.
+func included(a, b *nfa, alpha []rune) bool {
+	type pair struct{ ka, kb string }
+	sa, sb := a.start(), b.start()
+	if a.accepts(sa) && !b.accepts(sb) {
+		return false
+	}
+	seen := map[pair]bool{{sa.key(), sb.key()}: true}
+	type frame struct{ sa, sb stateSet }
+	queue := []frame{{sa, sb}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, r := range alpha {
+			na := a.step(f.sa, r)
+			if na.empty() {
+				continue // a rejects every extension on r; inclusion cannot fail here
+			}
+			nb := b.step(f.sb, r)
+			if a.accepts(na) && !b.accepts(nb) {
+				return false
+			}
+			pk := pair{na.key(), nb.key()}
+			if !seen[pk] {
+				seen[pk] = true
+				queue = append(queue, frame{na, nb})
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,130 @@
+package pattern
+
+import (
+	"sync"
+
+	"github.com/anmat/anmat/internal/gentree"
+)
+
+// dfa is a lazily determinized view of an nfa, used by the matching hot
+// loop. Input characters are first mapped to a small symbol space — one
+// symbol per literal rune referenced by the pattern plus one per
+// generalization-tree base class — so the transition table stays tiny and
+// every subset construction step is computed at most once.
+type dfa struct {
+	a    *nfa
+	mu   sync.Mutex
+	lits map[rune]int // referenced literal -> symbol id
+	nsym int          // literals + 4 base classes
+
+	states []dfaState
+	index  map[string]int // stateSet key -> dense id
+}
+
+type dfaState struct {
+	set    stateSet
+	accept bool
+	next   []int // per symbol; 0 = unknown, -1 = dead, else id+1
+}
+
+// newDFA builds the lazy DFA wrapper for a compiled pattern.
+func newDFA(p Pattern, a *nfa) *dfa {
+	lits := make(map[rune]int)
+	for _, t := range p.Tokens() {
+		if !t.IsClass {
+			if _, ok := lits[t.Lit]; !ok {
+				lits[t.Lit] = len(lits)
+			}
+		}
+	}
+	d := &dfa{
+		a:     a,
+		lits:  lits,
+		nsym:  len(lits) + 4,
+		index: make(map[string]int),
+	}
+	start := a.start()
+	d.states = append(d.states, dfaState{
+		set:    start,
+		accept: a.accepts(start),
+		next:   make([]int, d.nsym),
+	})
+	d.index[start.key()] = 0
+	return d
+}
+
+// symbol maps an input rune to its symbol id.
+func (d *dfa) symbol(r rune) int {
+	if id, ok := d.lits[r]; ok {
+		return id
+	}
+	return len(d.lits) + int(gentree.ClassOf(r))
+}
+
+// matches runs the DFA over s. It is safe for concurrent use; the
+// transition table grows under a mutex but lookups of already-built
+// entries only read state ids written before publication.
+func (d *dfa) matches(s string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := 0
+	for _, r := range s {
+		sym := d.symbol(r)
+		nxt := d.states[cur].next[sym]
+		if nxt == 0 {
+			nxt = d.build(cur, sym, r)
+		}
+		if nxt == -1 {
+			return false
+		}
+		cur = nxt - 1
+	}
+	return d.states[cur].accept
+}
+
+// build computes the successor of state cur on symbol sym (witnessed by
+// rune r), memoizes it and returns the encoded id. Caller holds mu.
+func (d *dfa) build(cur, sym int, r rune) int {
+	set := d.a.step(d.states[cur].set, r)
+	if set.empty() {
+		d.states[cur].next[sym] = -1
+		return -1
+	}
+	k := set.key()
+	id, ok := d.index[k]
+	if !ok {
+		id = len(d.states)
+		d.states = append(d.states, dfaState{
+			set:    set,
+			accept: d.a.accepts(set),
+			next:   make([]int, d.nsym),
+		})
+		d.index[k] = id
+	}
+	d.states[cur].next[sym] = id + 1
+	return id + 1
+}
+
+var dfaCache sync.Map // pattern key -> *dfa
+
+// compiledDFA returns the cached lazy DFA for p.
+func compiledDFA(p Pattern) *dfa {
+	k := p.Key()
+	if v, ok := dfaCache.Load(k); ok {
+		return v.(*dfa)
+	}
+	d := newDFA(p, compiled(p))
+	actual, _ := dfaCache.LoadOrStore(k, d)
+	return actual.(*dfa)
+}
+
+// MatchesDFA is Matches through the lazily determinized automaton. For
+// patterns evaluated against many values (detection scans, the pattern
+// index) it amortizes the subset construction once per (state, symbol)
+// instead of per character. Semantically identical to Matches.
+func (p Pattern) MatchesDFA(s string) bool {
+	if len(s) < p.MinLen() {
+		return false
+	}
+	return compiledDFA(p).matches(s)
+}

@@ -1,0 +1,75 @@
+package pattern
+
+import "testing"
+
+// FuzzParse checks that Parse never panics and that every successfully
+// parsed pattern round-trips through its String rendering.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`\D{5}`, `900\D{2}`, `\LU\LL*\ \A*`, `John\ \A*`, `\A*,\ Donald\A*`,
+		`F-\D-\D{3}`, `a{3}b+c*`, `\\`, `\ `, ``, `\L`, `*`, `a{`, `{9}`,
+		`\S+\D{12}`, `\A\A\A`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-Parse(%q) failed: %v", rendered, err)
+		}
+		if !p.Equal(back) {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", s, rendered, back.String())
+		}
+	})
+}
+
+// FuzzMatch checks that matching never panics and respects the MinLen
+// lower bound for arbitrary pattern/value pairs.
+func FuzzMatch(f *testing.F) {
+	f.Add(`\D{5}`, "90001")
+	f.Add(`\LU\LL*\ \A*`, "John Charles")
+	f.Add(`\A*`, "")
+	f.Add(`a+b*`, "aab")
+	f.Fuzz(func(t *testing.T, ps, v string) {
+		p, err := Parse(ps)
+		if err != nil {
+			return
+		}
+		got := p.Matches(v)
+		if got && len(v) < p.MinLen() {
+			t.Fatalf("%q matched %q below MinLen %d", v, ps, p.MinLen())
+		}
+		if dfa := p.MatchesDFA(v); dfa != got {
+			t.Fatalf("DFA/NFA divergence on (%q, %q): %v vs %v", ps, v, dfa, got)
+		}
+	})
+}
+
+// FuzzConstrained checks the constrained-pattern parser and the
+// extraction/equivalence invariants: a string equivalent to itself iff it
+// matches the embedded pattern.
+func FuzzConstrained(f *testing.F) {
+	f.Add(`<\D{3}>\D{2}`, "90001")
+	f.Add(`<\LU\LL*\ >\A*`, "John Charles")
+	f.Add(`<a>b<c>`, "abc")
+	f.Fuzz(func(t *testing.T, qs, v string) {
+		q, err := ParseConstrained(qs)
+		if err != nil {
+			return
+		}
+		matches := q.Matches(v)
+		keys := q.Extract(v)
+		if matches != (len(keys) > 0) {
+			t.Fatalf("Extract/Matches disagree for (%q, %q): %v vs %d keys", qs, v, matches, len(keys))
+		}
+		if matches && !q.EquivalentUnder(v, v) {
+			t.Fatalf("≡ not reflexive for (%q, %q)", qs, v)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package pattern
+
+import "testing"
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{`\D{5}`, `900\D{2}`, true}, // 900xx in both
+		{`\D{5}`, `\LL{5}`, false},  // digits vs lowers
+		{`\D{3}`, `\D{5}`, false},   // length mismatch
+		{`\A*`, `anything`, true},   // universal intersects non-empty
+		{`\D*`, `\LL*`, true},       // both accept ε
+		{`\D+`, `\LL+`, false},      // no common non-empty string
+		{`John\ \A*`, `\LU\LL*\ \A*`, true},
+		{`John\ \A*`, `Susan\ \A*`, false},
+		{`850\D{7}`, `8\D{9}`, true},
+		{`850\D{7}`, `9\D{9}`, false},
+		{`\LU\S\D\S\D{3}`, `F-\D-\D{3}`, true}, // signature vs rule
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.Intersects(b); got != c.want {
+			t.Errorf("Intersects(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		// Symmetry.
+		if got := b.Intersects(a); got != c.want {
+			t.Errorf("Intersects(%q, %q) (swapped) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIntersectsConsistentWithContainment(t *testing.T) {
+	// If P ⊆ P' and P matches anything, they intersect.
+	pairs := [][2]string{
+		{`900\D{2}`, `\D{5}`},
+		{`John\ \A*`, `\LU\LL*\ \A*`},
+		{`\D{5}`, `\A*`},
+	}
+	for _, pr := range pairs {
+		small, big := MustParse(pr[0]), MustParse(pr[1])
+		if !big.Contains(small) {
+			t.Fatalf("precondition: %q ⊆ %q", pr[0], pr[1])
+		}
+		if !small.Intersects(big) {
+			t.Errorf("contained non-empty patterns must intersect: %q, %q", pr[0], pr[1])
+		}
+	}
+}
+
+func TestIntersectsEmptyPattern(t *testing.T) {
+	empty := New() // matches only ε
+	if !empty.Intersects(MustParse(`\D*`)) {
+		t.Error("ε is in both languages")
+	}
+	if empty.Intersects(MustParse(`\D+`)) {
+		t.Error(`\D+ rejects ε`)
+	}
+}

@@ -1,0 +1,73 @@
+package pattern
+
+import (
+	"sync"
+	"unicode/utf8"
+)
+
+// matcher caches the compiled NFA for a pattern. Compilation is cheap but
+// matching is called per cell during detection, so the cache matters.
+type matcher struct {
+	a *nfa
+}
+
+var nfaCache sync.Map // string (pattern key) -> *nfa
+
+func compiled(p Pattern) *nfa {
+	k := p.Key()
+	if v, ok := nfaCache.Load(k); ok {
+		return v.(*nfa)
+	}
+	a := compile(p)
+	nfaCache.Store(k, a)
+	return a
+}
+
+// Matches reports whether s matches (satisfies) the pattern: s 7→ P in the
+// paper's notation.
+func (p Pattern) Matches(s string) bool {
+	a := compiled(p)
+	// Cheap length pre-check.
+	if len(s) < p.MinLen() {
+		return false
+	}
+	cur := a.start()
+	next := newStateSet(a.n)
+	for _, r := range s {
+		a.stepInto(cur, r, next)
+		if next.empty() {
+			return false
+		}
+		cur, next = next, cur
+	}
+	return a.accepts(cur)
+}
+
+// MatchPrefixLengths returns, in increasing order, every byte length l such
+// that s[:l] matches the pattern and l splits s at a rune boundary. It is
+// used by the constrained-pattern matcher to enumerate segment splits.
+func (p Pattern) MatchPrefixLengths(s string) []int {
+	a := compiled(p)
+	var out []int
+	cur := a.start()
+	next := newStateSet(a.n)
+	if a.accepts(cur) {
+		out = append(out, 0)
+	}
+	// Decode explicitly rather than re-encoding range runes: an invalid
+	// byte decodes to U+FFFD but consumes one byte, and the reported
+	// lengths must stay aligned with the input's byte offsets.
+	for off := 0; off < len(s); {
+		r, size := utf8.DecodeRuneInString(s[off:])
+		a.stepInto(cur, r, next)
+		if next.empty() {
+			return out
+		}
+		cur, next = next, cur
+		off += size
+		if a.accepts(cur) {
+			out = append(out, off)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package pattern
+
+import (
+	"github.com/anmat/anmat/internal/gentree"
+)
+
+// nfa is a nondeterministic finite automaton compiled from a Pattern.
+// States are dense integers; state 0 is the start state and accept is the
+// single accepting state. Edges carry single-character predicates (a
+// literal rune or a generalization-tree class); eps holds epsilon moves.
+type nfa struct {
+	n      int      // number of states
+	edges  [][]edge // edges[s] = labeled transitions out of s
+	eps    [][]int  // eps[s] = epsilon transitions out of s
+	accept int
+}
+
+type edge struct {
+	isClass bool
+	class   gentree.Class
+	lit     rune
+	to      int
+}
+
+func (e edge) matches(r rune) bool {
+	if e.isClass {
+		return e.class.Matches(r)
+	}
+	return e.lit == r
+}
+
+// compile builds the NFA for p using a Thompson-style construction.
+// Quantifiers expand as:
+//
+//	t        cur --t--> new
+//	t{N}     N chained copies
+//	t+       cur --t--> new, new --t--> new
+//	t*       cur --ε--> new, new --t--> new
+func compile(p Pattern) *nfa {
+	a := &nfa{}
+	newState := func() int {
+		a.edges = append(a.edges, nil)
+		a.eps = append(a.eps, nil)
+		a.n++
+		return a.n - 1
+	}
+	addEdge := func(from int, t Token, to int) {
+		a.edges[from] = append(a.edges[from], edge{
+			isClass: t.IsClass, class: t.Class, lit: t.Lit, to: to,
+		})
+	}
+	cur := newState()
+	for _, t := range p.toks {
+		switch t.Quant {
+		case One:
+			nxt := newState()
+			addEdge(cur, t, nxt)
+			cur = nxt
+		case Exactly:
+			for i := 0; i < t.N; i++ {
+				nxt := newState()
+				addEdge(cur, t, nxt)
+				cur = nxt
+			}
+		case Plus:
+			nxt := newState()
+			addEdge(cur, t, nxt)
+			addEdge(nxt, t, nxt)
+			cur = nxt
+		case Star:
+			nxt := newState()
+			a.eps[cur] = append(a.eps[cur], nxt)
+			addEdge(nxt, t, nxt)
+			cur = nxt
+		}
+	}
+	a.accept = cur
+	return a
+}
+
+// stateSet is a bit set over NFA states.
+type stateSet []uint64
+
+func newStateSet(n int) stateSet { return make(stateSet, (n+63)/64) }
+
+func (s stateSet) add(i int)      { s[i/64] |= 1 << (uint(i) % 64) }
+func (s stateSet) has(i int) bool { return s[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (s stateSet) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s stateSet) equal(t stateSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s stateSet) clone() stateSet {
+	c := make(stateSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// key returns a compact string form usable as a map key.
+func (s stateSet) key() string {
+	b := make([]byte, len(s)*8)
+	for i, w := range s {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(w >> (uint(j) * 8))
+		}
+	}
+	return string(b)
+}
+
+// closure expands s in place with epsilon moves.
+func (a *nfa) closure(s stateSet) {
+	var stack []int
+	for i := 0; i < a.n; i++ {
+		if s.has(i) {
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, to := range a.eps[st] {
+			if !s.has(to) {
+				s.add(to)
+				stack = append(stack, to)
+			}
+		}
+	}
+}
+
+// start returns the eps-closed start set.
+func (a *nfa) start() stateSet {
+	s := newStateSet(a.n)
+	s.add(0)
+	a.closure(s)
+	return s
+}
+
+// step advances the set s over character r, returning the eps-closed
+// successor set.
+func (a *nfa) step(s stateSet, r rune) stateSet {
+	out := newStateSet(a.n)
+	a.stepInto(s, r, out)
+	return out
+}
+
+// stepInto is step with a caller-provided output buffer; out is cleared
+// first. Used by the hot matching loop to avoid per-character allocation.
+func (a *nfa) stepInto(s stateSet, r rune, out stateSet) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i := 0; i < a.n; i++ {
+		if !s.has(i) {
+			continue
+		}
+		for _, e := range a.edges[i] {
+			if e.matches(r) {
+				out.add(e.to)
+			}
+		}
+	}
+	a.closure(out)
+}
+
+// accepts reports whether the set contains the accepting state.
+func (a *nfa) accepts(s stateSet) bool { return s.has(a.accept) }

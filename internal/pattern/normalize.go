@@ -1,0 +1,133 @@
+package pattern
+
+import "github.com/anmat/anmat/internal/gentree"
+
+// Normalize returns a canonical, language-equivalent form of the pattern:
+//
+//   - runs of same-class tokens merge: \D\D → \D{2}, \D{2}\D{3} → \D{5},
+//     \D*\D → \D+, \D*\D* → \D*;
+//   - a star token adjacent to an unbounded \A is absorbed:
+//     \D*\A* → \A*, \A*\LL* → \A*, \LL*\A+ → \A+ (a star contributes no
+//     mandatory characters and \A covers every class);
+//   - \A* runs collapse: \A*\A* → \A*.
+//
+// Tokens that contribute mandatory characters of a specific class are
+// never widened: \LL{2}\A* stays as is (its first two characters must be
+// lower case). Literals are left untouched. The result accepts exactly
+// the same strings; TestNormalizePreservesLanguage verifies equivalence
+// with the exact containment decision procedure.
+func (p Pattern) Normalize() Pattern {
+	toks := make([]Token, len(p.toks))
+	copy(toks, p.toks)
+	for {
+		next, changed := normalizeOnce(toks)
+		toks = next
+		if !changed {
+			return Pattern{toks: toks}
+		}
+	}
+}
+
+// runInfo is the canonical view of a class token: (class, mandatory
+// count, unbounded tail).
+type runInfo struct {
+	class     gentree.Class
+	min       int
+	unbounded bool
+}
+
+func infoOf(t Token) runInfo {
+	ri := runInfo{class: t.Class}
+	switch t.Quant {
+	case One:
+		ri.min = 1
+	case Exactly:
+		ri.min = t.N
+	case Plus:
+		ri.min = 1
+		ri.unbounded = true
+	case Star:
+		ri.unbounded = true
+	}
+	return ri
+}
+
+// tryMerge combines two adjacent class-token runs when the concatenation
+// is language-equal to a single run.
+func tryMerge(a, b runInfo) (runInfo, bool) {
+	if a.class == b.class {
+		return runInfo{class: a.class, min: a.min + b.min, unbounded: a.unbounded || b.unbounded}, true
+	}
+	// An unbounded \A absorbs any adjacent star (min-0) run, and an
+	// unbounded star run absorbs an adjacent \A of any quantifier when
+	// the star run itself demands nothing (X*\A{m}\A* ≡ \A{m}\A* etc.).
+	if a.class == gentree.All && a.unbounded && b.min == 0 {
+		return a, true
+	}
+	if b.class == gentree.All && b.unbounded && a.min == 0 {
+		return b, true
+	}
+	// X* next to a bounded \A{m}: X*\A{m} has no single-run equivalent
+	// (the m characters may be of any class but X* only widens X), so no
+	// merge. \A{m}X* likewise.
+	return runInfo{}, false
+}
+
+func normalizeOnce(toks []Token) ([]Token, bool) {
+	var out []Token
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		if !t.IsClass {
+			out = append(out, t)
+			i++
+			continue
+		}
+		run := infoOf(t)
+		j := i + 1
+		for j < len(toks) && toks[j].IsClass {
+			merged, ok := tryMerge(run, infoOf(toks[j]))
+			if !ok {
+				break
+			}
+			run = merged
+			j++
+		}
+		out = append(out, canonicalRun(run)...)
+		i = j
+	}
+	// Progress is "the token list changed"; a merge whose canonical form
+	// re-renders identically (e.g. \D{2}\D*) must not loop forever.
+	if len(out) == len(toks) {
+		same := true
+		for k := range out {
+			if out[k] != toks[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+// canonicalRun renders a run as at most two tokens.
+func canonicalRun(r runInfo) []Token {
+	c, m := r.class, r.min
+	switch {
+	case !r.unbounded && m == 0:
+		return nil
+	case !r.unbounded && m == 1:
+		return []Token{ClassTok(c)}
+	case !r.unbounded:
+		return []Token{ClassTok(c).WithCount(m)}
+	case m == 0:
+		return []Token{ClassTok(c).WithQuant(Star)}
+	case m == 1:
+		return []Token{ClassTok(c).WithQuant(Plus)}
+	default:
+		return []Token{ClassTok(c).WithCount(m), ClassTok(c).WithQuant(Star)}
+	}
+}

@@ -1,0 +1,110 @@
+package pindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/anmat/anmat/internal/pattern"
+)
+
+func TestMatchBasic(t *testing.T) {
+	values := []string{"90001", "90002", "10001", "abc", "90003"}
+	ix := Build(values)
+	got := ix.Match(pattern.MustParse(`900\D{2}`))
+	want := []int{0, 1, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Match = %v, want %v", got, want)
+	}
+	if ix.NumRows() != 5 {
+		t.Errorf("NumRows = %d", ix.NumRows())
+	}
+}
+
+func TestMatchDuplicatesAndMisses(t *testing.T) {
+	values := []string{"x1", "x1", "y2", "x1"}
+	ix := Build(values)
+	got := ix.Match(pattern.MustParse(`x\D`))
+	want := []int{0, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Match = %v", got)
+	}
+	if n := len(ix.Match(pattern.MustParse(`zz`))); n != 0 {
+		t.Errorf("no-match returned %d rows", n)
+	}
+}
+
+func TestMatchEmptyValues(t *testing.T) {
+	ix := Build([]string{"", "a", ""})
+	got := ix.Match(pattern.AnyString())
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("AnyString should match everything incl. empties: %v", got)
+	}
+}
+
+func TestMatchValues(t *testing.T) {
+	values := []string{"90001", "90002", "90001"}
+	ix := Build(values)
+	vr := ix.MatchValues(pattern.MustParse(`900\D{2}`))
+	if len(vr) != 2 {
+		t.Fatalf("MatchValues = %v", vr)
+	}
+	if vr[0].Value != "90001" || !reflect.DeepEqual(vr[0].Rows, []int{0, 2}) {
+		t.Errorf("first ValueRows = %+v", vr[0])
+	}
+}
+
+func TestSignatures(t *testing.T) {
+	ix := Build([]string{"90001", "90002", "ab", "ab"})
+	sigs := ix.Signatures()
+	if len(sigs) != 2 {
+		t.Fatalf("Signatures = %v", sigs)
+	}
+	if sigs[0].Rows != 2 {
+		t.Errorf("top signature rows = %d", sigs[0].Rows)
+	}
+	if ix.NumSignatures() != 2 {
+		t.Errorf("NumSignatures = %d", ix.NumSignatures())
+	}
+	// Distinct counting: 90001 and 90002 share a signature.
+	for _, s := range sigs {
+		if s.Signature == `\D{5}` && s.Distinct != 2 {
+			t.Errorf("digit signature distinct = %d", s.Distinct)
+		}
+		if s.Signature == `\LL{2}` && s.Distinct != 1 {
+			t.Errorf("ab signature distinct = %d", s.Distinct)
+		}
+	}
+}
+
+// Property: Match(p) agrees with a full scan for random code-like values
+// and a mix of query patterns.
+func TestMatchEquivalentToScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var values []string
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			values = append(values, "90"+string(rune('0'+rng.Intn(10)))+"0"+string(rune('0'+rng.Intn(10))))
+		case 1:
+			values = append(values, "F-"+string(rune('0'+rng.Intn(10))))
+		default:
+			values = append(values, string(rune('a'+rng.Intn(26)))+"x")
+		}
+	}
+	ix := Build(values)
+	queries := []string{`90\D0\D`, `\D{5}`, `F-\D`, `\LL{2}`, `\A*`, `zz`}
+	for _, q := range queries {
+		p := pattern.MustParse(q)
+		got := ix.Match(p)
+		var want []int
+		for i, v := range values {
+			if p.Matches(v) {
+				want = append(want, i)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("query %s: index %v != scan %v", q, got, want)
+		}
+	}
+}

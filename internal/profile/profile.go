@@ -1,0 +1,370 @@
+// Package profile implements data profiling (line 1 of Figure 2 and the
+// Figure 3 view): per-column statistics, column type inference, the
+// candidate-dependency generator CandidateDependencies, and per-column
+// pattern summaries of the form "pattern::position, frequency".
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/anmat/anmat/internal/pattern"
+	"github.com/anmat/anmat/internal/table"
+	"github.com/anmat/anmat/internal/tokenize"
+)
+
+// ColType classifies a column for candidate pruning.
+type ColType uint8
+
+const (
+	// Empty means every value is the empty string.
+	Empty ColType = iota
+	// Numeric means every non-empty value is a plain number (integer or
+	// decimal, optional sign). Pure measurement columns cannot anchor
+	// pattern rules, so the profiler prunes them (the paper: "we drop all
+	// columns with pure numerical values").
+	Numeric
+	// Code means single-token values mixing classes (ids such as F-9-107,
+	// zips, phone numbers). Discovery uses n-grams/prefixes here.
+	Code
+	// Text means multi-token values (names, addresses). Discovery uses
+	// token mode here.
+	Text
+	// Category means a small set of short distinct values (state codes,
+	// gender flags) — a natural RHS.
+	Category
+)
+
+// String names the column type.
+func (c ColType) String() string {
+	switch c {
+	case Empty:
+		return "empty"
+	case Numeric:
+		return "numeric"
+	case Code:
+		return "code"
+	case Text:
+		return "text"
+	case Category:
+		return "category"
+	default:
+		return fmt.Sprintf("ColType(%d)", uint8(c))
+	}
+}
+
+// ColumnProfile holds the statistics of one column.
+type ColumnProfile struct {
+	Name      string
+	Type      ColType
+	Rows      int
+	NonEmpty  int
+	Distinct  int
+	AvgTokens float64
+	AvgLen    float64
+	MaxLen    int
+	// Signatures maps the class-run signature of values to its frequency.
+	Signatures map[string]int
+	// TopValues holds the most frequent values (up to 10), sorted by
+	// descending frequency then value.
+	TopValues []ValueCount
+}
+
+// ValueCount pairs a value with its occurrence count.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// categoryMaxDistinct is the distinct-count ceiling for Category columns.
+const categoryMaxDistinct = 64
+
+// ProfileColumn computes the profile of a single column's values.
+func ProfileColumn(name string, values []string) ColumnProfile {
+	p := ColumnProfile{Name: name, Rows: len(values), Signatures: make(map[string]int)}
+	counts := make(map[string]int)
+	numeric := true
+	allDigits := true
+	leadingZero := false
+	mixedShape := false
+	singleToken := true
+	minLen := -1
+	totalTokens, totalLen := 0, 0
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		p.NonEmpty++
+		counts[v]++
+		p.Signatures[pattern.Signature(v)]++
+		if !isPlainNumber(v) {
+			numeric = false
+		}
+		if !tokenize.IsNumeric(v) {
+			allDigits = false
+		} else if v[0] == '0' && len(v) > 1 {
+			leadingZero = true
+		}
+		if hasDigit(v) && hasNonDigit(v) {
+			mixedShape = true
+		}
+		toks := tokenize.Tokenize(v)
+		totalTokens += len(toks)
+		if len(toks) > 1 {
+			singleToken = false
+		}
+		rl := len([]rune(v))
+		totalLen += rl
+		if rl > p.MaxLen {
+			p.MaxLen = rl
+		}
+		if minLen < 0 || rl < minLen {
+			minLen = rl
+		}
+	}
+	p.Distinct = len(counts)
+	if p.NonEmpty > 0 {
+		p.AvgTokens = float64(totalTokens) / float64(p.NonEmpty)
+		p.AvgLen = float64(totalLen) / float64(p.NonEmpty)
+	}
+	// All-digit columns are codes, not quantities, when they have a fixed
+	// width of ≥ 3 (phones, zips) or leading zeros: nobody measures in
+	// "00042". The paper's pruning targets measurement columns only —
+	// Table 3 itself mines phone numbers and ZIPs.
+	digitCode := allDigits && p.NonEmpty > 0 && (leadingZero || (minLen == p.MaxLen && minLen >= 3))
+	switch {
+	case p.NonEmpty == 0:
+		p.Type = Empty
+	case digitCode:
+		p.Type = Code
+	case numeric:
+		p.Type = Numeric
+	case singleToken && mixedShape:
+		// Values mixing digits with letters/symbols are identifiers
+		// (F-9-107, CHEMBL153534), however few of them there are.
+		p.Type = Code
+	case singleToken && p.Distinct <= categoryMaxDistinct && p.AvgLen <= 24:
+		p.Type = Category
+	case singleToken:
+		p.Type = Code
+	default:
+		p.Type = Text
+	}
+	p.TopValues = topK(counts, 10)
+	return p
+}
+
+func topK(counts map[string]int, k int) []ValueCount {
+	out := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		out = append(out, ValueCount{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func hasDigit(v string) bool {
+	for _, r := range v {
+		if r >= '0' && r <= '9' {
+			return true
+		}
+	}
+	return false
+}
+
+func hasNonDigit(v string) bool {
+	for _, r := range v {
+		if r < '0' || r > '9' {
+			return true
+		}
+	}
+	return false
+}
+
+// isPlainNumber reports whether v is an optionally signed integer or
+// decimal numeral.
+func isPlainNumber(v string) bool {
+	rs := []rune(v)
+	i := 0
+	if i < len(rs) && (rs[i] == '+' || rs[i] == '-') {
+		i++
+	}
+	digits, dot := 0, false
+	for ; i < len(rs); i++ {
+		switch {
+		case rs[i] >= '0' && rs[i] <= '9':
+			digits++
+		case rs[i] == '.' && !dot:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// TableProfile profiles every column of a table.
+type TableProfile struct {
+	Table   string
+	Rows    int
+	Columns []ColumnProfile
+}
+
+// Profile computes the profile of every column.
+func Profile(t *table.Table) TableProfile {
+	tp := TableProfile{Table: t.Name(), Rows: t.NumRows()}
+	for i, name := range t.Columns() {
+		tp.Columns = append(tp.Columns, ProfileColumn(name, t.ColumnByIndex(i)))
+	}
+	return tp
+}
+
+// Candidate is a candidate dependency A → B (column names).
+type Candidate struct {
+	LHS, RHS string
+	// LHSType and RHSType carry the inferred types so discovery can pick
+	// token vs n-gram mode per candidate.
+	LHSType, RHSType ColType
+}
+
+// String renders the candidate as "A -> B".
+func (c Candidate) String() string { return c.LHS + " -> " + c.RHS }
+
+// CandidateDependencies is line 1 of Figure 2: all ordered column pairs,
+// pruned. Pruning rules:
+//
+//   - empty columns never participate;
+//   - pure numeric columns are dropped entirely ("we drop all columns
+//     with pure numerical values");
+//   - the RHS must be a Category or Code column (a pattern rule predicts a
+//     value or a code, not free text) unless it is Text with few distinct
+//     values;
+//   - trivially-keyed RHS (distinct == rows, i.e. a key column) is
+//     dropped: nothing can functionally determine a unique id usefully.
+type CandidateDependencies struct {
+	profile TableProfile
+}
+
+// Candidates computes the pruned candidate list for a table profile.
+func Candidates(tp TableProfile) []Candidate {
+	usable := make([]ColumnProfile, 0, len(tp.Columns))
+	for _, c := range tp.Columns {
+		if c.Type == Empty || c.Type == Numeric {
+			continue
+		}
+		usable = append(usable, c)
+	}
+	var out []Candidate
+	for _, a := range usable {
+		for _, b := range usable {
+			if a.Name == b.Name {
+				continue
+			}
+			if !usableRHS(b, tp.Rows) {
+				continue
+			}
+			out = append(out, Candidate{
+				LHS: a.Name, RHS: b.Name,
+				LHSType: a.Type, RHSType: b.Type,
+			})
+		}
+	}
+	return out
+}
+
+func usableRHS(c ColumnProfile, rows int) bool {
+	if c.NonEmpty == 0 {
+		return false
+	}
+	// A column where every value is distinct is a key; no rule with
+	// support > 1 can hold on it.
+	if c.Distinct == c.NonEmpty && c.NonEmpty > 1 {
+		return false
+	}
+	switch c.Type {
+	case Category, Code:
+		return true
+	case Text:
+		// Allow text RHS only when repetitive enough to support rules.
+		return float64(c.Distinct) <= 0.5*float64(c.NonEmpty)
+	default:
+		return false
+	}
+}
+
+// PatternSummary is one line of the Figure 3 view: a pattern with the
+// position it anchors at and the number of values exhibiting it.
+type PatternSummary struct {
+	Pattern   string
+	Position  int
+	Frequency int
+}
+
+// ColumnPatterns lists the class-run signatures of a column as
+// "pattern::position, frequency" entries, sorted by descending frequency.
+// Signatures describe whole values, so the position is always 0; token-
+// level summaries come from TokenPatterns.
+func ColumnPatterns(values []string) []PatternSummary {
+	counts := make(map[string]int)
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		counts[pattern.Signature(v)]++
+	}
+	return sortSummaries(counts, func(string) int { return 0 })
+}
+
+// TokenPatterns lists per-token signature summaries: for every token
+// position, the class-run signatures of the tokens appearing there with
+// their frequencies — the Figure 3 convention where "the position
+// represents the token number at which the combination of tokens that
+// form the pattern start" (first token = position 0).
+func TokenPatterns(values []string) []PatternSummary {
+	type key struct {
+		sig string
+		pos int
+	}
+	counts := make(map[key]int)
+	for _, v := range values {
+		for _, tok := range tokenize.Tokenize(v) {
+			counts[key{pattern.Signature(tok.Text), tok.Pos}]++
+		}
+	}
+	out := make([]PatternSummary, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, PatternSummary{Pattern: k.sig, Position: k.pos, Frequency: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		if out[i].Position != out[j].Position {
+			return out[i].Position < out[j].Position
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+func sortSummaries(counts map[string]int, posOf func(string) int) []PatternSummary {
+	out := make([]PatternSummary, 0, len(counts))
+	for sig, c := range counts {
+		out = append(out, PatternSummary{Pattern: sig, Position: posOf(sig), Frequency: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}

@@ -1,0 +1,182 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/anmat/anmat/internal/table"
+)
+
+func TestColumnTypeInference(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []string
+		want   ColType
+	}{
+		{"empty", []string{"", ""}, Empty},
+		{"numeric", []string{"1", "23", "456", "7.5", "-2"}, Numeric},
+		{"phone-code", []string{"8505467600", "6073771300", "4048481918"}, Code},
+		{"zip-code", []string{"90001", "90002", "60601"}, Code},
+		{"leading-zero", []string{"02101", "0210", "021"}, Code},
+		{"gender", []string{"M", "F", "M", "F"}, Category},
+		{"state", []string{"FL", "NY", "GA", "IL", "CT"}, Category},
+		{"ids", []string{"F-9-107", "E-3-204", "H-1-003"}, Code},
+		{"names", []string{"John Charles", "Susan Orlean", "John Bosco"}, Text},
+	}
+	for _, c := range cases {
+		p := ProfileColumn(c.name, c.values)
+		if p.Type != c.want {
+			t.Errorf("%s: type = %v, want %v", c.name, p.Type, c.want)
+		}
+	}
+}
+
+func TestColumnProfileStats(t *testing.T) {
+	p := ProfileColumn("c", []string{"ab", "ab", "cdef", ""})
+	if p.Rows != 4 || p.NonEmpty != 3 || p.Distinct != 2 {
+		t.Errorf("stats: rows=%d nonempty=%d distinct=%d", p.Rows, p.NonEmpty, p.Distinct)
+	}
+	if p.MaxLen != 4 {
+		t.Errorf("MaxLen = %d", p.MaxLen)
+	}
+	if p.AvgLen < 2.6 || p.AvgLen > 2.7 {
+		t.Errorf("AvgLen = %f", p.AvgLen)
+	}
+	if len(p.TopValues) != 2 || p.TopValues[0].Value != "ab" || p.TopValues[0].Count != 2 {
+		t.Errorf("TopValues = %v", p.TopValues)
+	}
+	if len(p.Signatures) == 0 {
+		t.Error("signatures missing")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	for ct, want := range map[ColType]string{
+		Empty: "empty", Numeric: "numeric", Code: "code", Text: "text", Category: "category",
+	} {
+		if ct.String() != want {
+			t.Errorf("%v.String() = %q", ct, ct.String())
+		}
+	}
+	if ColType(99).String() != "ColType(99)" {
+		t.Error("unknown type String")
+	}
+}
+
+func TestCandidatesPruning(t *testing.T) {
+	tb := table.MustNew("t", []string{"phone", "state", "salary", "note"})
+	rows := [][]string{
+		{"8505467600", "FL", "100", "aaa bbb"},
+		{"6073771300", "NY", "25000", "bbb ccc"},
+		{"4048481918", "GA", "3", "ccc ddd"},
+		{"2176163297", "IL", "47", "ddd eee"},
+		{"8505467601", "FL", "88", "eee fff"},
+		{"6073771301", "NY", "9", "fff ggg"},
+	}
+	for _, r := range rows {
+		tb.MustAppend(r...)
+	}
+	tp := Profile(tb)
+	cands := Candidates(tp)
+	seen := map[string]bool{}
+	for _, c := range cands {
+		seen[c.String()] = true
+		if c.LHS == "salary" || c.RHS == "salary" {
+			t.Errorf("numeric column survived pruning: %s", c)
+		}
+	}
+	if !seen["phone -> state"] {
+		t.Errorf("phone -> state candidate missing; got %v", cands)
+	}
+	// note is all-distinct text: unusable as RHS.
+	if seen["phone -> note"] {
+		t.Error("all-distinct text column should not be an RHS")
+	}
+}
+
+func TestCandidatesKeyRHSPruned(t *testing.T) {
+	tb := table.MustNew("t", []string{"id", "cat"})
+	tb.MustAppend("A-1", "x")
+	tb.MustAppend("A-2", "x")
+	tb.MustAppend("B-3", "y")
+	tb.MustAppend("B-4", "y")
+	tp := Profile(tb)
+	for _, c := range Candidates(tp) {
+		if c.RHS == "id" {
+			t.Errorf("key column as RHS should be pruned: %s", c)
+		}
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	tb := table.MustNew("t", []string{"a", "b"})
+	tb.MustAppend("1", "x")
+	tp := Profile(tb)
+	if tp.Table != "t" || tp.Rows != 1 || len(tp.Columns) != 2 {
+		t.Errorf("Profile = %+v", tp)
+	}
+}
+
+func TestColumnPatterns(t *testing.T) {
+	values := []string{"90001", "90002", "60601", "60603-6263", ""}
+	ps := ColumnPatterns(values)
+	if len(ps) != 2 {
+		t.Fatalf("patterns = %v", ps)
+	}
+	if ps[0].Pattern != `\D{5}` || ps[0].Frequency != 3 {
+		t.Errorf("top pattern = %+v", ps[0])
+	}
+	if ps[1].Pattern != `\D{5}\S\D{4}` || ps[1].Frequency != 1 {
+		t.Errorf("second pattern = %+v", ps[1])
+	}
+}
+
+func TestTokenPatterns(t *testing.T) {
+	values := []string{
+		"Holloway, Donald E.",
+		"Jones, Stacey R.",
+		"Kimbell, David",
+	}
+	ps := TokenPatterns(values)
+	if len(ps) == 0 {
+		t.Fatal("no token patterns")
+	}
+	// Last-name tokens at position 0: `\LU\LL{7}\S` etc. — all start
+	// with an upper char; the comma is attached. First names at pos 1.
+	sawPos0, sawPos1, sawInitial := false, false, false
+	for _, p := range ps {
+		switch {
+		case p.Position == 0 && strings.HasPrefix(p.Pattern, `\LU`):
+			sawPos0 = true
+		case p.Position == 1 && strings.HasPrefix(p.Pattern, `\LU`):
+			sawPos1 = true
+		case p.Position == 2 && p.Pattern == `\LU\S`:
+			sawInitial = true
+		}
+	}
+	if !sawPos0 || !sawPos1 || !sawInitial {
+		t.Errorf("token positions missing: pos0=%v pos1=%v initial=%v in %v",
+			sawPos0, sawPos1, sawInitial, ps)
+	}
+	// Ordered by descending frequency.
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Frequency > ps[i-1].Frequency {
+			t.Fatal("not sorted by frequency")
+		}
+	}
+}
+
+func TestIsPlainNumber(t *testing.T) {
+	yes := []string{"0", "42", "-7", "+3", "3.14", "-0.5"}
+	for _, s := range yes {
+		if !isPlainNumber(s) {
+			t.Errorf("isPlainNumber(%q) = false", s)
+		}
+	}
+	no := []string{"", "-", ".", "1.2.3", "1a", "a1"}
+	for _, s := range no {
+		if isPlainNumber(s) {
+			t.Errorf("isPlainNumber(%q) = true", s)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/docstore"
+)
+
+func runSession(t *testing.T) *core.Session {
+	t.Helper()
+	sys := core.NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(1000, 0.01, 77)
+	se := sys.NewSession("rpt", d.Table, core.DefaultParams())
+	if err := se.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+func TestWriteSections(t *testing.T) {
+	se := runSession(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, se, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# ANMAT report",
+		"## 1. Profile",
+		"## 2. Discovered PFDs",
+		"## 3. Violations",
+		"## 4. Suggested repairs",
+		"coverage γ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Tableaux and violations actually present.
+	if !strings.Contains(out, "→") && !strings.Contains(out, "| `") {
+		t.Error("no tableau rows rendered")
+	}
+	// Error triage appears when repairs exist.
+	if !strings.Contains(out, "Error triage:") {
+		t.Error("triage summary missing")
+	}
+	if !strings.Contains(out, "| kind |") {
+		t.Error("kind column missing in repairs table")
+	}
+}
+
+func TestWriteTruncation(t *testing.T) {
+	se := runSession(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, se, Options{MaxViolations: 1, MaxRowsPerTableau: 1, MaxRepairs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "…") {
+		t.Error("expected truncation markers")
+	}
+	// Far smaller than the full report.
+	var full bytes.Buffer
+	if err := Write(&full, se, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= full.Len() {
+		t.Errorf("truncated report (%d) not smaller than full (%d)", buf.Len(), full.Len())
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestWritePropagatesErrors(t *testing.T) {
+	se := runSession(t)
+	if err := Write(&failWriter{after: 2}, se, Options{}); err == nil {
+		t.Error("write error should propagate")
+	}
+}
+
+func TestWriteEmptySession(t *testing.T) {
+	sys := core.NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(50, 0, 78)
+	se := sys.NewSession("rpt", d.Table, core.Params{MinCoverage: 1.1, AllowedViolations: 0})
+	if err := se.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, se, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No PFDs met the thresholds") {
+		t.Error("empty discovery should be stated")
+	}
+}

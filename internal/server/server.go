@@ -1,0 +1,385 @@
+// Package server is the GUI substitute for Figures 3–5: a net/http JSON
+// API plus minimal embedded HTML views over the ANMAT pipeline. The three
+// views mirror the demo's screens:
+//
+//	/            project/dataset selection (Figure 3 header)
+//	/profile     pattern listing per column (Figure 3)
+//	/pfds        discovered PFD tableaux (Figure 4)
+//	/violations  detected violations (Figure 5)
+//
+// JSON endpoints live under /api/.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sync"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/profile"
+	"github.com/anmat/anmat/internal/table"
+)
+
+// Server wires one core.System and at most one loaded session to HTTP.
+type Server struct {
+	mu   sync.RWMutex
+	sys  *core.System
+	sess *core.Session
+}
+
+// New builds a server over a system.
+func New(sys *core.System) *Server { return &Server{sys: sys} }
+
+// LoadSession binds a dataset to the server and runs the pipeline.
+func (s *Server) LoadSession(project string, t *table.Table, p core.Params) error {
+	sess := s.sys.NewSession(project, t, p)
+	if err := sess.Run(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sess = sess
+	s.mu.Unlock()
+	return nil
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/profile", s.apiProfile)
+	mux.HandleFunc("GET /api/pfds", s.apiPFDs)
+	mux.HandleFunc("GET /api/violations", s.apiViolations)
+	mux.HandleFunc("GET /api/repairs", s.apiRepairs)
+	mux.HandleFunc("GET /api/projects", s.apiProjects)
+	mux.HandleFunc("POST /api/upload", s.apiUpload)
+	mux.HandleFunc("POST /api/confirm", s.apiConfirm)
+	mux.HandleFunc("GET /api/violation", s.apiViolationDetail)
+	mux.HandleFunc("GET /api/dmv", s.apiDMV)
+	mux.HandleFunc("GET /profile", s.pageProfile)
+	mux.HandleFunc("GET /pfds", s.pagePFDs)
+	mux.HandleFunc("GET /violations", s.pageViolations)
+	mux.HandleFunc("GET /{$}", s.pageIndex)
+	return mux
+}
+
+func (s *Server) session() *core.Session {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sess
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) apiProjects(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"projects": s.sys.Projects()})
+}
+
+func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		http.Error(w, "no dataset loaded", http.StatusNotFound)
+		return
+	}
+	type colView struct {
+		Name     string                   `json:"name"`
+		Type     string                   `json:"type"`
+		Distinct int                      `json:"distinct"`
+		Patterns []profile.PatternSummary `json:"patterns"`
+	}
+	out := struct {
+		Table   string    `json:"table"`
+		Rows    int       `json:"rows"`
+		Columns []colView `json:"columns"`
+	}{Table: sess.Table.Name(), Rows: sess.Table.NumRows()}
+	for i, cp := range sess.Profile.Columns {
+		out.Columns = append(out.Columns, colView{
+			Name:     cp.Name,
+			Type:     cp.Type.String(),
+			Distinct: cp.Distinct,
+			Patterns: profile.ColumnPatterns(sess.Table.ColumnByIndex(i)),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) apiPFDs(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		http.Error(w, "no dataset loaded", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"pfds": sess.Discovered})
+}
+
+func (s *Server) apiViolations(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		http.Error(w, "no dataset loaded", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"count":      len(sess.Violations),
+		"violations": sess.Violations,
+	})
+}
+
+func (s *Server) apiRepairs(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		http.Error(w, "no dataset loaded", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"repairs": sess.Repairs})
+}
+
+// apiUpload accepts a CSV body (?project=&name=&coverage=&violations=) and
+// loads it as the active session — the demo's "upload the datasets that
+// need to be processed".
+func (s *Server) apiUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "uploaded"
+	}
+	project := r.URL.Query().Get("project")
+	if project == "" {
+		project = "default"
+	}
+	params := core.DefaultParams()
+	if v := r.URL.Query().Get("coverage"); v != "" {
+		fmt.Sscanf(v, "%f", &params.MinCoverage)
+	}
+	if v := r.URL.Query().Get("violations"); v != "" {
+		fmt.Sscanf(v, "%f", &params.AllowedViolations)
+	}
+	t, err := table.ReadCSV(name, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.LoadSession(project, t, params); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	sess := s.session()
+	writeJSON(w, map[string]any{
+		"table":      t.Name(),
+		"rows":       t.NumRows(),
+		"pfds":       len(sess.Discovered),
+		"violations": len(sess.Violations),
+	})
+}
+
+// apiConfirm marks a subset of discovered PFDs as user-validated and
+// re-runs detection and repair over just those (the demo flow: "based on
+// the confirmed dependencies, Anmat will run them through the
+// corresponding columns"). Body: {"ids": ["table:a->b", …]}; an empty or
+// missing list confirms everything.
+func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	if sess == nil {
+		http.Error(w, "no dataset loaded", http.StatusNotFound)
+		return
+	}
+	var body struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && err.Error() != "EOF" {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	confirmed := sess.Confirm(body.IDs...)
+	if len(body.IDs) > 0 && len(confirmed) == 0 {
+		http.Error(w, "no discovered PFD matches the given ids", http.StatusBadRequest)
+		return
+	}
+	if _, err := sess.RunDetection(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := sess.RunRepairs(); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ids := make([]string, len(confirmed))
+	for i, p := range confirmed {
+		ids[i] = p.ID()
+	}
+	writeJSON(w, map[string]any{
+		"confirmed":  ids,
+		"violations": len(sess.Violations),
+		"repairs":    len(sess.Repairs),
+	})
+}
+
+// apiDMV scans for disguised missing values on demand.
+func (s *Server) apiDMV(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sess := s.sess
+	s.mu.Unlock()
+	if sess == nil {
+		http.Error(w, "no dataset loaded", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"findings": sess.RunDMV()})
+}
+
+// apiViolationDetail returns one violation with the full violating
+// records (the Figure 5 drill-down: "display … the full violating
+// records to have more insights").
+func (s *Server) apiViolationDetail(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		http.Error(w, "no dataset loaded", http.StatusNotFound)
+		return
+	}
+	idx := 0
+	if v := r.URL.Query().Get("i"); v != "" {
+		fmt.Sscanf(v, "%d", &idx)
+	}
+	if idx < 0 || idx >= len(sess.Violations) {
+		http.Error(w, "violation index out of range", http.StatusNotFound)
+		return
+	}
+	v := sess.Violations[idx]
+	type record struct {
+		Row   int               `json:"row"`
+		Cells map[string]string `json:"cells"`
+	}
+	var records []record
+	for _, tu := range v.Tuples {
+		cells := make(map[string]string, sess.Table.NumCols())
+		for ci, col := range sess.Table.Columns() {
+			cells[col] = sess.Table.Cell(tu, ci)
+		}
+		records = append(records, record{Row: tu, Cells: cells})
+	}
+	writeJSON(w, map[string]any{"violation": v, "records": records})
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html><head><title>ANMAT — {{.Title}}</title>
+<style>
+body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}
+td,th{border:1px solid #999;padding:4px 8px}th{background:#eee}
+nav a{margin-right:1em}
+</style></head><body>
+<nav><a href="/">Home</a><a href="/profile">Profile</a><a href="/pfds">PFDs</a><a href="/violations">Violations</a></nav>
+<h1>{{.Title}}</h1>
+{{.Body}}
+</body></html>`))
+
+type page struct {
+	Title string
+	Body  template.HTML
+}
+
+func (s *Server) render(w http.ResponseWriter, p page) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = pageTmpl.Execute(w, p)
+}
+
+func (s *Server) pageIndex(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	body := "<p>No dataset loaded. POST a CSV to /api/upload.</p>"
+	if sess != nil {
+		body = fmt.Sprintf("<p>Project <b>%s</b>, dataset <b>%s</b>: %d rows, %d PFDs, %d violations.</p>",
+			template.HTMLEscapeString(sess.Project),
+			template.HTMLEscapeString(sess.Table.Name()),
+			sess.Table.NumRows(), len(sess.Discovered), len(sess.Violations))
+	}
+	s.render(w, page{Title: "ANMAT", Body: template.HTML(body)})
+}
+
+func (s *Server) pageProfile(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		s.render(w, page{Title: "Profile", Body: "<p>No dataset loaded.</p>"})
+		return
+	}
+	body := "<table><tr><th>Column</th><th>Type</th><th>Distinct</th><th>Patterns (pattern::position, frequency)</th></tr>"
+	for i, cp := range sess.Profile.Columns {
+		pats := profile.ColumnPatterns(sess.Table.ColumnByIndex(i))
+		cell := ""
+		for j, ps := range pats {
+			if j >= 5 {
+				cell += "…"
+				break
+			}
+			cell += fmt.Sprintf("%s::%d, %d<br>", template.HTMLEscapeString(ps.Pattern), ps.Position, ps.Frequency)
+		}
+		body += fmt.Sprintf("<tr><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>",
+			template.HTMLEscapeString(cp.Name), cp.Type, cp.Distinct, cell)
+	}
+	body += "</table>"
+	s.render(w, page{Title: "Profiling — patterns in the data", Body: template.HTML(body)})
+}
+
+func (s *Server) pagePFDs(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		s.render(w, page{Title: "PFDs", Body: "<p>No dataset loaded.</p>"})
+		return
+	}
+	body := ""
+	for _, p := range sess.Discovered {
+		body += fmt.Sprintf("<h3>%s → %s (coverage %.1f%%)</h3><table><tr><th>Pattern</th><th>RHS</th><th>Support</th></tr>",
+			template.HTMLEscapeString(p.LHS), template.HTMLEscapeString(p.RHS), p.Coverage*100)
+		for _, row := range p.Tableau.Rows() {
+			body += fmt.Sprintf("<tr><td>%s</td><td>%s</td><td>%d</td></tr>",
+				template.HTMLEscapeString(row.LHS.String()),
+				template.HTMLEscapeString(row.RHS), row.Support)
+		}
+		body += "</table>"
+	}
+	if body == "" {
+		body = "<p>No PFDs discovered.</p>"
+	}
+	s.render(w, page{Title: "Discovered PFDs", Body: template.HTML(body)})
+}
+
+func (s *Server) pageViolations(w http.ResponseWriter, r *http.Request) {
+	sess := s.session()
+	if sess == nil {
+		s.render(w, page{Title: "Violations", Body: "<p>No dataset loaded.</p>"})
+		return
+	}
+	body := fmt.Sprintf("<p>%d violation(s).</p><table><tr><th>Rule</th><th>Cells</th><th>Observed</th><th>Expected</th></tr>", len(sess.Violations))
+	max := len(sess.Violations)
+	if max > 200 {
+		max = 200
+	}
+	for _, v := range sess.Violations[:max] {
+		body += fmt.Sprintf("<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+			template.HTMLEscapeString(v.Row),
+			template.HTMLEscapeString(cellList(v)),
+			template.HTMLEscapeString(v.Observed),
+			template.HTMLEscapeString(v.Expected))
+	}
+	body += "</table>"
+	s.render(w, page{Title: "Detected errors", Body: template.HTML(body)})
+}
+
+func cellList(v pfd.Violation) string {
+	out := ""
+	for i, c := range v.Cells {
+		if i > 0 {
+			out += " "
+		}
+		out += c.String()
+	}
+	return out
+}
+
+// Repairs exposes detect.Repair in the server API surface for callers that
+// want to re-run repair after confirming rules.
+type Repairs = []detect.Repair

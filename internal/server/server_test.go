@@ -1,0 +1,272 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/docstore"
+)
+
+func newLoadedServer(t *testing.T) *Server {
+	t.Helper()
+	sys := core.NewSystem(docstore.NewMem())
+	sys.CreateProject("demo")
+	srv := New(sys)
+	d := datagen.ZipCity(800, 0.01, 21)
+	if err := srv.LoadSession("demo", d.Table, core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestAPIProfile(t *testing.T) {
+	h := newLoadedServer(t).Handler()
+	rec := get(t, h, "/api/profile")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out struct {
+		Table   string `json:"table"`
+		Rows    int    `json:"rows"`
+		Columns []struct {
+			Name     string `json:"name"`
+			Type     string `json:"type"`
+			Patterns []struct {
+				Pattern   string `json:"Pattern"`
+				Frequency int    `json:"Frequency"`
+			} `json:"patterns"`
+		} `json:"columns"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows != 800 || len(out.Columns) != 3 {
+		t.Errorf("profile = %+v", out)
+	}
+	if len(out.Columns[0].Patterns) == 0 {
+		t.Error("zip column should list patterns")
+	}
+}
+
+func TestAPIPFDsAndViolations(t *testing.T) {
+	h := newLoadedServer(t).Handler()
+	rec := get(t, h, "/api/pfds")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "tableau") {
+		t.Errorf("pfds: %d %s", rec.Code, rec.Body.String()[:100])
+	}
+	rec = get(t, h, "/api/violations")
+	var out struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count == 0 {
+		t.Error("dirty dataset should produce violations")
+	}
+	rec = get(t, h, "/api/repairs")
+	if rec.Code != http.StatusOK {
+		t.Errorf("repairs status = %d", rec.Code)
+	}
+}
+
+func TestAPIProjects(t *testing.T) {
+	h := newLoadedServer(t).Handler()
+	rec := get(t, h, "/api/projects")
+	if !strings.Contains(rec.Body.String(), "demo") {
+		t.Errorf("projects = %s", rec.Body.String())
+	}
+}
+
+func TestAPIEmptySession(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	for _, path := range []string{"/api/profile", "/api/pfds", "/api/violations", "/api/repairs"} {
+		if rec := get(t, h, path); rec.Code != http.StatusNotFound {
+			t.Errorf("%s without session: status %d", path, rec.Code)
+		}
+	}
+}
+
+func TestAPIUpload(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	csv := "zip,city\n90001,Los Angeles\n90002,Los Angeles\n90003,Los Angeles\n90004,Los Angeles\n90005,New York\n"
+	req := httptest.NewRequest(http.MethodPost, "/api/upload?name=zips&coverage=0.5&violations=0.4", strings.NewReader(csv))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("upload status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Table string `json:"table"`
+		Rows  int    `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Table != "zips" || out.Rows != 5 {
+		t.Errorf("upload = %+v", out)
+	}
+	// Pages should now render.
+	if rec := get(t, h, "/"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "zips") {
+		t.Errorf("index page: %d", rec.Code)
+	}
+}
+
+func TestAPIUploadBadCSV(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	req := httptest.NewRequest(http.MethodPost, "/api/upload", strings.NewReader(""))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("empty upload status = %d", rec.Code)
+	}
+}
+
+func TestAPIConfirm(t *testing.T) {
+	srv := newLoadedServer(t)
+	h := srv.Handler()
+	// Find a discovered PFD id.
+	rec := get(t, h, "/api/pfds")
+	var pfds struct {
+		PFDs []struct {
+			Table string `json:"table"`
+			LHS   string `json:"lhs"`
+			RHS   string `json:"rhs"`
+		} `json:"pfds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &pfds); err != nil {
+		t.Fatal(err)
+	}
+	if len(pfds.PFDs) == 0 {
+		t.Fatal("no PFDs to confirm")
+	}
+	id := pfds.PFDs[0].Table + ":" + pfds.PFDs[0].LHS + "->" + pfds.PFDs[0].RHS
+
+	body := strings.NewReader(`{"ids": ["` + id + `"]}`)
+	req := httptest.NewRequest(http.MethodPost, "/api/confirm", body)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("confirm status = %d: %s", rec2.Code, rec2.Body.String())
+	}
+	var out struct {
+		Confirmed  []string `json:"confirmed"`
+		Violations int      `json:"violations"`
+	}
+	if err := json.Unmarshal(rec2.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Confirmed) != 1 || out.Confirmed[0] != id {
+		t.Errorf("confirmed = %v", out.Confirmed)
+	}
+
+	// Bad id rejected.
+	req = httptest.NewRequest(http.MethodPost, "/api/confirm", strings.NewReader(`{"ids":["nope"]}`))
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, req)
+	if rec3.Code != http.StatusBadRequest {
+		t.Errorf("bad id status = %d", rec3.Code)
+	}
+
+	// Empty body confirms everything.
+	req = httptest.NewRequest(http.MethodPost, "/api/confirm", strings.NewReader(""))
+	rec4 := httptest.NewRecorder()
+	h.ServeHTTP(rec4, req)
+	if rec4.Code != http.StatusOK {
+		t.Errorf("confirm-all status = %d: %s", rec4.Code, rec4.Body.String())
+	}
+}
+
+func TestAPIViolationDetail(t *testing.T) {
+	srv := newLoadedServer(t)
+	h := srv.Handler()
+	rec := get(t, h, "/api/violation?i=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detail status = %d", rec.Code)
+	}
+	var out struct {
+		Records []struct {
+			Row   int               `json:"row"`
+			Cells map[string]string `json:"cells"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) == 0 {
+		t.Fatal("no full records in detail view")
+	}
+	if _, ok := out.Records[0].Cells["zip"]; !ok {
+		t.Errorf("record cells = %v", out.Records[0].Cells)
+	}
+	if rec := get(t, h, "/api/violation?i=999999"); rec.Code != http.StatusNotFound {
+		t.Errorf("out-of-range status = %d", rec.Code)
+	}
+}
+
+func TestAPIDMV(t *testing.T) {
+	sys := core.NewSystem(docstore.NewMem())
+	srv := New(sys)
+	d := datagen.ZipCity(600, 0, 22)
+	zi, _ := d.Table.ColIndex("zip")
+	for r := 0; r < d.Table.NumRows(); r += 60 {
+		d.Table.SetCell(r, zi, "99999")
+	}
+	if err := srv.LoadSession("demo", d.Table, core.DefaultParams()); err != nil {
+		t.Fatal(err)
+	}
+	rec := get(t, srv.Handler(), "/api/dmv")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("dmv status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "99999") {
+		t.Errorf("dmv response lacks sentinel: %s", rec.Body.String())
+	}
+	empty := New(core.NewSystem(docstore.NewMem()))
+	if rec := get(t, empty.Handler(), "/api/dmv"); rec.Code != http.StatusNotFound {
+		t.Errorf("empty-session dmv status = %d", rec.Code)
+	}
+}
+
+func TestHTMLPages(t *testing.T) {
+	h := newLoadedServer(t).Handler()
+	for _, path := range []string{"/", "/profile", "/pfds", "/violations"} {
+		rec := get(t, h, path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s status = %d", path, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+			t.Errorf("%s content type = %s", path, ct)
+		}
+		if !strings.Contains(rec.Body.String(), "ANMAT") {
+			t.Errorf("%s body lacks title", path)
+		}
+	}
+}
+
+func TestHTMLPagesEmptySession(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	for _, path := range []string{"/", "/profile", "/pfds", "/violations"} {
+		rec := get(t, h, path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s empty-session status = %d", path, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package table is the relational substrate of ANMAT: an in-memory table
+// with a named schema, string-typed cells, row/cell addressing, and CSV
+// input/output. Discovery and detection operate on this representation.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Table is a relation instance: an ordered list of column names and rows
+// of cells. All cells are strings; type inference happens in the profiler.
+type Table struct {
+	name    string
+	columns []string
+	colIdx  map[string]int
+	rows    [][]string
+}
+
+// New creates an empty table with the given column names.
+func New(name string, columns []string) (*Table, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("table %q: no columns", name)
+	}
+	idx := make(map[string]int, len(columns))
+	for i, c := range columns {
+		if c == "" {
+			return nil, fmt.Errorf("table %q: empty column name at %d", name, i)
+		}
+		if _, dup := idx[c]; dup {
+			return nil, fmt.Errorf("table %q: duplicate column %q", name, c)
+		}
+		idx[c] = i
+	}
+	cols := make([]string, len(columns))
+	copy(cols, columns)
+	return &Table{name: name, columns: cols, colIdx: idx}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, columns []string) *Table {
+	t, err := New(name, columns)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns a copy of the column names in schema order.
+func (t *Table) Columns() []string {
+	cp := make([]string, len(t.columns))
+	copy(cp, t.columns)
+	return cp
+}
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.columns) }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// ColIndex returns the index of the named column and whether it exists.
+func (t *Table) ColIndex(name string) (int, bool) {
+	i, ok := t.colIdx[name]
+	return i, ok
+}
+
+// Append adds a row. The row must have exactly one cell per column.
+func (t *Table) Append(row []string) error {
+	if len(row) != len(t.columns) {
+		return fmt.Errorf("table %q: row has %d cells, want %d", t.name, len(row), len(t.columns))
+	}
+	cp := make([]string, len(row))
+	copy(cp, row)
+	t.rows = append(t.rows, cp)
+	return nil
+}
+
+// MustAppend is Append that panics on error.
+func (t *Table) MustAppend(row ...string) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Cell returns the value at (row, column index).
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// CellByName returns the value at (row, column name).
+func (t *Table) CellByName(row int, col string) (string, error) {
+	i, ok := t.colIdx[col]
+	if !ok {
+		return "", fmt.Errorf("table %q: no column %q", t.name, col)
+	}
+	return t.rows[row][i], nil
+}
+
+// SetCell overwrites the value at (row, column index). It is used by the
+// repair engine and by error injection in the data generators.
+func (t *Table) SetCell(row, col int, v string) { t.rows[row][col] = v }
+
+// Row returns a copy of the row.
+func (t *Table) Row(i int) []string {
+	cp := make([]string, len(t.rows[i]))
+	copy(cp, t.rows[i])
+	return cp
+}
+
+// Column returns a copy of the named column's values in row order.
+func (t *Table) Column(name string) ([]string, error) {
+	i, ok := t.colIdx[name]
+	if !ok {
+		return nil, fmt.Errorf("table %q: no column %q", t.name, name)
+	}
+	out := make([]string, len(t.rows))
+	for r := range t.rows {
+		out[r] = t.rows[r][i]
+	}
+	return out, nil
+}
+
+// ColumnByIndex returns a copy of the column values at index i.
+func (t *Table) ColumnByIndex(i int) []string {
+	out := make([]string, len(t.rows))
+	for r := range t.rows {
+		out[r] = t.rows[r][i]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := MustNew(t.name, t.columns)
+	c.rows = make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		row := make([]string, len(r))
+		copy(row, r)
+		c.rows[i] = row
+	}
+	return c
+}
+
+// Cell addressing: a CellRef names one cell of one table, used in
+// violation reports ("four cells" for a variable-PFD violation).
+type CellRef struct {
+	Row    int    `json:"row"`
+	Column string `json:"column"`
+}
+
+// String renders the reference as t[row][col].
+func (c CellRef) String() string {
+	return fmt.Sprintf("[%d].%s", c.Row, c.Column)
+}
+
+// Less orders cell references by row then column, for stable output.
+func (c CellRef) Less(d CellRef) bool {
+	if c.Row != d.Row {
+		return c.Row < d.Row
+	}
+	return c.Column < d.Column
+}
+
+// SortCellRefs sorts refs in place by (row, column).
+func SortCellRefs(refs []CellRef) {
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+}
+
+// ReadCSV loads a table from CSV data. The first record is the header.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read csv header: %w", err)
+	}
+	t, err := New(name, header)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read csv row %d: %w", t.NumRows()+2, err)
+		}
+		// Pad or truncate ragged rows to schema width.
+		switch {
+		case len(rec) < len(header):
+			padded := make([]string, len(header))
+			copy(padded, rec)
+			rec = padded
+		case len(rec) > len(header):
+			rec = rec[:len(header)]
+		}
+		if err := t.Append(rec); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadCSVFile loads a table from a CSV file; the table is named after the
+// file's base name without extension.
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	return ReadCSV(name, f)
+}
+
+// WriteCSV writes the table as CSV with a header record.
+//
+// Limitation inherited from RFC 4180 / encoding/csv: in a one-column
+// table, a row whose only cell is the empty string serializes as a blank
+// line, which CSV readers skip; such rows do not survive a write/read
+// round trip.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the table to a file path.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Derive appends a computed column that concatenates the named source
+// columns with the separator, and returns the modified table (the
+// receiver, for chaining). It is the reduction from multi-attribute FDs
+// (the paper's X → Y over attribute sets) to the single-attribute engine:
+// a PFD over the derived column expresses a composite-key dependency, and
+// detection works unchanged because the derived column is a real column.
+func (t *Table) Derive(name string, cols []string, sep string) (*Table, error) {
+	if _, dup := t.colIdx[name]; dup {
+		return nil, fmt.Errorf("table %q: derived column %q already exists", t.name, name)
+	}
+	idxs := make([]int, len(cols))
+	for i, c := range cols {
+		j, ok := t.colIdx[c]
+		if !ok {
+			return nil, fmt.Errorf("table %q: no column %q to derive from", t.name, c)
+		}
+		idxs[i] = j
+	}
+	t.colIdx[name] = len(t.columns)
+	t.columns = append(t.columns, name)
+	parts := make([]string, len(idxs))
+	for r := range t.rows {
+		for i, j := range idxs {
+			parts[i] = t.rows[r][j]
+		}
+		t.rows[r] = append(t.rows[r], strings.Join(parts, sep))
+	}
+	return t, nil
+}
+
+// FromRows builds a table from a header and rows; convenient in tests.
+func FromRows(name string, columns []string, rows [][]string) (*Table, error) {
+	t, err := New(name, columns)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := t.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustFromRows is FromRows that panics on error.
+func MustFromRows(name string, columns []string, rows [][]string) *Table {
+	t, err := FromRows(name, columns, rows)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

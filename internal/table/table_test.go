@@ -1,0 +1,208 @@
+package table
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("t", nil); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := New("t", []string{"a", "a"}); err == nil {
+		t.Error("duplicate column should fail")
+	}
+	if _, err := New("t", []string{"a", ""}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	tb, err := New("t", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name() != "t" || tb.NumCols() != 2 || tb.NumRows() != 0 {
+		t.Errorf("unexpected table shape: %s %d %d", tb.Name(), tb.NumCols(), tb.NumRows())
+	}
+}
+
+func TestAppendAndAccess(t *testing.T) {
+	tb := MustNew("t", []string{"a", "b"})
+	if err := tb.Append([]string{"1"}); err == nil {
+		t.Error("short row should fail")
+	}
+	tb.MustAppend("x", "y")
+	tb.MustAppend("z", "w")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if tb.Cell(0, 1) != "y" {
+		t.Errorf("Cell(0,1) = %q", tb.Cell(0, 1))
+	}
+	v, err := tb.CellByName(1, "a")
+	if err != nil || v != "z" {
+		t.Errorf("CellByName = %q, %v", v, err)
+	}
+	if _, err := tb.CellByName(0, "nope"); err == nil {
+		t.Error("missing column should error")
+	}
+	col, err := tb.Column("b")
+	if err != nil || len(col) != 2 || col[0] != "y" || col[1] != "w" {
+		t.Errorf("Column(b) = %v, %v", col, err)
+	}
+	if _, err := tb.Column("nope"); err == nil {
+		t.Error("missing column should error")
+	}
+	row := tb.Row(0)
+	row[0] = "mutated"
+	if tb.Cell(0, 0) != "x" {
+		t.Error("Row() leaked internal state")
+	}
+	cols := tb.Columns()
+	cols[0] = "mutated"
+	if _, ok := tb.ColIndex("a"); !ok {
+		t.Error("Columns() leaked internal state")
+	}
+}
+
+func TestSetCellAndClone(t *testing.T) {
+	tb := MustNew("t", []string{"a"})
+	tb.MustAppend("1")
+	c := tb.Clone()
+	c.SetCell(0, 0, "2")
+	if tb.Cell(0, 0) != "1" {
+		t.Error("Clone should be deep")
+	}
+	if c.Cell(0, 0) != "2" {
+		t.Error("SetCell failed")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := MustNew("cities", []string{"zip", "city"})
+	tb.MustAppend("90001", "Los Angeles")
+	tb.MustAppend("60601", "Chicago, IL") // embedded comma
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("cities", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 || back.Cell(1, 1) != "Chicago, IL" {
+		t.Errorf("round trip lost data: %v", back.Row(1))
+	}
+}
+
+func TestReadCSVRagged(t *testing.T) {
+	in := "a,b,c\n1,2\n1,2,3,4\n"
+	tb, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if tb.Cell(0, 2) != "" {
+		t.Error("short row should be padded")
+	}
+	if tb.Cell(1, 2) != "3" {
+		t.Error("long row should be truncated")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty input should fail on header")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	tb := MustNew("data", []string{"k", "v"})
+	tb.MustAppend("a", "1")
+	if err := tb.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "data" {
+		t.Errorf("file-derived name = %q", back.Name())
+	}
+	if back.NumRows() != 1 || back.Cell(0, 0) != "a" {
+		t.Error("file round trip lost data")
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	tb, err := FromRows("t", []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 || tb.Cell(1, 0) != "3" {
+		t.Error("FromRows wrong")
+	}
+	if _, err := FromRows("t", []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+}
+
+func TestCellRefOrdering(t *testing.T) {
+	refs := []CellRef{
+		{Row: 2, Column: "a"},
+		{Row: 1, Column: "b"},
+		{Row: 1, Column: "a"},
+	}
+	SortCellRefs(refs)
+	want := []CellRef{{1, "a"}, {1, "b"}, {2, "a"}}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("sorted refs = %v", refs)
+		}
+	}
+	if refs[0].String() != "[1].a" {
+		t.Errorf("String = %q", refs[0].String())
+	}
+}
+
+func TestDerive(t *testing.T) {
+	tb := MustNew("t", []string{"a", "b"})
+	tb.MustAppend("x", "1")
+	tb.MustAppend("y", "2")
+	if _, err := tb.Derive("ab", []string{"a", "b"}, "|"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumCols() != 3 {
+		t.Fatalf("NumCols = %d", tb.NumCols())
+	}
+	col, err := tb.Column("ab")
+	if err != nil || col[0] != "x|1" || col[1] != "y|2" {
+		t.Fatalf("derived column = %v, %v", col, err)
+	}
+	// New rows appended after Derive must supply the derived cell too.
+	if err := tb.Append([]string{"z", "3", "z|3"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Derive("ab", []string{"a"}, ""); err == nil {
+		t.Error("duplicate derived name should fail")
+	}
+	if _, err := tb.Derive("c", []string{"missing"}, ""); err == nil {
+		t.Error("missing source column should fail")
+	}
+}
+
+func TestColumnByIndex(t *testing.T) {
+	tb := MustNew("t", []string{"a", "b"})
+	tb.MustAppend("1", "2")
+	col := tb.ColumnByIndex(1)
+	if len(col) != 1 || col[0] != "2" {
+		t.Errorf("ColumnByIndex = %v", col)
+	}
+}

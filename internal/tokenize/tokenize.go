@@ -1,0 +1,129 @@
+// Package tokenize provides the Tokenize and NGrams functions of the
+// discovery algorithm (Figure 2, lines 6–7). Tokens are delimiter-separated
+// pieces of a cell value with their token positions; n-grams are
+// fixed-length character windows with their character positions. The
+// position conventions follow Section 4 of the paper: token positions count
+// tokens from 0; n-gram positions count characters from 0.
+package tokenize
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a piece of a cell value together with its position.
+type Token struct {
+	// Text is the token or n-gram content.
+	Text string
+	// Pos is the token index (Tokenize) or starting rune index (NGrams).
+	Pos int
+}
+
+// DefaultDelims are the characters treated as token separators: spaces and
+// common punctuation found in names, phone numbers, codes and addresses.
+const DefaultDelims = " \t,;|/"
+
+// Tokenize splits a cell value into tokens at DefaultDelims. Delimiters
+// are dropped except for the comma, which is kept attached to the
+// preceding token ("Holloway," in "Holloway, Donald E.") so that
+// discovered name patterns can anchor on it the way Table 3 does.
+func Tokenize(s string) []Token {
+	return TokenizeDelims(s, DefaultDelims)
+}
+
+// TokenizeDelims splits on the given delimiter set. Runs of delimiters
+// count as one separator; leading/trailing delimiters produce no empty
+// tokens. A comma in the delimiter set is retained as a suffix of the
+// token it follows.
+func TokenizeDelims(s, delims string) []Token {
+	var out []Token
+	pos := 0
+	i := 0
+	rs := []rune(s)
+	for i < len(rs) {
+		// Skip leading delimiters.
+		for i < len(rs) && strings.ContainsRune(delims, rs[i]) {
+			i++
+		}
+		if i >= len(rs) {
+			break
+		}
+		start := i
+		for i < len(rs) && !strings.ContainsRune(delims, rs[i]) {
+			i++
+		}
+		tok := string(rs[start:i])
+		// Keep a following comma attached to this token.
+		if i < len(rs) && rs[i] == ',' && strings.ContainsRune(delims, ',') {
+			tok += ","
+			i++
+		}
+		out = append(out, Token{Text: tok, Pos: pos})
+		pos++
+	}
+	return out
+}
+
+// NGrams returns all n-grams of s with their starting rune positions. When
+// the value is shorter than n, the whole value is returned as a single
+// token at position 0 (a code like "F-9" still yields something to index).
+func NGrams(s string, n int) []Token {
+	rs := []rune(s)
+	if len(rs) == 0 {
+		return nil
+	}
+	if n <= 0 {
+		n = 1
+	}
+	if len(rs) <= n {
+		return []Token{{Text: s, Pos: 0}}
+	}
+	out := make([]Token, 0, len(rs)-n+1)
+	for i := 0; i+n <= len(rs); i++ {
+		out = append(out, Token{Text: string(rs[i : i+n]), Pos: i})
+	}
+	return out
+}
+
+// Prefixes returns the k-rune prefixes of s for k = 1..max (capped at the
+// value length). Discovery over code-like columns uses prefixes to mine
+// rules anchored at position 0, e.g. the `900`, `850`, `607` prefixes of
+// Table 3.
+func Prefixes(s string, max int) []Token {
+	rs := []rune(s)
+	if max > len(rs) {
+		max = len(rs)
+	}
+	out := make([]Token, 0, max)
+	for k := 1; k <= max; k++ {
+		out = append(out, Token{Text: string(rs[:k]), Pos: 0})
+	}
+	return out
+}
+
+// IsWordLike reports whether the token consists only of letters,
+// apostrophes, periods and hyphens — the shape of a name token.
+func IsWordLike(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && r != '\'' && r != '.' && r != '-' && r != ',' {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNumeric reports whether the token consists only of digits.
+func IsNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
