@@ -2,20 +2,30 @@
 // knowledge discovery and error detection through pattern functional
 // dependencies (Qahtan et al., SIGMOD 2019).
 //
-// The typical flow mirrors the demo:
+// A System is built with functional options and hosts any number of
+// concurrent sessions, each with a stable ID. Every pipeline entry point
+// takes a context.Context for cancellation:
 //
 //	t, _ := anmat.LoadCSV("employees.csv")
-//	sys := anmat.NewSystem("")                   // "" = in-memory store
+//	sys, _ := anmat.New()                        // in-memory store
 //	sess := sys.NewSession("myproject", t, anmat.DefaultParams())
-//	if err := sess.Run(); err != nil { ... }
+//	if err := sess.Run(ctx); err != nil { ... }
 //	for _, p := range sess.Discovered { fmt.Println(p, p.Tableau) }
 //	for _, v := range sess.Violations { fmt.Println(v.Row, v.Cells) }
 //
+// Partial flows compose from explicit stages:
+//
+//	_ = sess.RunStages(ctx, anmat.StageProfile)                     // profile only
+//	_ = sess.RunStages(ctx, anmat.StageProfile, anmat.StageDiscovery)
+//	sess.UseRules(stored)                                           // stored rules,
+//	_ = sess.RunStages(ctx, anmat.StageDetection, anmat.StageRepairs) // no mining
+//
 // The facade re-exports the pipeline types from the internal packages so
-// example programs and the CLI share one entry point.
+// example programs, the CLI, and the HTTP server share one entry point.
 package anmat
 
 import (
+	"context"
 	"io"
 
 	"github.com/anmat/anmat/internal/core"
@@ -35,8 +45,11 @@ type (
 	Params = core.Params
 	// System is the ANMAT engine bound to a document store.
 	System = core.System
-	// Session is one dataset's run through the pipeline.
+	// Session is one dataset's run through the pipeline, addressable by
+	// its stable ID.
 	Session = core.Session
+	// Stage names one composable pipeline step (see RunStages).
+	Stage = core.Stage
 	// PFD is a pattern functional dependency.
 	PFD = pfd.PFD
 	// Violation is a detected violation (2 cells for constant rules,
@@ -48,23 +61,86 @@ type (
 	DiscoveryConfig = discovery.Config
 )
 
+// Re-exported pipeline stages.
+const (
+	StageProfile   = core.StageProfile
+	StageDMV       = core.StageDMV
+	StageDiscovery = core.StageDiscovery
+	StageConfirm   = core.StageConfirm
+	StageDetection = core.StageDetection
+	StageRepairs   = core.StageRepairs
+)
+
+// FullPipeline is the stage list Session.Run executes.
+func FullPipeline() []Stage { return core.FullPipeline() }
+
 // DefaultParams returns the demo's default user parameters.
 func DefaultParams() Params { return core.DefaultParams() }
 
 // DefaultDiscoveryConfig returns the full default discovery configuration.
 func DefaultDiscoveryConfig() DiscoveryConfig { return discovery.Default() }
 
+// Option configures a System built by New.
+type Option func(*options) error
+
+type options struct {
+	storePath string
+	cfg       core.SystemConfig
+}
+
+// WithStorePath persists the document store at path ("" keeps it
+// memory-only, the default).
+func WithStorePath(path string) Option {
+	return func(o *options) error { o.storePath = path; return nil }
+}
+
+// WithParams sets the default user parameters for sessions created
+// without explicit ones.
+func WithParams(p Params) Option {
+	return func(o *options) error { o.cfg.Params = p; return nil }
+}
+
+// WithDiscoveryConfig sets the base discovery configuration applied to
+// every session (per-session Params still overlay coverage and violation
+// ratio).
+func WithDiscoveryConfig(cfg DiscoveryConfig) Option {
+	return func(o *options) error { o.cfg.Discovery = cfg; return nil }
+}
+
+// WithParallelism bounds the number of candidate dependencies mined
+// concurrently per session (0 = GOMAXPROCS).
+func WithParallelism(n int) Option {
+	return func(o *options) error { o.cfg.Discovery.Parallelism = n; return nil }
+}
+
+// New builds a System from functional options. With no options the store
+// is memory-only and all parameters take their demo defaults.
+func New(opts ...Option) (*System, error) {
+	o := options{cfg: core.DefaultSystemConfig()}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	store := docstore.NewMem()
+	if o.storePath != "" {
+		var err error
+		if store, err = docstore.Open(o.storePath); err != nil {
+			return nil, err
+		}
+	}
+	return core.NewSystemWith(store, o.cfg), nil
+}
+
 // NewSystem builds a system. With a non-empty path the document store
 // persists there; with "" it is memory-only.
+//
+// Deprecated: use New with WithStorePath.
 func NewSystem(storePath string) (*System, error) {
 	if storePath == "" {
-		return core.NewSystem(docstore.NewMem()), nil
+		return New()
 	}
-	st, err := docstore.Open(storePath)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewSystem(st), nil
+	return New(WithStorePath(storePath))
 }
 
 // LoadCSV reads a table from a CSV file (header row required).
@@ -79,7 +155,12 @@ func NewTable(name string, columns []string) (*Table, error) { return table.New(
 // Discover runs only the discovery stage with a full configuration,
 // bypassing the session pipeline.
 func Discover(t *Table, cfg DiscoveryConfig) ([]*PFD, error) {
-	res, err := discovery.Discover(t, cfg)
+	return DiscoverContext(context.Background(), t, cfg)
+}
+
+// DiscoverContext is Discover with cancellation.
+func DiscoverContext(ctx context.Context, t *Table, cfg DiscoveryConfig) ([]*PFD, error) {
+	res, err := discovery.DiscoverContext(ctx, t, cfg)
 	if err != nil {
 		return nil, err
 	}

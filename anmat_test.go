@@ -1,6 +1,8 @@
 package anmat
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +34,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	sys.CreateProject("p")
 	sess := sys.NewSession("p", tbl, DefaultParams())
-	if err := sess.Run(); err != nil {
+	if err := sess.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(sess.Discovered) == 0 || len(sess.Violations) == 0 {
@@ -91,4 +93,63 @@ func TestFacadeBadStorePath(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// TestNewWithOptions covers the functional-options constructor.
+func TestNewWithOptions(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultDiscoveryConfig()
+	cfg.MineVariable = false
+	sys, err := New(
+		WithStorePath(filepath.Join(dir, "store.json")),
+		WithParams(Params{MinCoverage: 0.3, AllowedViolations: 0.25}),
+		WithDiscoveryConfig(cfg),
+		WithParallelism(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := sys.Defaults(); p.MinCoverage != 0.3 || p.AllowedViolations != 0.25 {
+		t.Errorf("Defaults = %+v", p)
+	}
+	tbl, err := ReadCSV("t", strings.NewReader("a,b\nx,1\nx,1\nx,1\nx,1\ny,2\ny,2\ny,2\ny,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := sys.NewSession("p", tbl, sys.Defaults())
+	if sess.Params.MinCoverage != 0.3 {
+		t.Errorf("session params = %+v, want system defaults", sess.Params)
+	}
+	// Explicit zero params are honoured verbatim, not replaced.
+	if zp := sys.NewSession("p", tbl, Params{}); zp.Params != (Params{}) {
+		t.Errorf("zero params rewritten to %+v", zp.Params)
+	}
+	if sess.ID == "" {
+		t.Error("session has no ID")
+	}
+	if err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Store().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupt store path surfaces through New.
+	bad := filepath.Join(dir, "bad.json")
+	if err := writeFile(bad, "{corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(WithStorePath(bad)); err == nil {
+		t.Error("corrupt store should fail New")
+	}
+}
+
+// TestDiscoverContextCancelled checks facade-level cancellation.
+func TestDiscoverContextCancelled(t *testing.T) {
+	ds := datagen.ZipCity(500, 0, 98)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DiscoverContext(ctx, ds.Table, DefaultDiscoveryConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("DiscoverContext = %v, want context.Canceled", err)
+	}
 }

@@ -1,19 +1,25 @@
 // Command anmat-server runs the HTTP GUI substitute (Figures 3–5):
 //
-//	anmat-server [-addr :8080] [-store anmat.json] [-in data.csv]
+//	anmat-server [-addr :8080] [-store anmat.json] [-in data.csv] [-parallelism n]
 //
-// With -in the dataset is loaded and the pipeline run at startup;
-// otherwise POST a CSV to /api/upload.
+// With -in the dataset is loaded as the default session and the pipeline
+// run at startup; otherwise POST a CSV to /api/v1/sessions. The server is
+// multi-session: every upload creates an independent session addressable
+// under /api/v1/sessions/{id}.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"time"
 
 	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/server"
 	"github.com/anmat/anmat/internal/table"
@@ -22,9 +28,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storePath := flag.String("store", "", "document-store file (empty = in-memory)")
-	in := flag.String("in", "", "CSV to load at startup")
+	in := flag.String("in", "", "CSV to load at startup as the default session")
 	coverage := flag.Float64("coverage", core.DefaultParams().MinCoverage, "minimum coverage γ")
 	violations := flag.Float64("violations", core.DefaultParams().AllowedViolations, "allowed violation ratio")
+	parallelism := flag.Int("parallelism", 0, "discovery workers per session (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var store *docstore.Store
@@ -35,9 +42,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anmat-server:", err)
 		os.Exit(1)
 	}
-	sys := core.NewSystem(store)
+	cfg := core.DefaultSystemConfig()
+	cfg.Discovery = discovery.Default()
+	cfg.Discovery.Parallelism = *parallelism
+	sys := core.NewSystemWith(store, cfg)
 	sys.CreateProject("default")
 	srv := server.New(sys)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	if *in != "" {
 		t, err := table.ReadCSVFile(*in)
@@ -46,15 +59,32 @@ func main() {
 			os.Exit(1)
 		}
 		params := core.Params{MinCoverage: *coverage, AllowedViolations: *violations}
-		if err := srv.LoadSession("default", t, params); err != nil {
+		sess, err := srv.CreateSession(ctx, "default", t, params)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "anmat-server:", err)
 			os.Exit(1)
 		}
-		log.Printf("loaded %s: %d rows", t.Name(), t.NumRows())
+		log.Printf("loaded %s as session %s: %d rows, %d PFDs, %d violations",
+			t.Name(), sess.ID, t.NumRows(), len(sess.Discovered), len(sess.Violations))
 	}
 
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("ANMAT server listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	select {
+	case <-ctx.Done():
+		// First Ctrl-C: drain in-flight requests; restore default signal
+		// handling so a second Ctrl-C force-kills.
+		stop()
+		log.Print("shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "anmat-server:", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "anmat-server:", err)
 		os.Exit(1)
 	}

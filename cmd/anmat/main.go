@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/anmat/anmat/internal/core"
@@ -40,19 +42,29 @@ func run(args []string) error {
 		usage()
 		return fmt.Errorf("missing subcommand")
 	}
+	// Ctrl-C cancels the pipeline mid-discovery instead of killing the
+	// process between writes. Once cancelled, restore the default signal
+	// behaviour so a second Ctrl-C force-kills even in code that does not
+	// consult ctx.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	switch args[0] {
 	case "profile":
 		return cmdProfile(args[1:])
 	case "discover":
-		return cmdDiscover(args[1:])
+		return cmdDiscover(ctx, args[1:])
 	case "detect":
-		return cmdDetect(args[1:])
+		return cmdDetect(ctx, args[1:])
 	case "repair":
-		return cmdRepair(args[1:])
+		return cmdRepair(ctx, args[1:])
 	case "report":
-		return cmdReport(args[1:])
+		return cmdReport(ctx, args[1:])
 	case "stream":
-		return cmdStream(args[1:])
+		return cmdStream(ctx, args[1:])
 	case "dmv":
 		return cmdDMV(args[1:])
 	case "experiments":
@@ -144,14 +156,14 @@ func cmdProfile(args []string) error {
 	return nil
 }
 
-func cmdDiscover(args []string) error {
+func cmdDiscover(ctx context.Context, args []string) error {
 	pf := newPipelineFlags("discover")
 	se, err := pf.session(args)
 	if err != nil {
 		return err
 	}
 	se.RunProfile()
-	ps, err := se.RunDiscovery()
+	ps, err := se.RunDiscovery(ctx)
 	if err != nil {
 		return err
 	}
@@ -168,13 +180,13 @@ func cmdDiscover(args []string) error {
 	return nil
 }
 
-func cmdDetect(args []string) error {
+func cmdDetect(ctx context.Context, args []string) error {
 	pf := newPipelineFlags("detect")
 	se, err := pf.session(args)
 	if err != nil {
 		return err
 	}
-	if err := se.Run(); err != nil {
+	if err := se.Run(ctx); err != nil {
 		return err
 	}
 	fmt.Printf("%d PFD(s), %d violation(s)\n", len(se.Discovered), len(se.Violations))
@@ -193,7 +205,7 @@ func cmdDetect(args []string) error {
 	return nil
 }
 
-func cmdRepair(args []string) error {
+func cmdRepair(ctx context.Context, args []string) error {
 	pf := newPipelineFlags("repair")
 	out := pf.fs.String("out", "", "output CSV for the repaired table (required)")
 	se, err := pf.session(args)
@@ -203,7 +215,7 @@ func cmdRepair(args []string) error {
 	if *out == "" {
 		return fmt.Errorf("-out is required")
 	}
-	if err := se.Run(); err != nil {
+	if err := se.Run(ctx); err != nil {
 		return err
 	}
 	n, err := detect.Apply(se.Table, se.Repairs)
@@ -217,14 +229,14 @@ func cmdRepair(args []string) error {
 	return nil
 }
 
-func cmdReport(args []string) error {
+func cmdReport(ctx context.Context, args []string) error {
 	pf := newPipelineFlags("report")
 	out := pf.fs.String("out", "", "output Markdown path (default stdout)")
 	se, err := pf.session(args)
 	if err != nil {
 		return err
 	}
-	if err := se.Run(); err != nil {
+	if err := se.Run(ctx); err != nil {
 		return err
 	}
 	w := os.Stdout
@@ -275,7 +287,7 @@ func cmdDMV(args []string) error {
 // cmdStream mines PFDs from a trusted history CSV, seeds the incremental
 // detector with it, then validates the rows of the incoming CSV one by
 // one, printing an alert per suspect row.
-func cmdStream(args []string) error {
+func cmdStream(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
 	history := fs.String("history", "", "trusted history CSV (required)")
 	in := fs.String("in", "", "incoming rows CSV with the same schema (required)")
@@ -302,7 +314,7 @@ func cmdStream(args []string) error {
 		AllowedViolations: *violations,
 	})
 	se.RunProfile()
-	pfds, err := se.RunDiscovery()
+	pfds, err := se.RunDiscovery(ctx)
 	if err != nil {
 		return err
 	}
@@ -320,6 +332,11 @@ func cmdStream(args []string) error {
 	}
 	alerts := 0
 	for r := 0; r < incoming.NumRows(); r++ {
+		if r&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("stream cancelled at row %d: %w", r, err)
+			}
+		}
 		for _, a := range inc.Ingest(incoming.Row(r)) {
 			alerts++
 			if alerts <= 100 {

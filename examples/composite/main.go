@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,11 +58,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	pfds, err := anmat.Discover(tbl, anmat.DefaultDiscoveryConfig())
+	// Stage composition: mine everything, confirm only the composite
+	// route → zone rule, then run detection and repair on just that rule.
+	ctx := context.Background()
+	sys, err := anmat.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, p := range pfds {
+	sess := sys.NewSession("shipping", tbl, anmat.DefaultParams())
+	if err := sess.RunStages(ctx, anmat.StageProfile, anmat.StageDiscovery); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range sess.Discovered {
 		if p.LHS != "route" || p.RHS != "zone" {
 			continue
 		}
@@ -73,12 +81,12 @@ func main() {
 			}
 			fmt.Printf("  %s\n", row)
 		}
-		rs, err := anmat.SuggestRepairs(tbl, []*anmat.PFD{p})
-		if err != nil {
+		sess.Confirm(p.ID())
+		if err := sess.RunStages(ctx, anmat.StageDetection, anmat.StageRepairs); err != nil {
 			log.Fatal(err)
 		}
 		caught := map[int]bool{}
-		for _, r := range rs {
+		for _, r := range sess.Repairs {
 			caught[r.Cell.Row] = true
 		}
 		hits := 0
@@ -88,6 +96,6 @@ func main() {
 			}
 		}
 		fmt.Printf("\nrepairs identify %d rows; %d/%d injected zone errors caught\n",
-			len(rs), hits, len(dirtyRows))
+			len(sess.Repairs), hits, len(dirtyRows))
 	}
 }

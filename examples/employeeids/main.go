@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,12 +20,12 @@ func main() {
 	fmt.Printf("generated %d employee rows with %d injected errors\n\n",
 		ds.Table.NumRows(), len(ds.Injected))
 
-	sys, err := anmat.NewSystem("")
+	sys, err := anmat.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 	sess := sys.NewSession("employees", ds.Table, anmat.DefaultParams())
-	if err := sess.Run(); err != nil {
+	if err := sess.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 		}
 	}
 
-	sys, err := anmat.NewSystem("") // in-memory store
+	sys, err := anmat.New() // in-memory store
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func main() {
 	for _, t := range []*anmat.Table{name, zip} {
 		fmt.Printf("==== dataset %s ====\n", t.Name())
 		sess := sys.NewSession("quickstart", t, params)
-		if err := sess.Run(); err != nil {
+		if err := sess.Run(context.Background()); err != nil {
 			log.Fatal(err)
 		}
 

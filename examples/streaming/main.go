@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,15 +16,23 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Trusted history: clean compound registry.
 	history := datagen.Compound(8000, 0, 2019)
 	fmt.Printf("history: %d clean rows\n", history.Table.NumRows())
 
-	// Mine PFDs from history.
-	pfds, err := anmat.Discover(history.Table, anmat.DefaultDiscoveryConfig())
+	// Mine PFDs from history with a discovery-only session: profile and
+	// discovery stages, no detection pass over the clean batch.
+	sys, err := anmat.New()
 	if err != nil {
 		log.Fatal(err)
 	}
+	sess := sys.NewSession("stream", history.Table, anmat.DefaultParams())
+	if err := sess.RunStages(ctx, anmat.StageProfile, anmat.StageDiscovery); err != nil {
+		log.Fatal(err)
+	}
+	pfds := sess.Discovered
 	var idType *anmat.PFD
 	for _, p := range pfds {
 		if p.LHS == "compound_id" && p.RHS == "molecule_type" {

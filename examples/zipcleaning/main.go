@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,12 +19,12 @@ func main() {
 	fmt.Printf("generated %d zip rows with %d injected errors\n\n",
 		ds.Table.NumRows(), len(ds.Injected))
 
-	sys, err := anmat.NewSystem("")
+	sys, err := anmat.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 	sess := sys.NewSession("d5", ds.Table, anmat.DefaultParams())
-	if err := sess.Run(); err != nil {
+	if err := sess.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,0 +1,3 @@
+module github.com/anmat/anmat
+
+go 1.22

@@ -1,6 +1,7 @@
 package anmat
 
 import (
+	"context"
 	"testing"
 
 	"github.com/anmat/anmat/internal/datagen"
@@ -41,7 +42,7 @@ func TestPipelineAcrossFamilies(t *testing.T) {
 				t.Fatal(err)
 			}
 			sess := sys.NewSession("it", ds.Table, DefaultParams())
-			if err := sess.Run(); err != nil {
+			if err := sess.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if len(sess.Discovered) == 0 {

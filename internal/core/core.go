@@ -1,12 +1,19 @@
 // Package core orchestrates the ANMAT system: project and dataset
 // management over the document store, and the Profile → Discover →
 // Confirm → Detect → Repair pipeline the demo walks through (Section 4).
+//
+// Every Session carries a stable ID so callers (the HTTP server, future
+// shard routers) can address it after creation, and every pipeline entry
+// point takes a context.Context: cancellation is checked between stages
+// and inside the discovery candidate loop.
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/anmat/anmat/internal/detect"
 	"github.com/anmat/anmat/internal/discovery"
@@ -33,19 +40,52 @@ func DefaultParams() Params {
 	return Params{MinCoverage: d.MinCoverage, AllowedViolations: d.MaxViolationRatio}
 }
 
+// SystemConfig carries system-wide defaults applied to every new session.
+type SystemConfig struct {
+	// Params are the default user parameters for sessions created without
+	// explicit ones.
+	Params Params
+	// Discovery is the base discovery configuration; per-session Params
+	// overlay its MinCoverage/MaxViolationRatio.
+	Discovery discovery.Config
+}
+
+// DefaultSystemConfig returns the demo defaults.
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{Params: DefaultParams(), Discovery: discovery.Default()}
+}
+
 // System is the ANMAT engine bound to a document store.
 type System struct {
 	store *docstore.Store
+	cfg   SystemConfig
+	seq   atomic.Int64 // session ID sequence
 }
 
-// NewSystem builds a system over the store (use docstore.NewMem for
-// ephemeral sessions).
+// NewSystem builds a system over the store with default configuration
+// (use docstore.NewMem for ephemeral sessions).
 func NewSystem(store *docstore.Store) *System {
-	return &System{store: store}
+	return NewSystemWith(store, DefaultSystemConfig())
+}
+
+// NewSystemWith builds a system with explicit defaults. A zero-value
+// Discovery config is replaced by discovery.Default(); a config with any
+// field set is taken verbatim.
+func NewSystemWith(store *docstore.Store, cfg SystemConfig) *System {
+	if cfg.Discovery.IsZero() {
+		cfg.Discovery = discovery.Default()
+	}
+	if cfg.Params == (Params{}) {
+		cfg.Params = Params{MinCoverage: cfg.Discovery.MinCoverage, AllowedViolations: cfg.Discovery.MaxViolationRatio}
+	}
+	return &System{store: store, cfg: cfg}
 }
 
 // Store exposes the underlying document store.
 func (s *System) Store() *docstore.Store { return s.store }
+
+// Defaults returns the system-wide default session parameters.
+func (s *System) Defaults() Params { return s.cfg.Params }
 
 // Collections used by the system.
 const (
@@ -99,12 +139,21 @@ func (s *System) LoadPFDs(tableName string) ([]*pfd.PFD, error) {
 }
 
 // Session is one dataset loaded into a project, carrying the pipeline's
-// intermediate products.
+// intermediate products. A Session is not safe for concurrent use;
+// callers that share one (e.g. the HTTP server) must guard it. Distinct
+// sessions are independent and may run concurrently.
 type Session struct {
-	sys     *System
+	sys *System
+	// ID is the stable identifier assigned at creation; it addresses the
+	// session in registries and the versioned HTTP API.
+	ID      string
 	Project string
 	Table   *table.Table
 	Params  Params
+	// Discovery, when non-nil, overrides the system's base discovery
+	// configuration for this session (Params still overlay coverage and
+	// violation ratio).
+	Discovery *discovery.Config
 
 	Profile    profile.TableProfile
 	Discovered []*pfd.PFD
@@ -115,9 +164,76 @@ type Session struct {
 	DMVs       []DMVFinding
 }
 
-// NewSession binds a table to a project with the given parameters.
+// NewSession binds a table to a project with the given parameters
+// (stored verbatim — use System.Defaults for the system-wide ones) and
+// assigns a stable session ID.
 func (s *System) NewSession(project string, t *table.Table, p Params) *Session {
-	return &Session{sys: s, Project: project, Table: t, Params: p}
+	id := fmt.Sprintf("s%d", s.seq.Add(1))
+	return &Session{sys: s, ID: id, Project: project, Table: t, Params: p}
+}
+
+// discoveryConfig resolves the effective discovery configuration: the
+// session override (or the system base) with the session Params overlaid.
+func (se *Session) discoveryConfig() discovery.Config {
+	cfg := se.sys.cfg.Discovery
+	if se.Discovery != nil {
+		cfg = *se.Discovery
+	}
+	cfg.MinCoverage = se.Params.MinCoverage
+	cfg.MaxViolationRatio = se.Params.AllowedViolations
+	return cfg
+}
+
+// Stage names one composable step of the pipeline.
+type Stage string
+
+// The pipeline stages, in canonical order.
+const (
+	StageProfile   Stage = "profile"
+	StageDMV       Stage = "dmv"
+	StageDiscovery Stage = "discovery"
+	StageConfirm   Stage = "confirm" // confirm every discovered PFD
+	StageDetection Stage = "detection"
+	StageRepairs   Stage = "repairs"
+)
+
+// FullPipeline is the stage list Run executes: the demo's end-to-end flow
+// (DMV scanning stays on demand, as in the GUI).
+func FullPipeline() []Stage {
+	return []Stage{StageProfile, StageDiscovery, StageConfirm, StageDetection, StageRepairs}
+}
+
+// RunStages executes the given stages in order, checking ctx between
+// stages. This is the composition point for partial flows: profile-only
+// (StageProfile), discovery-only (StageProfile, StageDiscovery), or
+// detect-with-stored-rules (UseRules then StageDetection, StageRepairs).
+func (se *Session) RunStages(ctx context.Context, stages ...Stage) error {
+	for _, st := range stages {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("session %s: stage %s: %w", se.ID, st, err)
+		}
+		var err error
+		switch st {
+		case StageProfile:
+			se.RunProfile()
+		case StageDMV:
+			se.RunDMV()
+		case StageDiscovery:
+			_, err = se.RunDiscovery(ctx)
+		case StageConfirm:
+			se.Confirm()
+		case StageDetection:
+			_, err = se.RunDetection(ctx)
+		case StageRepairs:
+			_, err = se.RunRepairs(ctx)
+		default:
+			err = fmt.Errorf("unknown pipeline stage %q", st)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RunProfile computes and stores the table profile (the Figure 3 step:
@@ -125,6 +241,7 @@ func (s *System) NewSession(project string, t *table.Table, p Params) *Session {
 func (se *Session) RunProfile() profile.TableProfile {
 	se.Profile = profile.Profile(se.Table)
 	doc := docstore.Doc{
+		"session": se.ID,
 		"project": se.Project,
 		"table":   se.Table.Name(),
 		"rows":    se.Profile.Rows,
@@ -159,13 +276,12 @@ func (se *Session) RunDMV() []DMVFinding {
 }
 
 // RunDiscovery mines PFDs with the session parameters and stores them.
-func (se *Session) RunDiscovery() ([]*pfd.PFD, error) {
-	cfg := discovery.Default()
-	cfg.MinCoverage = se.Params.MinCoverage
-	cfg.MaxViolationRatio = se.Params.AllowedViolations
-	res, err := discovery.Discover(se.Table, cfg)
+// Cancelling ctx aborts mining mid-candidate with an error wrapping
+// context.Canceled.
+func (se *Session) RunDiscovery(ctx context.Context) ([]*pfd.PFD, error) {
+	res, err := discovery.DiscoverContext(ctx, se.Table, se.discoveryConfig())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("session %s: %w", se.ID, err)
 	}
 	se.Discovered = res.PFDs
 	se.Stats = res.Stats
@@ -190,12 +306,16 @@ func (se *Session) Confirm(ids ...string) []*pfd.PFD {
 	for _, id := range ids {
 		want[id] = true
 	}
-	se.Confirmed = se.Confirmed[:0]
+	// Build a fresh slice: after a full run Confirmed aliases Discovered,
+	// and appending into Confirmed[:0] would overwrite Discovered's
+	// backing array.
+	confirmed := make([]*pfd.PFD, 0, len(ids))
 	for _, p := range se.Discovered {
 		if want[p.ID()] {
-			se.Confirmed = append(se.Confirmed, p)
+			confirmed = append(confirmed, p)
 		}
 	}
+	se.Confirmed = confirmed
 	return se.Confirmed
 }
 
@@ -208,7 +328,10 @@ func (se *Session) UseRules(ps []*pfd.PFD) {
 
 // RunDetection evaluates the confirmed PFDs (all discovered ones when
 // none were explicitly confirmed) and stores the violations.
-func (se *Session) RunDetection() ([]pfd.Violation, error) {
+func (se *Session) RunDetection(ctx context.Context) ([]pfd.Violation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("session %s: detection: %w", se.ID, err)
+	}
 	ps := se.Confirmed
 	if ps == nil {
 		ps = se.Discovered
@@ -227,8 +350,9 @@ func (se *Session) RunDetection() ([]pfd.Violation, error) {
 	return vs, nil
 }
 
-// RunRepairs derives repair suggestions from the confirmed PFDs.
-func (se *Session) RunRepairs() ([]detect.Repair, error) {
+// RunRepairs derives repair suggestions from the confirmed PFDs,
+// checking ctx between rules.
+func (se *Session) RunRepairs(ctx context.Context) ([]detect.Repair, error) {
 	ps := se.Confirmed
 	if ps == nil {
 		ps = se.Discovered
@@ -237,6 +361,9 @@ func (se *Session) RunRepairs() ([]detect.Repair, error) {
 	var out []detect.Repair
 	seen := map[string]bool{}
 	for _, p := range ps {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("session %s: repairs: %w", se.ID, err)
+		}
 		rs, err := d.Repairs(p)
 		if err != nil {
 			return nil, err
@@ -255,16 +382,8 @@ func (se *Session) RunRepairs() ([]detect.Repair, error) {
 }
 
 // Run executes the whole pipeline: profile, discovery, detection, repair
-// suggestions (confirming every discovered PFD).
-func (se *Session) Run() error {
-	se.RunProfile()
-	if _, err := se.RunDiscovery(); err != nil {
-		return err
-	}
-	se.Confirm()
-	if _, err := se.RunDetection(); err != nil {
-		return err
-	}
-	_, err := se.RunRepairs()
-	return err
+// suggestions (confirming every discovered PFD). Cancelling ctx aborts
+// between stages and mid-discovery with an error wrapping ctx.Err().
+func (se *Session) Run(ctx context.Context) error {
+	return se.RunStages(ctx, FullPipeline()...)
 }

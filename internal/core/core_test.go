@@ -1,10 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/invlist"
 )
 
 func TestPipelineEndToEnd(t *testing.T) {
@@ -16,7 +21,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 
 	d := datagen.ZipCity(1500, 0.005, 42)
 	se := sys.NewSession("demo", d.Table, DefaultParams())
-	if err := se.Run(); err != nil {
+	if err := se.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(se.Profile.Columns) != 3 {
@@ -48,7 +53,7 @@ func TestDetectionFindsInjectedErrors(t *testing.T) {
 	sys := NewSystem(docstore.NewMem())
 	d := datagen.PhoneState(3000, 0.005, 43)
 	se := sys.NewSession("p", d.Table, DefaultParams())
-	if err := se.Run(); err != nil {
+	if err := se.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	flagged := map[int]bool{}
@@ -78,7 +83,7 @@ func TestConfirmSubset(t *testing.T) {
 	d := datagen.ZipCity(1200, 0.005, 44)
 	se := sys.NewSession("p", d.Table, DefaultParams())
 	se.RunProfile()
-	if _, err := se.RunDiscovery(); err != nil {
+	if _, err := se.RunDiscovery(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(se.Discovered) < 2 {
@@ -89,7 +94,7 @@ func TestConfirmSubset(t *testing.T) {
 	if len(got) != 1 || got[0].ID() != only {
 		t.Fatalf("Confirm(%s) = %v", only, got)
 	}
-	vs, err := se.RunDetection()
+	vs, err := se.RunDetection(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +109,7 @@ func TestConfirmAllByDefault(t *testing.T) {
 	sys := NewSystem(docstore.NewMem())
 	d := datagen.ZipCity(800, 0, 45)
 	se := sys.NewSession("p", d.Table, DefaultParams())
-	if _, err := se.RunDiscovery(); err != nil {
+	if _, err := se.RunDiscovery(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := se.Confirm(); len(got) != len(se.Discovered) {
@@ -158,13 +163,13 @@ func TestLoadPFDsRoundTrip(t *testing.T) {
 
 	// Session 1: discover and persist.
 	se := sys.NewSession("p", d.Table, DefaultParams())
-	if _, err := se.RunDiscovery(); err != nil {
+	if _, err := se.RunDiscovery(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if len(se.Discovered) == 0 {
 		t.Fatal("nothing discovered")
 	}
-	wantViolations, err := se.RunDetection()
+	wantViolations, err := se.RunDetection(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +193,7 @@ func TestLoadPFDsRoundTrip(t *testing.T) {
 	}
 	se2 := sys2.NewSession("p", d.Table, DefaultParams())
 	se2.UseRules(loaded)
-	got, err := se2.RunDetection()
+	got, err := se2.RunDetection(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,5 +228,132 @@ func TestDefaultParams(t *testing.T) {
 	}
 	if p.AllowedViolations < 0 || p.AllowedViolations >= 1 {
 		t.Errorf("AllowedViolations = %f", p.AllowedViolations)
+	}
+}
+
+// TestRunCancelledMidDiscovery is the cancellation contract: cancelling
+// the context while discovery is mining aborts Session.Run with an error
+// wrapping context.Canceled.
+func TestRunCancelledMidDiscovery(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(2000, 0.005, 48)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	var once sync.Once
+	cfg := discovery.Default()
+	cfg.Parallelism = 1
+	// The decision function parks the miner mid-candidate until the test
+	// has cancelled, so Run is provably cancelled *during* discovery.
+	cfg.Decision = func(e invlist.Entry) bool {
+		once.Do(func() { close(started) })
+		<-ctx.Done()
+		return false
+	}
+	se.Discovery = &cfg
+
+	errc := make(chan error, 1)
+	go func() { errc <- se.Run(ctx) }()
+	<-started
+	cancel()
+	err := <-errc
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under cancelled ctx = %v, want wrapped context.Canceled", err)
+	}
+	if len(se.Discovered) != 0 {
+		t.Errorf("cancelled run still published %d PFDs", len(se.Discovered))
+	}
+}
+
+// TestRunStagesCancelledBetweenStages checks the stage-boundary ctx check.
+func TestRunStagesCancelledBetweenStages(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(300, 0, 49)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := se.RunStages(ctx, StageProfile); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled RunStages = %v, want context.Canceled", err)
+	}
+	if _, err := se.RunDetection(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled RunDetection = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunStagesComposition exercises the partial flows the stage API is
+// for: profile-only, discovery-only, and detect-with-installed-rules.
+func TestRunStagesComposition(t *testing.T) {
+	ctx := context.Background()
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(1000, 0.01, 50)
+
+	profOnly := sys.NewSession("p", d.Table, DefaultParams())
+	if err := profOnly.RunStages(ctx, StageProfile); err != nil {
+		t.Fatal(err)
+	}
+	if len(profOnly.Profile.Columns) == 0 || profOnly.Discovered != nil {
+		t.Fatalf("profile-only ran discovery: %d PFDs", len(profOnly.Discovered))
+	}
+
+	discOnly := sys.NewSession("p", d.Table, DefaultParams())
+	if err := discOnly.RunStages(ctx, StageProfile, StageDiscovery); err != nil {
+		t.Fatal(err)
+	}
+	if len(discOnly.Discovered) == 0 || discOnly.Violations != nil {
+		t.Fatalf("discovery-only: %d PFDs, %d violations", len(discOnly.Discovered), len(discOnly.Violations))
+	}
+
+	detectOnly := sys.NewSession("p", d.Table, DefaultParams())
+	detectOnly.UseRules(discOnly.Discovered)
+	if err := detectOnly.RunStages(ctx, StageDetection, StageRepairs); err != nil {
+		t.Fatal(err)
+	}
+	if len(detectOnly.Violations) == 0 {
+		t.Fatal("stored-rule detection found nothing on dirty data")
+	}
+
+	if err := detectOnly.RunStages(ctx, Stage("bogus")); err == nil {
+		t.Error("unknown stage should error")
+	}
+}
+
+// TestSessionIDsStableAndUnique checks the registry prerequisite.
+func TestSessionIDsStableAndUnique(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(50, 0, 51)
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		se := sys.NewSession("p", d.Table, DefaultParams())
+		if se.ID == "" || seen[se.ID] {
+			t.Fatalf("session ID %q not unique/stable", se.ID)
+		}
+		seen[se.ID] = true
+	}
+}
+
+// TestConfirmSubsetPreservesDiscovered is the aliasing regression: after
+// a full run Confirmed aliases Discovered, and a selective Confirm must
+// not overwrite Discovered's backing array.
+func TestConfirmSubsetPreservesDiscovered(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.ZipCity(1200, 0.005, 52)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if err := se.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(se.Discovered) < 2 {
+		t.Skipf("need ≥2 PFDs, got %d", len(se.Discovered))
+	}
+	before := make([]string, len(se.Discovered))
+	for i, p := range se.Discovered {
+		before[i] = p.ID()
+	}
+	se.Confirm(before[len(before)-1]) // subset confirm after confirm-all
+	for i, p := range se.Discovered {
+		if p.ID() != before[i] {
+			t.Fatalf("Discovered[%d] corrupted: %s, want %s", i, p.ID(), before[i])
+		}
 	}
 }

@@ -6,6 +6,8 @@
 package discovery
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -77,6 +79,16 @@ type Config struct {
 	CleanDMVs bool
 }
 
+// IsZero reports whether every field of the config is zero (Config holds
+// a func field, so == is unavailable). Kept next to the field list so a
+// new field is added here too.
+func (c Config) IsZero() bool {
+	return c.MinCoverage == 0 && c.MaxViolationRatio == 0 && c.MinSupport == 0 &&
+		c.Mode == ModeAuto && c.NGramN == 0 && c.MaxPrefix == 0 &&
+		c.Decision == nil && !c.MineVariable && c.VariableKeyFraction == 0 &&
+		c.MaxTableauRows == 0 && c.Parallelism == 0 && !c.CleanDMVs
+}
+
 // Default returns the configuration used by the demo scenarios: γ = 5%,
 // 2% tolerated violations, support ≥ 4.
 func Default() Config {
@@ -127,6 +139,14 @@ type CandidateStats struct {
 // Discover runs the full Figure 2 algorithm over every candidate
 // dependency of the table.
 func Discover(t *table.Table, cfg Config) (*Result, error) {
+	return DiscoverContext(context.Background(), t, cfg)
+}
+
+// DiscoverContext is Discover with cancellation: ctx is checked before
+// each candidate dependency and periodically inside each candidate's
+// inverted-list scan, so a cancelled mining run stops within a bounded
+// amount of work and returns an error wrapping ctx.Err().
+func DiscoverContext(ctx context.Context, t *table.Table, cfg Config) (*Result, error) {
 	if cfg.NGramN <= 0 {
 		cfg.NGramN = 3
 	}
@@ -167,16 +187,28 @@ func Discover(t *table.Table, cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				p, stats, err := discoverCandidate(t, cands[i], cfg, f)
+				if err := ctx.Err(); err != nil {
+					outs[i] = outcome{err: err}
+					continue
+				}
+				p, stats, err := discoverCandidate(ctx, t, cands[i], cfg, f)
 				outs[i] = outcome{p: p, stats: stats, err: err}
 			}
 		}()
 	}
+feed:
 	for i := range cands {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("discovery cancelled: %w", err)
+	}
 
 	res := &Result{}
 	for _, o := range outs {
@@ -192,7 +224,7 @@ func Discover(t *table.Table, cfg Config) (*Result, error) {
 }
 
 // discoverCandidate mines one A → B candidate.
-func discoverCandidate(t *table.Table, cand profile.Candidate, cfg Config, f DecisionFunc) (*pfd.PFD, CandidateStats, error) {
+func discoverCandidate(ctx context.Context, t *table.Table, cand profile.Candidate, cfg Config, f DecisionFunc) (*pfd.PFD, CandidateStats, error) {
 	stats := CandidateStats{Candidate: cand}
 	lhsVals, err := t.Column(cand.LHS)
 	if err != nil {
@@ -215,7 +247,14 @@ func discoverCandidate(t *table.Table, cand profile.Candidate, cfg Config, f Dec
 
 	tab := tableau.New()
 	accepted := make([]invlist.Entry, 0)
-	for _, e := range entries {
+	for j, e := range entries {
+		// Large candidates can hold millions of entries; a cancelled run
+		// must not scan them to completion.
+		if j&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		if !f(e) {
 			continue
 		}

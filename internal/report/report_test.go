@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func runSession(t *testing.T) *core.Session {
 	sys := core.NewSystem(docstore.NewMem())
 	d := datagen.ZipCity(1000, 0.01, 77)
 	se := sys.NewSession("rpt", d.Table, core.DefaultParams())
-	if err := se.Run(); err != nil {
+	if err := se.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return se
@@ -95,7 +96,7 @@ func TestWriteEmptySession(t *testing.T) {
 	sys := core.NewSystem(docstore.NewMem())
 	d := datagen.ZipCity(50, 0, 78)
 	se := sys.NewSession("rpt", d.Table, core.Params{MinCoverage: 1.1, AllowedViolations: 0})
-	if err := se.Run(); err != nil {
+	if err := se.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

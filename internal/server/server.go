@@ -7,14 +7,36 @@
 //	/pfds        discovered PFD tableaux (Figure 4)
 //	/violations  detected violations (Figure 5)
 //
-// JSON endpoints live under /api/.
+// The JSON API is versioned and session-addressable — the demo is
+// explicitly multi-user ("new users can create their own projects"), so
+// the server keeps a registry of concurrent sessions, each guarded by its
+// own lock:
+//
+//	POST   /api/v1/sessions                 upload a CSV, run the pipeline
+//	GET    /api/v1/sessions                 list sessions
+//	GET    /api/v1/sessions/{id}            one session's summary
+//	GET    /api/v1/sessions/{id}/profile    Figure 3 data
+//	GET    /api/v1/sessions/{id}/pfds       Figure 4 data
+//	GET    /api/v1/sessions/{id}/violations Figure 5 data (limit/offset)
+//	GET    /api/v1/sessions/{id}/violations/{i}  one violation, full records
+//	GET    /api/v1/sessions/{id}/repairs    suggested fixes
+//	GET    /api/v1/sessions/{id}/dmv        disguised-missing-value scan
+//	POST   /api/v1/sessions/{id}/confirm    confirm rules, re-detect
+//	DELETE /api/v1/sessions/{id}            drop the session
+//	GET    /api/v1/projects                 project names
+//
+// The pre-versioning routes under /api/ remain as deprecated aliases onto
+// the default session (the first created, or the last legacy upload).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"html/template"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 
 	"github.com/anmat/anmat/internal/core"
@@ -24,40 +46,90 @@ import (
 	"github.com/anmat/anmat/internal/table"
 )
 
-// Server wires one core.System and at most one loaded session to HTTP.
-type Server struct {
+// sessionHandle pairs a session with its own lock, so operations on one
+// session never block another.
+type sessionHandle struct {
 	mu   sync.RWMutex
-	sys  *core.System
 	sess *core.Session
 }
 
-// New builds a server over a system.
-func New(sys *core.System) *Server { return &Server{sys: sys} }
+// Server wires one core.System and a registry of concurrent sessions to
+// HTTP. The registry map has its own lock; each session is guarded
+// per-session.
+type Server struct {
+	sys *core.System
 
-// LoadSession binds a dataset to the server and runs the pipeline.
+	mu        sync.RWMutex // guards sessions and defaultID only
+	sessions  map[string]*sessionHandle
+	defaultID string
+}
+
+// New builds a server over a system.
+func New(sys *core.System) *Server {
+	return &Server{sys: sys, sessions: make(map[string]*sessionHandle)}
+}
+
+// CreateSession runs the full pipeline on a new session and registers it.
+// The first session ever registered becomes the default target of the
+// deprecated unversioned routes.
+func (s *Server) CreateSession(ctx context.Context, project string, t *table.Table, p core.Params) (*core.Session, error) {
+	sess := s.sys.NewSession(project, t, p)
+	if err := sess.Run(ctx); err != nil {
+		return nil, err
+	}
+	s.register(sess, false)
+	return sess, nil
+}
+
+// LoadSession binds a dataset to the server, runs the pipeline, and makes
+// the session the default for the unversioned routes.
+//
+// Deprecated: use CreateSession and address the session by ID.
 func (s *Server) LoadSession(project string, t *table.Table, p core.Params) error {
 	sess := s.sys.NewSession(project, t, p)
-	if err := sess.Run(); err != nil {
+	if err := sess.Run(context.Background()); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.sess = sess
-	s.mu.Unlock()
+	s.register(sess, true)
 	return nil
+}
+
+func (s *Server) register(sess *core.Session, makeDefault bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[sess.ID] = &sessionHandle{sess: sess}
+	if makeDefault || s.defaultID == "" {
+		s.defaultID = sess.ID
+	}
 }
 
 // Handler returns the HTTP handler with all routes mounted.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/profile", s.apiProfile)
-	mux.HandleFunc("GET /api/pfds", s.apiPFDs)
-	mux.HandleFunc("GET /api/violations", s.apiViolations)
-	mux.HandleFunc("GET /api/repairs", s.apiRepairs)
-	mux.HandleFunc("GET /api/projects", s.apiProjects)
-	mux.HandleFunc("POST /api/upload", s.apiUpload)
-	mux.HandleFunc("POST /api/confirm", s.apiConfirm)
-	mux.HandleFunc("GET /api/violation", s.apiViolationDetail)
-	mux.HandleFunc("GET /api/dmv", s.apiDMV)
+	// Versioned, session-addressable API.
+	mux.HandleFunc("POST /api/v1/sessions", s.apiCreateSession)
+	mux.HandleFunc("GET /api/v1/sessions", s.apiListSessions)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.apiSessionSummary)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.apiDeleteSession)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/profile", s.apiProfile)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/pfds", s.apiPFDs)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/violations", s.apiViolations)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/violations/{i}", s.apiViolationDetail)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/repairs", s.apiRepairs)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/dmv", s.apiDMV)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/confirm", s.apiConfirm)
+	mux.HandleFunc("GET /api/v1/projects", s.apiProjects)
+	// Deprecated unversioned aliases onto the default session.
+	mux.HandleFunc("GET /api/profile", deprecated(s.apiProfile))
+	mux.HandleFunc("GET /api/pfds", deprecated(s.apiPFDs))
+	mux.HandleFunc("GET /api/violations", deprecated(s.apiViolations))
+	mux.HandleFunc("GET /api/repairs", deprecated(s.apiRepairs))
+	mux.HandleFunc("GET /api/projects", deprecated(s.apiProjects))
+	mux.HandleFunc("POST /api/upload", deprecated(s.apiUpload))
+	mux.HandleFunc("POST /api/confirm", deprecated(s.apiConfirm))
+	mux.HandleFunc("GET /api/violation", deprecated(s.apiLegacyViolationDetail))
+	mux.HandleFunc("GET /api/dmv", deprecated(s.apiDMV))
+	// HTML views (default session, or ?session=id).
 	mux.HandleFunc("GET /profile", s.pageProfile)
 	mux.HandleFunc("GET /pfds", s.pagePFDs)
 	mux.HandleFunc("GET /violations", s.pageViolations)
@@ -65,10 +137,43 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) session() *core.Session {
+// deprecated marks a legacy unversioned route in the response headers.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		h(w, r)
+	}
+}
+
+// handle resolves a session: the {id} path value (or ?session= for HTML
+// pages) when present, the default session otherwise. Returns nil when no
+// such session exists.
+func (s *Server) handle(id string) *sessionHandle {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.sess
+	if id == "" {
+		id = s.defaultID
+	}
+	return s.sessions[id]
+}
+
+// requestHandle resolves the session addressed by the request, writing a
+// 404 and returning nil when it does not exist.
+func (s *Server) requestHandle(w http.ResponseWriter, r *http.Request) *sessionHandle {
+	id := r.PathValue("id")
+	if id == "" {
+		id = r.URL.Query().Get("session")
+	}
+	h := s.handle(id)
+	if h == nil {
+		if id == "" {
+			http.Error(w, "no dataset loaded", http.StatusNotFound)
+		} else {
+			http.Error(w, "no such session "+id, http.StatusNotFound)
+		}
+		return nil
+	}
+	return h
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -78,16 +183,184 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+// floatParam parses an optional float query parameter, writing a 400 on
+// malformed input (second return false).
+func floatParam(w http.ResponseWriter, r *http.Request, name string, into *float64) bool {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return true
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("malformed %s=%q: %v", name, v, err), http.StatusBadRequest)
+		return false
+	}
+	*into = f
+	return true
+}
+
+// intParam parses an optional non-negative int query parameter, writing a
+// 400 on malformed input.
+func intParam(w http.ResponseWriter, r *http.Request, name string, into *int) bool {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		http.Error(w, fmt.Sprintf("malformed %s=%q: want a non-negative integer", name, v), http.StatusBadRequest)
+		return false
+	}
+	*into = n
+	return true
+}
+
+// paginate slices one page out of the violations, clamping offset to the
+// total (limit 0 = no bound). Returns the page and the clamped offset.
+func paginate(vs []pfd.Violation, limit, offset int) ([]pfd.Violation, int) {
+	if offset > len(vs) {
+		offset = len(vs)
+	}
+	page := vs[offset:]
+	if limit > 0 && len(page) > limit {
+		page = page[:limit]
+	}
+	return page, offset
+}
+
+type sessionSummary struct {
+	Session    string `json:"session"`
+	Project    string `json:"project"`
+	Table      string `json:"table"`
+	Rows       int    `json:"rows"`
+	PFDs       int    `json:"pfds"`
+	Violations int    `json:"violations"`
+	Repairs    int    `json:"repairs"`
+}
+
+func summarize(h *sessionHandle) sessionSummary {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	se := h.sess
+	return sessionSummary{
+		Session:    se.ID,
+		Project:    se.Project,
+		Table:      se.Table.Name(),
+		Rows:       se.Table.NumRows(),
+		PFDs:       len(se.Discovered),
+		Violations: len(se.Violations),
+		Repairs:    len(se.Repairs),
+	}
+}
+
 func (s *Server) apiProjects(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"projects": s.sys.Projects()})
 }
 
-func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
-		http.Error(w, "no dataset loaded", http.StatusNotFound)
+// apiCreateSession accepts a CSV body (?project=&name=&coverage=&violations=),
+// runs the pipeline under the request context, and registers the session —
+// the demo's "upload the datasets that need to be processed".
+func (s *Server) apiCreateSession(w http.ResponseWriter, r *http.Request) {
+	s.createSession(w, r, false)
+}
+
+// apiUpload is the deprecated unversioned upload; it additionally makes
+// the new session the default target of the other unversioned routes.
+func (s *Server) apiUpload(w http.ResponseWriter, r *http.Request) {
+	s.createSession(w, r, true)
+}
+
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request, makeDefault bool) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "uploaded"
+	}
+	project := r.URL.Query().Get("project")
+	if project == "" {
+		project = "default"
+	}
+	params := s.sys.Defaults()
+	if !floatParam(w, r, "coverage", &params.MinCoverage) ||
+		!floatParam(w, r, "violations", &params.AllowedViolations) {
 		return
 	}
+	t, err := table.ReadCSV(name, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sess := s.sys.NewSession(project, t, params)
+	if err := sess.Run(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.register(sess, makeDefault)
+	writeJSON(w, map[string]any{
+		"session":    sess.ID,
+		"table":      t.Name(),
+		"rows":       t.NumRows(),
+		"pfds":       len(sess.Discovered),
+		"violations": len(sess.Violations),
+	})
+}
+
+func (s *Server) apiListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	handles := make([]*sessionHandle, 0, len(s.sessions))
+	for _, h := range s.sessions {
+		handles = append(handles, h)
+	}
+	defaultID := s.defaultID
+	s.mu.RUnlock()
+	out := make([]sessionSummary, 0, len(handles))
+	for _, h := range handles {
+		out = append(out, summarize(h))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	writeJSON(w, map[string]any{"sessions": out, "default": defaultID})
+}
+
+func (s *Server) apiSessionSummary(w http.ResponseWriter, r *http.Request) {
+	h := s.requestHandle(w, r)
+	if h == nil {
+		return
+	}
+	writeJSON(w, summarize(h))
+}
+
+func (s *Server) apiDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+		if s.defaultID == id {
+			// Promote the lowest surviving ID so the deprecated
+			// unversioned routes keep working.
+			s.defaultID = ""
+			for sid := range s.sessions {
+				if s.defaultID == "" || sid < s.defaultID {
+					s.defaultID = sid
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "no such session "+id, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"deleted": id})
+}
+
+func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request) {
+	h := s.requestHandle(w, r)
+	if h == nil {
+		return
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sess := h.sess
 	type colView struct {
 		Name     string                   `json:"name"`
 		Type     string                   `json:"type"`
@@ -95,10 +368,11 @@ func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request) {
 		Patterns []profile.PatternSummary `json:"patterns"`
 	}
 	out := struct {
+		Session string    `json:"session"`
 		Table   string    `json:"table"`
 		Rows    int       `json:"rows"`
 		Columns []colView `json:"columns"`
-	}{Table: sess.Table.Name(), Rows: sess.Table.NumRows()}
+	}{Session: sess.ID, Table: sess.Table.Name(), Rows: sess.Table.NumRows()}
 	for i, cp := range sess.Profile.Columns {
 		out.Columns = append(out.Columns, colView{
 			Name:     cp.Name,
@@ -111,70 +385,48 @@ func (s *Server) apiProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) apiPFDs(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
-		http.Error(w, "no dataset loaded", http.StatusNotFound)
+	h := s.requestHandle(w, r)
+	if h == nil {
 		return
 	}
-	writeJSON(w, map[string]any{"pfds": sess.Discovered})
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	writeJSON(w, map[string]any{"session": h.sess.ID, "pfds": h.sess.Discovered})
 }
 
+// apiViolations pages through the detected violations: ?limit= bounds the
+// page size (0 = all), ?offset= skips, and the total count is always
+// returned so clients can iterate.
 func (s *Server) apiViolations(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
-		http.Error(w, "no dataset loaded", http.StatusNotFound)
+	h := s.requestHandle(w, r)
+	if h == nil {
 		return
 	}
+	limit, offset := 0, 0
+	if !intParam(w, r, "limit", &limit) || !intParam(w, r, "offset", &offset) {
+		return
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	total := len(h.sess.Violations)
+	page, offset := paginate(h.sess.Violations, limit, offset)
 	writeJSON(w, map[string]any{
-		"count":      len(sess.Violations),
-		"violations": sess.Violations,
+		"session":    h.sess.ID,
+		"count":      total,
+		"offset":     offset,
+		"returned":   len(page),
+		"violations": page,
 	})
 }
 
 func (s *Server) apiRepairs(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
-		http.Error(w, "no dataset loaded", http.StatusNotFound)
+	h := s.requestHandle(w, r)
+	if h == nil {
 		return
 	}
-	writeJSON(w, map[string]any{"repairs": sess.Repairs})
-}
-
-// apiUpload accepts a CSV body (?project=&name=&coverage=&violations=) and
-// loads it as the active session — the demo's "upload the datasets that
-// need to be processed".
-func (s *Server) apiUpload(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		name = "uploaded"
-	}
-	project := r.URL.Query().Get("project")
-	if project == "" {
-		project = "default"
-	}
-	params := core.DefaultParams()
-	if v := r.URL.Query().Get("coverage"); v != "" {
-		fmt.Sscanf(v, "%f", &params.MinCoverage)
-	}
-	if v := r.URL.Query().Get("violations"); v != "" {
-		fmt.Sscanf(v, "%f", &params.AllowedViolations)
-	}
-	t, err := table.ReadCSV(name, r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if err := s.LoadSession(project, t, params); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	sess := s.session()
-	writeJSON(w, map[string]any{
-		"table":      t.Name(),
-		"rows":       t.NumRows(),
-		"pfds":       len(sess.Discovered),
-		"violations": len(sess.Violations),
-	})
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	writeJSON(w, map[string]any{"session": h.sess.ID, "repairs": h.sess.Repairs})
 }
 
 // apiConfirm marks a subset of discovered PFDs as user-validated and
@@ -183,11 +435,8 @@ func (s *Server) apiUpload(w http.ResponseWriter, r *http.Request) {
 // corresponding columns"). Body: {"ids": ["table:a->b", …]}; an empty or
 // missing list confirms everything.
 func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	sess := s.sess
-	s.mu.Unlock()
-	if sess == nil {
-		http.Error(w, "no dataset loaded", http.StatusNotFound)
+	h := s.requestHandle(w, r)
+	if h == nil {
 		return
 	}
 	var body struct {
@@ -197,16 +446,25 @@ func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sess := h.sess
+	// Snapshot so a mid-detection failure (e.g. client disconnect) does
+	// not leave a new Confirmed set paired with stale violations. Confirm
+	// rebuilds Confirmed in place, so the snapshot must copy it.
+	var prevConfirmed []*pfd.PFD
+	if sess.Confirmed != nil {
+		prevConfirmed = append([]*pfd.PFD{}, sess.Confirmed...)
+	}
+	prevViolations, prevRepairs := sess.Violations, sess.Repairs
 	confirmed := sess.Confirm(body.IDs...)
 	if len(body.IDs) > 0 && len(confirmed) == 0 {
+		sess.Confirmed = prevConfirmed
 		http.Error(w, "no discovered PFD matches the given ids", http.StatusBadRequest)
 		return
 	}
-	if _, err := sess.RunDetection(); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if _, err := sess.RunRepairs(); err != nil {
+	if err := sess.RunStages(r.Context(), core.StageDetection, core.StageRepairs); err != nil {
+		sess.Confirmed, sess.Violations, sess.Repairs = prevConfirmed, prevViolations, prevRepairs
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -215,6 +473,7 @@ func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
 		ids[i] = p.ID()
 	}
 	writeJSON(w, map[string]any{
+		"session":    sess.ID,
 		"confirmed":  ids,
 		"violations": len(sess.Violations),
 		"repairs":    len(sess.Repairs),
@@ -223,29 +482,45 @@ func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
 
 // apiDMV scans for disguised missing values on demand.
 func (s *Server) apiDMV(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	sess := s.sess
-	s.mu.Unlock()
-	if sess == nil {
-		http.Error(w, "no dataset loaded", http.StatusNotFound)
+	h := s.requestHandle(w, r)
+	if h == nil {
 		return
 	}
-	writeJSON(w, map[string]any{"findings": sess.RunDMV()})
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	writeJSON(w, map[string]any{"session": h.sess.ID, "findings": h.sess.RunDMV()})
 }
 
 // apiViolationDetail returns one violation with the full violating
 // records (the Figure 5 drill-down: "display … the full violating
-// records to have more insights").
+// records to have more insights"). The index comes from the {i} path
+// value on the versioned route.
 func (s *Server) apiViolationDetail(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
-		http.Error(w, "no dataset loaded", http.StatusNotFound)
+	idx, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("malformed violation index %q", r.PathValue("i")), http.StatusBadRequest)
 		return
 	}
+	s.violationDetail(w, r, idx)
+}
+
+// apiLegacyViolationDetail serves the deprecated /api/violation?i= form.
+func (s *Server) apiLegacyViolationDetail(w http.ResponseWriter, r *http.Request) {
 	idx := 0
-	if v := r.URL.Query().Get("i"); v != "" {
-		fmt.Sscanf(v, "%d", &idx)
+	if !intParam(w, r, "i", &idx) {
+		return
 	}
+	s.violationDetail(w, r, idx)
+}
+
+func (s *Server) violationDetail(w http.ResponseWriter, r *http.Request, idx int) {
+	h := s.requestHandle(w, r)
+	if h == nil {
+		return
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sess := h.sess
 	if idx < 0 || idx >= len(sess.Violations) {
 		http.Error(w, "violation index out of range", http.StatusNotFound)
 		return
@@ -288,24 +563,35 @@ func (s *Server) render(w http.ResponseWriter, p page) {
 	_ = pageTmpl.Execute(w, p)
 }
 
+// pageSession resolves the session for an HTML view without writing a 404
+// (the pages render a placeholder instead).
+func (s *Server) pageSession(r *http.Request) *sessionHandle {
+	return s.handle(r.URL.Query().Get("session"))
+}
+
 func (s *Server) pageIndex(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	body := "<p>No dataset loaded. POST a CSV to /api/upload.</p>"
-	if sess != nil {
-		body = fmt.Sprintf("<p>Project <b>%s</b>, dataset <b>%s</b>: %d rows, %d PFDs, %d violations.</p>",
-			template.HTMLEscapeString(sess.Project),
-			template.HTMLEscapeString(sess.Table.Name()),
-			sess.Table.NumRows(), len(sess.Discovered), len(sess.Violations))
+	h := s.pageSession(r)
+	body := "<p>No dataset loaded. POST a CSV to /api/v1/sessions.</p>"
+	if h != nil {
+		sum := summarize(h)
+		body = fmt.Sprintf("<p>Session <b>%s</b>, project <b>%s</b>, dataset <b>%s</b>: %d rows, %d PFDs, %d violations.</p>",
+			template.HTMLEscapeString(sum.Session),
+			template.HTMLEscapeString(sum.Project),
+			template.HTMLEscapeString(sum.Table),
+			sum.Rows, sum.PFDs, sum.Violations)
 	}
 	s.render(w, page{Title: "ANMAT", Body: template.HTML(body)})
 }
 
 func (s *Server) pageProfile(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
+	h := s.pageSession(r)
+	if h == nil {
 		s.render(w, page{Title: "Profile", Body: "<p>No dataset loaded.</p>"})
 		return
 	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sess := h.sess
 	body := "<table><tr><th>Column</th><th>Type</th><th>Distinct</th><th>Patterns (pattern::position, frequency)</th></tr>"
 	for i, cp := range sess.Profile.Columns {
 		pats := profile.ColumnPatterns(sess.Table.ColumnByIndex(i))
@@ -325,11 +611,14 @@ func (s *Server) pageProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) pagePFDs(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
+	h := s.pageSession(r)
+	if h == nil {
 		s.render(w, page{Title: "PFDs", Body: "<p>No dataset loaded.</p>"})
 		return
 	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sess := h.sess
 	body := ""
 	for _, p := range sess.Discovered {
 		body += fmt.Sprintf("<h3>%s → %s (coverage %.1f%%)</h3><table><tr><th>Pattern</th><th>RHS</th><th>Support</th></tr>",
@@ -348,17 +637,23 @@ func (s *Server) pagePFDs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) pageViolations(w http.ResponseWriter, r *http.Request) {
-	sess := s.session()
-	if sess == nil {
+	h := s.pageSession(r)
+	if h == nil {
 		s.render(w, page{Title: "Violations", Body: "<p>No dataset loaded.</p>"})
 		return
 	}
-	body := fmt.Sprintf("<p>%d violation(s).</p><table><tr><th>Rule</th><th>Cells</th><th>Observed</th><th>Expected</th></tr>", len(sess.Violations))
-	max := len(sess.Violations)
-	if max > 200 {
-		max = 200
+	limit, offset := 200, 0
+	if !intParam(w, r, "limit", &limit) || !intParam(w, r, "offset", &offset) {
+		return
 	}
-	for _, v := range sess.Violations[:max] {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sess := h.sess
+	total := len(sess.Violations)
+	pageVs, offset := paginate(sess.Violations, limit, offset)
+	body := fmt.Sprintf("<p>Showing %d–%d of %d violation(s).</p><table><tr><th>Rule</th><th>Cells</th><th>Observed</th><th>Expected</th></tr>",
+		offset, offset+len(pageVs), total)
+	for _, v := range pageVs {
 		body += fmt.Sprintf("<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
 			template.HTMLEscapeString(v.Row),
 			template.HTMLEscapeString(cellList(v)),
@@ -366,6 +661,13 @@ func (s *Server) pageViolations(w http.ResponseWriter, r *http.Request) {
 			template.HTMLEscapeString(v.Expected))
 	}
 	body += "</table>"
+	if next := offset + len(pageVs); next < total {
+		link := fmt.Sprintf("/violations?offset=%d&limit=%d", next, limit)
+		if sid := r.URL.Query().Get("session"); sid != "" {
+			link += "&session=" + template.URLQueryEscaper(sid)
+		}
+		body += fmt.Sprintf(`<p><a href="%s">next page</a></p>`, link)
+	}
 	s.render(w, page{Title: "Detected errors", Body: template.HTML(body)})
 }
 

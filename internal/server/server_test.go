@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/anmat/anmat/internal/core"
@@ -268,5 +270,274 @@ func TestHTMLPagesEmptySession(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Errorf("%s empty-session status = %d", path, rec.Code)
 		}
+	}
+}
+
+// csvBody renders a dataset's table back to CSV for uploading.
+func csvBody(t *testing.T, d *datagen.Dataset) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Table.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func postCSV(t *testing.T, h http.Handler, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rec, out
+}
+
+// TestV1ConcurrentSessionIsolation uploads two datasets concurrently into
+// separate sessions and asserts the registry keeps them isolated. Run
+// under -race, this is the registry's data-race regression net.
+func TestV1ConcurrentSessionIsolation(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	uploads := []struct {
+		name string
+		csv  string
+	}{
+		{"zips", csvBody(t, datagen.ZipCity(800, 0.01, 23))},
+		{"phones", csvBody(t, datagen.PhoneState(800, 0.01, 24))},
+	}
+	ids := make([]string, len(uploads))
+	var wg sync.WaitGroup
+	for i, up := range uploads {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec, out := postCSV(t, h, "/api/v1/sessions?name="+up.name+"&project="+up.name, up.csv)
+			if rec.Code != http.StatusOK {
+				t.Errorf("upload %s: %d %s", up.name, rec.Code, rec.Body.String())
+				return
+			}
+			ids[i] = out["session"].(string)
+		}()
+	}
+	wg.Wait()
+	if ids[0] == "" || ids[1] == "" || ids[0] == ids[1] {
+		t.Fatalf("session ids = %v, want two distinct", ids)
+	}
+	// Each session serves its own dataset.
+	for i, up := range uploads {
+		rec := get(t, h, "/api/v1/sessions/"+ids[i]+"/profile")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("profile %s: %d", ids[i], rec.Code)
+		}
+		var out struct {
+			Session string `json:"session"`
+			Table   string `json:"table"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Session != ids[i] || out.Table != up.name {
+			t.Errorf("session %s serves table %q, want %q", out.Session, out.Table, up.name)
+		}
+	}
+	// Concurrent readers across both sessions stay race-free.
+	var rg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		for _, id := range ids {
+			rg.Add(1)
+			go func() {
+				defer rg.Done()
+				for _, sub := range []string{"pfds", "violations", "repairs"} {
+					if rec := get(t, h, "/api/v1/sessions/"+id+"/"+sub); rec.Code != http.StatusOK {
+						t.Errorf("%s/%s: %d", id, sub, rec.Code)
+					}
+				}
+			}()
+		}
+	}
+	rg.Wait()
+	// The list endpoint sees both.
+	rec := get(t, h, "/api/v1/sessions")
+	var list struct {
+		Sessions []struct {
+			Session string `json:"session"`
+		} `json:"sessions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 2 {
+		t.Errorf("sessions listed = %d, want 2", len(list.Sessions))
+	}
+}
+
+// TestV1ViolationsPagination checks limit/offset plus the total count.
+func TestV1ViolationsPagination(t *testing.T) {
+	srv := newLoadedServer(t)
+	h := srv.Handler()
+	var all struct {
+		Count      int   `json:"count"`
+		Returned   int   `json:"returned"`
+		Violations []any `json:"violations"`
+	}
+	rec := get(t, h, "/api/violations")
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if all.Count < 2 {
+		t.Skipf("need ≥2 violations, got %d", all.Count)
+	}
+	var page struct {
+		Count      int   `json:"count"`
+		Offset     int   `json:"offset"`
+		Returned   int   `json:"returned"`
+		Violations []any `json:"violations"`
+	}
+	rec = get(t, h, "/api/violations?limit=1&offset=1")
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Count != all.Count || page.Offset != 1 || page.Returned != 1 || len(page.Violations) != 1 {
+		t.Errorf("page = %+v", page)
+	}
+	// Offset past the end yields an empty page, not an error.
+	rec = get(t, h, "/api/violations?offset=999999")
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Returned != 0 || page.Count != all.Count {
+		t.Errorf("past-end page = %+v", page)
+	}
+}
+
+// TestAPIBadParams covers the strconv validation: malformed numeric query
+// parameters are 400s, not silently ignored.
+func TestAPIBadParams(t *testing.T) {
+	srv := newLoadedServer(t)
+	h := srv.Handler()
+	for _, path := range []string{
+		"/api/violations?limit=abc",
+		"/api/violations?offset=-3",
+		"/api/violation?i=abc",
+	} {
+		if rec := get(t, h, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", path, rec.Code)
+		}
+	}
+	for _, q := range []string{"coverage=abc", "violations=x", "coverage=1e"} {
+		req := httptest.NewRequest(http.MethodPost, "/api/v1/sessions?"+q, strings.NewReader("a,b\n1,2\n"))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("upload with %s status = %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+// TestV1SessionLifecycle covers summary, versioned detail, confirm, and
+// delete on an addressed session.
+func TestV1SessionLifecycle(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	rec, out := postCSV(t, h, "/api/v1/sessions?name=zips", csvBody(t, datagen.ZipCity(600, 0.01, 25)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	id := out["session"].(string)
+
+	if rec := get(t, h, "/api/v1/sessions/"+id); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), `"table": "zips"`) {
+		t.Errorf("summary: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/api/v1/sessions/"+id+"/violations/0"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "records") {
+		t.Errorf("detail: %d", rec.Code)
+	}
+	if rec := get(t, h, "/api/v1/sessions/"+id+"/violations/abc"); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed detail index: %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/api/v1/sessions/"+id+"/dmv"); rec.Code != http.StatusOK {
+		t.Errorf("dmv: %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/api/v1/sessions/"+id+"/confirm", strings.NewReader(""))
+	crec := httptest.NewRecorder()
+	h.ServeHTTP(crec, req)
+	if crec.Code != http.StatusOK {
+		t.Errorf("confirm: %d %s", crec.Code, crec.Body.String())
+	}
+
+	dreq := httptest.NewRequest(http.MethodDelete, "/api/v1/sessions/"+id, nil)
+	drec := httptest.NewRecorder()
+	h.ServeHTTP(drec, dreq)
+	if drec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", drec.Code)
+	}
+	if rec := get(t, h, "/api/v1/sessions/"+id); rec.Code != http.StatusNotFound {
+		t.Errorf("deleted session summary: %d, want 404", rec.Code)
+	}
+	dreq = httptest.NewRequest(http.MethodDelete, "/api/v1/sessions/"+id, nil)
+	drec = httptest.NewRecorder()
+	h.ServeHTTP(drec, dreq)
+	if drec.Code != http.StatusNotFound {
+		t.Errorf("double delete: %d, want 404", drec.Code)
+	}
+}
+
+// TestLegacyRoutesAliasDefaultSession pins the deprecation contract: the
+// unversioned routes serve the default session and say so in a header.
+func TestLegacyRoutesAliasDefaultSession(t *testing.T) {
+	srv := newLoadedServer(t)
+	h := srv.Handler()
+	rec := get(t, h, "/api/pfds")
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Error("legacy route lacks Deprecation header")
+	}
+	var legacy, v1 struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(t, h, "/api/v1/sessions/"+legacy.Session+"/pfds")
+	if err := json.Unmarshal(rec.Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if v1.Session != legacy.Session {
+		t.Errorf("legacy session %q != v1 session %q", legacy.Session, v1.Session)
+	}
+}
+
+// TestDeleteDefaultPromotesSurvivor: deleting the default session hands
+// the legacy routes to the lowest surviving session.
+func TestDeleteDefaultPromotesSurvivor(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	_, out1 := postCSV(t, h, "/api/v1/sessions?name=first", csvBody(t, datagen.ZipCity(400, 0.01, 26)))
+	_, out2 := postCSV(t, h, "/api/v1/sessions?name=second", csvBody(t, datagen.ZipCity(400, 0.01, 27)))
+	id1, id2 := out1["session"].(string), out2["session"].(string)
+
+	req := httptest.NewRequest(http.MethodDelete, "/api/v1/sessions/"+id1, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete default: %d", rec.Code)
+	}
+	rec = get(t, h, "/api/pfds")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy route after default deletion: %d", rec.Code)
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Session != id2 {
+		t.Errorf("legacy route serves %q, want promoted %q", out.Session, id2)
 	}
 }
