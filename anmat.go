@@ -84,8 +84,9 @@ func DefaultDiscoveryConfig() DiscoveryConfig { return discovery.Default() }
 type Option func(*options) error
 
 type options struct {
-	storePath string
-	cfg       core.SystemConfig
+	storePath   string
+	cfg         core.SystemConfig
+	parallelism *int // applied after all options so order doesn't matter
 }
 
 // WithStorePath persists the document store at path ("" keeps it
@@ -108,9 +109,10 @@ func WithDiscoveryConfig(cfg DiscoveryConfig) Option {
 }
 
 // WithParallelism bounds the number of candidate dependencies mined
-// concurrently per session (0 = GOMAXPROCS).
+// concurrently per session (0 = GOMAXPROCS). It composes with
+// WithDiscoveryConfig in either order.
 func WithParallelism(n int) Option {
-	return func(o *options) error { o.cfg.Discovery.Parallelism = n; return nil }
+	return func(o *options) error { o.parallelism = &n; return nil }
 }
 
 // New builds a System from functional options. With no options the store
@@ -121,6 +123,9 @@ func New(opts ...Option) (*System, error) {
 		if err := opt(&o); err != nil {
 			return nil, err
 		}
+	}
+	if o.parallelism != nil {
+		o.cfg.Discovery.Parallelism = *o.parallelism
 	}
 	store := docstore.NewMem()
 	if o.storePath != "" {

@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"github.com/anmat/anmat/internal/core"
-	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/server"
 	"github.com/anmat/anmat/internal/table"
@@ -43,7 +42,6 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := core.DefaultSystemConfig()
-	cfg.Discovery = discovery.Default()
 	cfg.Discovery.Parallelism = *parallelism
 	sys := core.NewSystemWith(store, cfg)
 	sys.CreateProject("default")

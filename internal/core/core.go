@@ -75,9 +75,8 @@ func NewSystemWith(store *docstore.Store, cfg SystemConfig) *System {
 	if cfg.Discovery.IsZero() {
 		cfg.Discovery = discovery.Default()
 	}
-	if cfg.Params == (Params{}) {
-		cfg.Params = Params{MinCoverage: cfg.Discovery.MinCoverage, AllowedViolations: cfg.Discovery.MaxViolationRatio}
-	}
+	// Params are taken verbatim — zero values are a legitimate request
+	// for no coverage floor / zero tolerated violations.
 	return &System{store: store, cfg: cfg}
 }
 

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"github.com/anmat/anmat/internal/core"
@@ -215,6 +216,17 @@ func intParam(w http.ResponseWriter, r *http.Request, name string, into *int) bo
 	return true
 }
 
+// sessionIDBefore orders session IDs by their numeric suffix (s2 before
+// s10), falling back to string order for foreign shapes.
+func sessionIDBefore(a, b string) bool {
+	na, erra := strconv.Atoi(strings.TrimPrefix(a, "s"))
+	nb, errb := strconv.Atoi(strings.TrimPrefix(b, "s"))
+	if erra == nil && errb == nil {
+		return na < nb
+	}
+	return a < b
+}
+
 // paginate slices one page out of the violations, clamping offset to the
 // total (limit 0 = no bound). Returns the page and the clamped offset.
 func paginate(vs []pfd.Violation, limit, offset int) ([]pfd.Violation, int) {
@@ -316,7 +328,7 @@ func (s *Server) apiListSessions(w http.ResponseWriter, r *http.Request) {
 	for _, h := range handles {
 		out = append(out, summarize(h))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	sort.Slice(out, func(i, j int) bool { return sessionIDBefore(out[i].Session, out[j].Session) })
 	writeJSON(w, map[string]any{"sessions": out, "default": defaultID})
 }
 
@@ -335,11 +347,11 @@ func (s *Server) apiDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if ok {
 		delete(s.sessions, id)
 		if s.defaultID == id {
-			// Promote the lowest surviving ID so the deprecated
+			// Promote the oldest surviving session so the deprecated
 			// unversioned routes keep working.
 			s.defaultID = ""
 			for sid := range s.sessions {
-				if s.defaultID == "" || sid < s.defaultID {
+				if s.defaultID == "" || sessionIDBefore(sid, s.defaultID) {
 					s.defaultID = sid
 				}
 			}
