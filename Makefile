@@ -1,0 +1,31 @@
+# Development entry points. `make bench` is the benchmark regression
+# harness: it runs the detection benchmarks and writes BENCH_detect.json
+# (ns/op, allocs/op, speedup vs parallelism=1) — see README "Detection
+# engine".
+
+GO        ?= go
+BENCHTIME ?=
+BENCHOUT  ?= BENCH_detect.json
+
+.PHONY: all build vet test race bench fuzz
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# BENCHTIME=1x makes a fast smoke record (CI); leave empty for real numbers.
+bench:
+	$(GO) run ./cmd/benchjson -out $(BENCHOUT) $(if $(BENCHTIME),-benchtime $(BENCHTIME))
+
+fuzz:
+	$(GO) test ./internal/table -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s

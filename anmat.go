@@ -59,6 +59,10 @@ type (
 	Repair = detect.Repair
 	// DiscoveryConfig is the full knob set of the discovery algorithm.
 	DiscoveryConfig = discovery.Config
+	// RuleStats is one rule's detection cost (violations, wall time).
+	RuleStats = detect.RuleStats
+	// DetectionResult pairs merged violations with per-rule stats.
+	DetectionResult = detect.Result
 )
 
 // Re-exported pipeline stages.
@@ -108,8 +112,10 @@ func WithDiscoveryConfig(cfg DiscoveryConfig) Option {
 	return func(o *options) error { o.cfg.Discovery = cfg; return nil }
 }
 
-// WithParallelism bounds the number of candidate dependencies mined
-// concurrently per session (0 = GOMAXPROCS). It composes with
+// WithParallelism bounds the per-session worker count of the whole
+// pipeline: candidate dependencies mined concurrently during discovery
+// AND the detection/repair engine's tableau-row fan-out (0 = GOMAXPROCS).
+// Results are identical at every setting. It composes with
 // WithDiscoveryConfig in either order.
 func WithParallelism(n int) Option {
 	return func(o *options) error { o.parallelism = &n; return nil }
@@ -125,7 +131,8 @@ func New(opts ...Option) (*System, error) {
 		}
 	}
 	if o.parallelism != nil {
-		o.cfg.Discovery.Parallelism = *o.parallelism
+		// One knob: core threads it through discovery and detection alike.
+		o.cfg.Parallelism = *o.parallelism
 	}
 	store := docstore.NewMem()
 	if o.storePath != "" {
@@ -178,25 +185,25 @@ func Detect(t *Table, ps []*PFD) ([]Violation, error) {
 	return detect.New(t, detect.Options{}).DetectAll(ps)
 }
 
-// SuggestRepairs derives repair suggestions for the PFDs' violations.
+// DetectContext is Detect with cancellation, a worker-pool fan-out, and
+// per-rule timing stats. parallelism bounds the worker count (0 =
+// GOMAXPROCS); the violation list is byte-identical at every setting.
+func DetectContext(ctx context.Context, t *Table, ps []*PFD, parallelism int) (*DetectionResult, error) {
+	return detect.New(t, detect.Options{}).DetectAllContext(ctx, ps, parallelism)
+}
+
+// SuggestRepairs derives repair suggestions for the PFDs' violations,
+// sorted by cell; a cell suggested by several rules keeps the earliest
+// rule's suggestion.
 func SuggestRepairs(t *Table, ps []*PFD) ([]Repair, error) {
-	d := detect.New(t, detect.Options{})
-	var out []Repair
-	seen := map[string]bool{}
-	for _, p := range ps {
-		rs, err := d.Repairs(p)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range rs {
-			k := r.Cell.String()
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, r)
-			}
-		}
-	}
-	return out, nil
+	return SuggestRepairsContext(context.Background(), t, ps, 1)
+}
+
+// SuggestRepairsContext is SuggestRepairs with cancellation and a
+// per-rule worker pool (0 = GOMAXPROCS); output is identical at every
+// parallelism level.
+func SuggestRepairsContext(ctx context.Context, t *Table, ps []*PFD, parallelism int) ([]Repair, error) {
+	return detect.New(t, detect.Options{}).RepairsAllContext(ctx, ps, parallelism)
 }
 
 // ApplyRepairs writes the suggestions into the table and returns the

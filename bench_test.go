@@ -11,6 +11,7 @@
 package anmat
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -145,6 +146,64 @@ func BenchmarkFigure5_ViolationListing(b *testing.B) {
 		count = len(vs)
 	}
 	b.ReportMetric(float64(count), "violations")
+}
+
+// BenchmarkParallelDetection measures the concurrent detection engine on
+// the Figure-5-scale table across worker counts. The /p1 variant is the
+// sequential baseline that cmd/benchjson computes speedups against; the
+// detector (and so the column indexes) is shared across iterations, so
+// the bench isolates the tableau-row fan-out rather than index builds.
+func BenchmarkParallelDetection(b *testing.B) {
+	ds := datagen.NameGender(benchRows, 0.005, experiments.Seed)
+	res, err := discovery.Discover(ds.Table, discovery.Default())
+	if err != nil || len(res.PFDs) == 0 {
+		b.Fatalf("discover: %v (%d rules)", err, len(res.PFDs))
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run("p"+itoa(par), func(b *testing.B) {
+			d := detect.New(ds.Table, detect.Options{})
+			if _, err := d.DetectAllContext(context.Background(), res.PFDs, par); err != nil {
+				b.Fatal(err) // warm the index cache outside the timer
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var count int
+			for i := 0; i < b.N; i++ {
+				r, err := d.DetectAllContext(context.Background(), res.PFDs, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				count = len(r.Violations)
+			}
+			b.ReportMetric(float64(count), "violations")
+		})
+	}
+}
+
+// BenchmarkDetectorIndexReuse quantifies the shared index cache: Fresh
+// rebuilds the detector (and its per-column indexes) every iteration,
+// Shared reuses one detector the way a session does across its
+// detection and repair stages.
+func BenchmarkDetectorIndexReuse(b *testing.B) {
+	ds := datagen.PhoneState(benchRows, 0.005, experiments.Seed)
+	p := phonePFD(b, ds.Table)
+	b.Run("Fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := detect.New(ds.Table, detect.Options{}).Detect(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Shared", func(b *testing.B) {
+		d := detect.New(ds.Table, detect.Options{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Detect(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkParamSweep measures the Section 4 parameter sweep (coverage and

@@ -30,7 +30,7 @@ func main() {
 	in := flag.String("in", "", "CSV to load at startup as the default session")
 	coverage := flag.Float64("coverage", core.DefaultParams().MinCoverage, "minimum coverage γ")
 	violations := flag.Float64("violations", core.DefaultParams().AllowedViolations, "allowed violation ratio")
-	parallelism := flag.Int("parallelism", 0, "discovery workers per session (0 = GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "pipeline workers per session: discovery candidates and detection/repair fan-out (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var store *docstore.Store
@@ -42,7 +42,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := core.DefaultSystemConfig()
-	cfg.Discovery.Parallelism = *parallelism
+	cfg.Parallelism = *parallelism
 	sys := core.NewSystemWith(store, cfg)
 	sys.CreateProject("default")
 	srv := server.New(sys)

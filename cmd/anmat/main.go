@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/detect"
@@ -92,20 +93,22 @@ func usage() {
 }
 
 type pipelineFlags struct {
-	fs         *flag.FlagSet
-	in         *string
-	coverage   *float64
-	violations *float64
+	fs          *flag.FlagSet
+	in          *string
+	coverage    *float64
+	violations  *float64
+	parallelism *int
 }
 
 func newPipelineFlags(name string) pipelineFlags {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	d := core.DefaultParams()
 	return pipelineFlags{
-		fs:         fs,
-		in:         fs.String("in", "", "input CSV file (required)"),
-		coverage:   fs.Float64("coverage", d.MinCoverage, "minimum coverage γ"),
-		violations: fs.Float64("violations", d.AllowedViolations, "allowed violation ratio"),
+		fs:          fs,
+		in:          fs.String("in", "", "input CSV file (required)"),
+		coverage:    fs.Float64("coverage", d.MinCoverage, "minimum coverage γ"),
+		violations:  fs.Float64("violations", d.AllowedViolations, "allowed violation ratio"),
+		parallelism: fs.Int("parallelism", 0, "pipeline workers: discovery candidates and detection/repair fan-out (0 = GOMAXPROCS)"),
 	}
 }
 
@@ -120,7 +123,9 @@ func (p pipelineFlags) session(args []string) (*core.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	sys := core.NewSystem(docstore.NewMem())
+	cfg := core.DefaultSystemConfig()
+	cfg.Parallelism = *p.parallelism
+	sys := core.NewSystemWith(docstore.NewMem(), cfg)
 	return sys.NewSession("cli", t, core.Params{
 		MinCoverage:       *p.coverage,
 		AllowedViolations: *p.violations,
@@ -182,6 +187,7 @@ func cmdDiscover(ctx context.Context, args []string) error {
 
 func cmdDetect(ctx context.Context, args []string) error {
 	pf := newPipelineFlags("detect")
+	stats := pf.fs.Bool("stats", false, "print per-rule detection timing")
 	se, err := pf.session(args)
 	if err != nil {
 		return err
@@ -190,6 +196,12 @@ func cmdDetect(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("%d PFD(s), %d violation(s)\n", len(se.Discovered), len(se.Violations))
+	if *stats {
+		for _, st := range se.DetectStats {
+			fmt.Printf("  rule %-45s rows %-3d violations %-5d %v\n",
+				st.PFDID, st.Rows, st.Violations, st.Duration.Round(time.Microsecond))
+		}
+	}
 	for i, v := range se.Violations {
 		if i >= 50 {
 			fmt.Printf("… %d more\n", len(se.Violations)-50)

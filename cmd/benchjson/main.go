@@ -1,0 +1,216 @@
+// Command benchjson runs the detection benchmarks and writes a JSON
+// regression record, so the repo accumulates a perf trajectory:
+//
+//	go run ./cmd/benchjson -out BENCH_detect.json [-bench regex] [-benchtime 1x]
+//
+// It executes `go test -run ^$ -bench <regex> -benchmem <pkg>`, parses
+// the standard benchmark output, and records ns/op, B/op, allocs/op and
+// any custom metrics per benchmark. Benchmarks named with a /p<N> suffix
+// (the parallel-detection family) additionally get a speedup_vs_p1
+// field: ns/op of the /p1 sibling divided by their own ns/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Bench is one parsed benchmark result.
+type Bench struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	SpeedupVsP1 *float64           `json:"speedup_vs_p1,omitempty"`
+}
+
+// Report is the BENCH_detect.json document.
+type Report struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	CPU         string  `json:"cpu,omitempty"`
+	BenchRegex  string  `json:"bench_regex"`
+	Benchmarks  []Bench `json:"benchmarks"`
+}
+
+// benchLine matches one benchmark result line, e.g.
+//
+//	BenchmarkParallelDetection/p4-8   37   31415926 ns/op   26.00 violations   12 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// cpuLine matches the "cpu: ..." header go test prints when known.
+var cpuLine = regexp.MustCompile(`^cpu:\s*(.+)$`)
+
+// parseBenchOutput parses `go test -bench` stdout into Bench records and
+// the CPU model line (empty if absent).
+func parseBenchOutput(out string) ([]Bench, string) {
+	var benches []Bench
+	cpu := ""
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			cpu = strings.TrimSpace(m[1])
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Name: m[1], Iterations: iters}
+		// The tail is "value unit" pairs: "123 ns/op 26.00 violations ...".
+		fields := strings.Fields(m[3])
+		ok := false
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+				ok = true
+			case "B/op":
+				b.BytesPerOp = ptr(v)
+			case "allocs/op":
+				b.AllocsPerOp = ptr(v)
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		if ok {
+			benches = append(benches, b)
+		}
+	}
+	return benches, cpu
+}
+
+func ptr(v float64) *float64 { return &v }
+
+// addSpeedups fills SpeedupVsP1 for every /p<N> benchmark whose /p1
+// sibling is present.
+func addSpeedups(benches []Bench) {
+	pVariant := regexp.MustCompile(`^(.*)/p(\d+)$`)
+	base := make(map[string]float64) // prefix -> p1 ns/op
+	for _, b := range benches {
+		if m := pVariant.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
+			base[m[1]] = b.NsPerOp
+		}
+	}
+	for i := range benches {
+		m := pVariant.FindStringSubmatch(benches[i].Name)
+		if m == nil {
+			continue
+		}
+		p1, ok := base[m[1]]
+		if !ok || benches[i].NsPerOp <= 0 {
+			continue
+		}
+		benches[i].SpeedupVsP1 = ptr(p1 / benches[i].NsPerOp)
+	}
+}
+
+func run() error {
+	benchRe := flag.String("bench",
+		"BenchmarkParallelDetection|BenchmarkDetectorIndexReuse|BenchmarkAblation_ConstantDetection|BenchmarkAblation_VariableDetection|BenchmarkFigure5_ViolationListing",
+		"benchmark regex passed to go test -bench")
+	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = go default)")
+	count := flag.Int("count", 1, "go test -count value")
+	out := flag.String("out", "BENCH_detect.json", "output JSON path")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	benches, cpu := parseBenchOutput(string(raw))
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", *benchRe)
+	}
+	// -count>1 repeats lines; keep the fastest run per name so the record
+	// tracks best-case steady state.
+	benches = keepFastest(benches)
+	addSpeedups(benches)
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPU:         cpu,
+		BenchRegex:  *benchRe,
+		Benchmarks:  benches,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d benchmark(s)\n", *out, len(benches))
+	for _, bb := range benches {
+		if bb.SpeedupVsP1 != nil {
+			fmt.Printf("  %-40s %12.0f ns/op  speedup vs p1: %.2fx\n", bb.Name, bb.NsPerOp, *bb.SpeedupVsP1)
+		}
+	}
+	return nil
+}
+
+// keepFastest collapses repeated -count runs to the minimum ns/op per
+// benchmark name, preserving first-seen order.
+func keepFastest(benches []Bench) []Bench {
+	best := make(map[string]int)
+	var order []string
+	for i, b := range benches {
+		j, seen := best[b.Name]
+		if !seen {
+			best[b.Name] = i
+			order = append(order, b.Name)
+			continue
+		}
+		if b.NsPerOp < benches[j].NsPerOp {
+			best[b.Name] = i
+		}
+	}
+	out := make([]Bench, 0, len(order))
+	for _, name := range order {
+		out = append(out, benches[best[name]])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

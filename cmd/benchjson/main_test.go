@@ -1,0 +1,89 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/anmat/anmat
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkParallelDetection/p1-8         	      37	  40000000 ns/op	        26.00 violations	32068721 B/op	 2075985 allocs/op
+BenchmarkParallelDetection/p4-8         	      88	  16000000 ns/op	        26.00 violations	32068153 B/op	 2075949 allocs/op
+BenchmarkDetectorIndexReuse/Shared-8    	     200	   5357231 ns/op	 1970003 B/op	   56989 allocs/op
+BenchmarkTable3_D1_PhoneState-8         	       2	 900000000 ns/op	         1.000 recall	         0.9500 precision	         3.000 rules
+PASS
+ok  	github.com/anmat/anmat	3.983s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	benches, cpu := parseBenchOutput(sampleOutput)
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benches, want 4", len(benches))
+	}
+	p1 := benches[0]
+	if p1.Name != "BenchmarkParallelDetection/p1" || p1.Iterations != 37 || p1.NsPerOp != 4e7 {
+		t.Errorf("p1 = %+v", p1)
+	}
+	if p1.BytesPerOp == nil || *p1.BytesPerOp != 32068721 {
+		t.Errorf("p1 B/op = %v", p1.BytesPerOp)
+	}
+	if p1.AllocsPerOp == nil || *p1.AllocsPerOp != 2075985 {
+		t.Errorf("p1 allocs/op = %v", p1.AllocsPerOp)
+	}
+	if p1.Metrics["violations"] != 26 {
+		t.Errorf("p1 metrics = %v", p1.Metrics)
+	}
+	d1 := benches[3]
+	if d1.Metrics["recall"] != 1 || d1.Metrics["precision"] != 0.95 || d1.Metrics["rules"] != 3 {
+		t.Errorf("table3 metrics = %v", d1.Metrics)
+	}
+}
+
+func TestAddSpeedups(t *testing.T) {
+	benches, _ := parseBenchOutput(sampleOutput)
+	addSpeedups(benches)
+	var p1, p4, shared *Bench
+	for i := range benches {
+		switch benches[i].Name {
+		case "BenchmarkParallelDetection/p1":
+			p1 = &benches[i]
+		case "BenchmarkParallelDetection/p4":
+			p4 = &benches[i]
+		case "BenchmarkDetectorIndexReuse/Shared":
+			shared = &benches[i]
+		}
+	}
+	if p1 == nil || p1.SpeedupVsP1 == nil || *p1.SpeedupVsP1 != 1 {
+		t.Errorf("p1 speedup = %+v", p1)
+	}
+	if p4 == nil || p4.SpeedupVsP1 == nil || math.Abs(*p4.SpeedupVsP1-2.5) > 1e-9 {
+		t.Errorf("p4 speedup = %+v", p4)
+	}
+	if shared == nil || shared.SpeedupVsP1 != nil {
+		t.Errorf("non-p benchmark should have no speedup: %+v", shared)
+	}
+}
+
+func TestKeepFastest(t *testing.T) {
+	in := []Bench{
+		{Name: "A/p1", NsPerOp: 100},
+		{Name: "A/p1", NsPerOp: 80},
+		{Name: "A/p4", NsPerOp: 50},
+		{Name: "A/p1", NsPerOp: 90},
+	}
+	out := keepFastest(in)
+	if len(out) != 2 {
+		t.Fatalf("kept %d, want 2", len(out))
+	}
+	if out[0].Name != "A/p1" || out[0].NsPerOp != 80 {
+		t.Errorf("fastest A/p1 = %+v", out[0])
+	}
+	if out[1].Name != "A/p4" || out[1].NsPerOp != 50 {
+		t.Errorf("A/p4 = %+v", out[1])
+	}
+}

@@ -48,6 +48,11 @@ type SystemConfig struct {
 	// Discovery is the base discovery configuration; per-session Params
 	// overlay its MinCoverage/MaxViolationRatio.
 	Discovery discovery.Config
+	// Parallelism bounds the per-session worker count across the whole
+	// pipeline — discovery candidates (unless Discovery.Parallelism is
+	// set explicitly) and the detection/repair engine (0 = GOMAXPROCS).
+	// Output is identical at every setting; see detect.DetectAllContext.
+	Parallelism int
 }
 
 // DefaultSystemConfig returns the demo defaults.
@@ -160,7 +165,15 @@ type Session struct {
 	Violations []pfd.Violation
 	Repairs    []detect.Repair
 	Stats      []discovery.CandidateStats
-	DMVs       []DMVFinding
+	// DetectStats records, per confirmed rule, how long detection took
+	// and how many violations it contributed (filled by RunDetection).
+	DetectStats []detect.RuleStats
+	DMVs        []DMVFinding
+
+	// det is the session's lazily built detection engine, shared between
+	// RunDetection and RunRepairs so each column index is built once per
+	// session rather than once per stage (see Session.engine).
+	det *detect.Detector
 }
 
 // NewSession binds a table to a project with the given parameters
@@ -173,6 +186,8 @@ func (s *System) NewSession(project string, t *table.Table, p Params) *Session {
 
 // discoveryConfig resolves the effective discovery configuration: the
 // session override (or the system base) with the session Params overlaid.
+// SystemConfig.Parallelism is the one pipeline-wide worker knob, so
+// discovery inherits it unless the discovery config sets its own.
 func (se *Session) discoveryConfig() discovery.Config {
 	cfg := se.sys.cfg.Discovery
 	if se.Discovery != nil {
@@ -180,6 +195,9 @@ func (se *Session) discoveryConfig() discovery.Config {
 	}
 	cfg.MinCoverage = se.Params.MinCoverage
 	cfg.MaxViolationRatio = se.Params.AllowedViolations
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = se.sys.cfg.Parallelism
+	}
 	return cfg
 }
 
@@ -325,57 +343,58 @@ func (se *Session) UseRules(ps []*pfd.PFD) {
 	se.Confirmed = ps
 }
 
+// engine returns the session's detection engine, built lazily and shared
+// between detection and repairs so column indexes are built once per
+// session rather than once per stage. A table mutated since the engine
+// was built (e.g. repairs applied in place via detect.Apply) bumps the
+// table version, so the engine is rebuilt here rather than serving stale
+// indexes. The table must still not be mutated concurrently with a
+// running detection.
+func (se *Session) engine() *detect.Detector {
+	if se.det == nil || se.det.Stale() {
+		se.det = detect.New(se.Table, detect.Options{})
+	}
+	return se.det
+}
+
+// rules returns the active rule set: the confirmed PFDs, or every
+// discovered one when none were explicitly confirmed.
+func (se *Session) rules() []*pfd.PFD {
+	if se.Confirmed != nil {
+		return se.Confirmed
+	}
+	return se.Discovered
+}
+
 // RunDetection evaluates the confirmed PFDs (all discovered ones when
-// none were explicitly confirmed) and stores the violations.
+// none were explicitly confirmed) with the system's parallelism and
+// stores the violations. Per-rule timing lands in DetectStats.
+// Cancelling ctx stops the engine between tableau-row batches.
 func (se *Session) RunDetection(ctx context.Context) ([]pfd.Violation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("session %s: detection: %w", se.ID, err)
 	}
-	ps := se.Confirmed
-	if ps == nil {
-		ps = se.Discovered
-	}
-	d := detect.New(se.Table, detect.Options{})
-	vs, err := d.DetectAll(ps)
+	res, err := se.engine().DetectAllContext(ctx, se.rules(), se.sys.cfg.Parallelism)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("session %s: %w", se.ID, err)
 	}
-	se.Violations = vs
-	for _, v := range vs {
+	se.Violations = res.Violations
+	se.DetectStats = res.Stats
+	for _, v := range res.Violations {
 		if _, err := se.sys.store.InsertJSON(CollViolations, v); err != nil {
 			return nil, err
 		}
 	}
-	return vs, nil
+	return res.Violations, nil
 }
 
-// RunRepairs derives repair suggestions from the confirmed PFDs,
-// checking ctx between rules.
+// RunRepairs derives repair suggestions from the confirmed PFDs with the
+// system's parallelism, checking ctx between rule batches.
 func (se *Session) RunRepairs(ctx context.Context) ([]detect.Repair, error) {
-	ps := se.Confirmed
-	if ps == nil {
-		ps = se.Discovered
+	out, err := se.engine().RepairsAllContext(ctx, se.rules(), se.sys.cfg.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("session %s: %w", se.ID, err)
 	}
-	d := detect.New(se.Table, detect.Options{})
-	var out []detect.Repair
-	seen := map[string]bool{}
-	for _, p := range ps {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("session %s: repairs: %w", se.ID, err)
-		}
-		rs, err := d.Repairs(p)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range rs {
-			k := r.Cell.String()
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, r)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Cell.Less(out[j].Cell) })
 	se.Repairs = out
 	return out, nil
 }

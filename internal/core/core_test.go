@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
 
 	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/detect"
 	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/invlist"
@@ -355,5 +357,86 @@ func TestConfirmSubsetPreservesDiscovered(t *testing.T) {
 		if p.ID() != before[i] {
 			t.Fatalf("Discovered[%d] corrupted: %s, want %s", i, p.ID(), before[i])
 		}
+	}
+}
+
+// TestRunDetectionStatsAndParallelism: RunDetection fills per-rule stats
+// and a system configured with parallelism produces identical violations
+// and repairs to the sequential default.
+func TestRunDetectionStatsAndParallelism(t *testing.T) {
+	d := datagen.ZipCity(600, 0.02, 61)
+	run := func(par int) *Session {
+		cfg := DefaultSystemConfig()
+		cfg.Parallelism = par
+		se := NewSystemWith(docstore.NewMem(), cfg).NewSession("p", d.Table, DefaultParams())
+		if err := se.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return se
+	}
+	seq := run(1)
+	if len(seq.Violations) == 0 {
+		t.Fatal("fixture produced no violations")
+	}
+	rules := seq.Confirmed
+	if rules == nil {
+		rules = seq.Discovered
+	}
+	if len(seq.DetectStats) != len(rules) {
+		t.Fatalf("DetectStats for %d rules, want %d", len(seq.DetectStats), len(rules))
+	}
+	for i, st := range seq.DetectStats {
+		if st.PFDID != rules[i].ID() || st.Duration < 0 {
+			t.Errorf("DetectStats[%d] = %+v", i, st)
+		}
+	}
+	for _, par := range []int{4, 8} {
+		got := run(par)
+		if !reflect.DeepEqual(got.Violations, seq.Violations) {
+			t.Errorf("parallelism %d: violations differ from sequential", par)
+		}
+		if !reflect.DeepEqual(got.Repairs, seq.Repairs) {
+			t.Errorf("parallelism %d: repairs differ from sequential", par)
+		}
+	}
+}
+
+// TestSessionEngineReuseAndStaleness: the session shares one detection
+// engine between detection and repairs, and rebuilds it automatically
+// when the table is mutated in place (the ApplyRepairs-then-redetect
+// flow) — no manual reset required.
+func TestSessionEngineReuseAndStaleness(t *testing.T) {
+	d := datagen.ZipCity(400, 0.02, 62)
+	sys := NewSystem(docstore.NewMem())
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if err := se.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if se.det == nil {
+		t.Fatal("session should cache its detection engine")
+	}
+	eng := se.det
+	if _, err := se.RunDetection(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if se.det != eng {
+		t.Error("re-running detection on an unchanged table should reuse the cached engine")
+	}
+	// Apply the repairs in place and re-detect with NO manual reset:
+	// violations covered by repairs disappear only if the stale engine is
+	// rebuilt over the mutated table.
+	if _, err := detect.Apply(se.Table, se.Repairs); err != nil {
+		t.Fatal(err)
+	}
+	before := len(se.Violations)
+	after, err := se.RunDetection(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.det == eng {
+		t.Error("detection after table mutation should rebuild the engine")
+	}
+	if len(after) >= before {
+		t.Errorf("violations after repair = %d, want < %d", len(after), before)
 	}
 }

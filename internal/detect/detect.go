@@ -10,11 +10,25 @@
 // The engine also produces repair suggestions: constant violations repair
 // to the rule's constant; variable violations repair to the block's
 // majority RHS value.
+//
+// A Detector is safe for concurrent use: its per-column pattern indexes
+// are built at most once each behind a singleflight-style cache, so any
+// number of goroutines (or the worker pool inside DetectAllContext) can
+// share one Detector and one set of indexes. Detection across rules fans
+// out per tableau row and merges through a single total order, so the
+// output is byte-identical at every parallelism level. The one
+// requirement is that the table is not mutated while a Detector built on
+// it is in use — build a fresh Detector after applying repairs (as
+// RepairToFixpoint does each pass).
 package detect
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"github.com/anmat/anmat/internal/blocking"
 	"github.com/anmat/anmat/internal/pfd"
@@ -35,88 +49,306 @@ type Options struct {
 	AllPairs bool
 }
 
+// indexEntry is one singleflight slot of the column-index cache: the
+// first goroutine to need the column builds it inside the Once, any
+// concurrent callers for the same column block on that Once, and callers
+// for other columns proceed independently.
+type indexEntry struct {
+	once sync.Once
+	ix   *pindex.Index
+	err  error
+}
+
 // Detector evaluates PFDs against one table, caching per-column indexes.
+// It is safe for concurrent use by multiple goroutines.
 type Detector struct {
 	t       *table.Table
 	opts    Options
-	indexes map[string]*pindex.Index
+	version int64 // table.Version() at build time; see Stale
+
+	mu      sync.Mutex // guards the two cache maps (not their entries)
+	indexes map[string]*indexEntry
+	columns map[int]*columnEntry
+}
+
+// columnEntry caches one column's value slice (singleflight, like
+// indexEntry) so concurrent variable-row tasks do not each copy the
+// column out of the table. The cached slice is never mutated.
+type columnEntry struct {
+	once sync.Once
+	vals []string
 }
 
 // New builds a detector for the table.
 func New(t *table.Table, opts Options) *Detector {
-	return &Detector{t: t, opts: opts, indexes: make(map[string]*pindex.Index)}
+	return &Detector{
+		t:       t,
+		opts:    opts,
+		version: t.Version(),
+		indexes: make(map[string]*indexEntry),
+		columns: make(map[int]*columnEntry),
+	}
 }
 
-// index returns (building on demand) the pattern index of a column.
+// Stale reports whether the table has been mutated since the detector
+// was built, invalidating its cached indexes. Callers holding a detector
+// across table mutations (e.g. a session re-detecting after applying
+// repairs) should rebuild when Stale returns true.
+func (d *Detector) Stale() bool { return d.t.Version() != d.version }
+
+// index returns (building on demand, exactly once even under concurrent
+// calls) the pattern index of a column.
 func (d *Detector) index(col string) (*pindex.Index, error) {
-	if ix, ok := d.indexes[col]; ok {
-		return ix, nil
+	d.mu.Lock()
+	e := d.indexes[col]
+	if e == nil {
+		e = &indexEntry{}
+		d.indexes[col] = e
 	}
-	vals, err := d.t.Column(col)
+	d.mu.Unlock()
+	e.once.Do(func() {
+		vals, err := d.t.Column(col)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.ix = pindex.Build(vals)
+	})
+	return e.ix, e.err
+}
+
+// column returns the cached value slice of the column at index i. Callers
+// must not mutate it.
+func (d *Detector) column(i int) []string {
+	d.mu.Lock()
+	e := d.columns[i]
+	if e == nil {
+		e = &columnEntry{}
+		d.columns[i] = e
+	}
+	d.mu.Unlock()
+	e.once.Do(func() { e.vals = d.t.ColumnByIndex(i) })
+	return e.vals
+}
+
+// cols resolves the LHS/RHS column positions of a PFD.
+func (d *Detector) cols(verb string, p *pfd.PFD) (li, ri int, err error) {
+	li, ok := d.t.ColIndex(p.LHS)
+	if !ok {
+		return 0, 0, fmt.Errorf("%s %s: no column %q", verb, p.ID(), p.LHS)
+	}
+	ri, ok = d.t.ColIndex(p.RHS)
+	if !ok {
+		return 0, 0, fmt.Errorf("%s %s: no column %q", verb, p.ID(), p.RHS)
+	}
+	return li, ri, nil
+}
+
+// detectRow evaluates one tableau row of one PFD.
+func (d *Detector) detectRow(p *pfd.PFD, row tableau.Row, li, ri int) ([]pfd.Violation, error) {
+	if row.Variable() {
+		return d.detectVariable(p, row, li, ri)
+	}
+	return d.detectConstant(p, row, li, ri)
+}
+
+// detectRaw evaluates every tableau row of one PFD without de-duplicating,
+// so DetectAll-style callers can dedupe once at their merge point.
+func (d *Detector) detectRaw(p *pfd.PFD) ([]pfd.Violation, error) {
+	li, ri, err := d.cols("detect", p)
 	if err != nil {
 		return nil, err
 	}
-	ix := pindex.Build(vals)
-	d.indexes[col] = ix
-	return ix, nil
+	out := make([]pfd.Violation, 0, p.Tableau.Len())
+	for _, row := range p.Tableau.Rows() {
+		vs, err := d.detectRow(p, row, li, ri)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
 }
 
 // Detect returns all violations of the PFD, de-duplicated and sorted by
 // first cell.
 func (d *Detector) Detect(p *pfd.PFD) ([]pfd.Violation, error) {
-	li, ok := d.t.ColIndex(p.LHS)
-	if !ok {
-		return nil, fmt.Errorf("detect %s: no column %q", p.ID(), p.LHS)
+	vs, err := d.detectRaw(p)
+	if err != nil {
+		return nil, err
 	}
-	ri, ok := d.t.ColIndex(p.RHS)
-	if !ok {
-		return nil, fmt.Errorf("detect %s: no column %q", p.ID(), p.RHS)
-	}
-	var out []pfd.Violation
-	for _, row := range p.Tableau.Rows() {
-		var vs []pfd.Violation
-		var err error
-		if row.Variable() {
-			vs, err = d.detectVariable(p, row, li, ri)
-		} else {
-			vs, err = d.detectConstant(p, row, li, ri)
-		}
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, vs...)
-	}
-	return dedupe(out), nil
+	return dedupe(vs), nil
 }
 
-// DetectAll evaluates several PFDs and concatenates their violations.
+// DetectAll evaluates several PFDs and merges their violations through
+// one final dedupe. It is the sequential form of DetectAllContext.
 func (d *Detector) DetectAll(ps []*pfd.PFD) ([]pfd.Violation, error) {
-	var out []pfd.Violation
-	for _, p := range ps {
-		vs, err := d.Detect(p)
+	res, err := d.DetectAllContext(context.Background(), ps, 1)
+	if err != nil {
+		return nil, err
+	}
+	return res.Violations, nil
+}
+
+// RuleStats records the detection cost of one PFD: how many tableau rows
+// were evaluated, how many violations it contributed (before the
+// cross-rule dedupe), and the cumulative wall time of its row tasks.
+// Under parallel execution Duration sums the per-row task times, so it
+// reads as busy time, not elapsed time.
+type RuleStats struct {
+	PFDID      string        `json:"pfd"`
+	Rows       int           `json:"rows"`
+	Violations int           `json:"violations"`
+	Duration   time.Duration `json:"duration_ns"`
+}
+
+// Result pairs the merged violations of a DetectAllContext run with
+// per-rule timing stats and the effective worker count.
+type Result struct {
+	Violations  []pfd.Violation `json:"violations"`
+	Stats       []RuleStats     `json:"stats"`
+	Parallelism int             `json:"parallelism"`
+}
+
+// rowTask names one unit of detection work: one tableau row of one rule.
+type rowTask struct {
+	rule, row int
+}
+
+// workerCount resolves a parallelism setting to an effective pool size:
+// 0 means GOMAXPROCS, clamped to the task count and at least 1.
+func workerCount(parallelism, tasks int) int {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runPool executes task(i) for every i in [0, n) over a fixed pool of
+// workers, feeding indices in order and stopping the feed when ctx is
+// cancelled (already-queued tasks still run; tasks should check ctx
+// themselves to bail early). Tasks record their own results into
+// caller-owned indexed slices — disjoint slots, so no locking — and the
+// caller checks ctx.Err() after return: a cancelled feed means some
+// tasks never ran.
+func runPool(ctx context.Context, n, workers int, task func(i int)) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				task(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// DetectAllContext evaluates several PFDs with a worker pool that fans
+// out per tableau row. parallelism bounds the worker count (0 =
+// GOMAXPROCS). Results are merged in (rule, tableau-row) order and
+// de-duplicated once through the dedupe total order, so the violation
+// list is byte-identical to the sequential engine at every parallelism
+// level. Cancelling ctx stops the pool between row tasks and returns an
+// error wrapping ctx.Err().
+func (d *Detector) DetectAllContext(ctx context.Context, ps []*pfd.PFD, parallelism int) (*Result, error) {
+	// Resolve all column positions up front so schema errors surface
+	// deterministically, before any work is spawned. Tableau rows are
+	// snapshotted once per rule (Rows() copies) rather than per task.
+	lis := make([]int, len(ps))
+	ris := make([]int, len(ps))
+	rowsOf := make([][]tableau.Row, len(ps))
+	var tasks []rowTask
+	for i, p := range ps {
+		li, ri, err := d.cols("detect", p)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, vs...)
+		lis[i], ris[i] = li, ri
+		rowsOf[i] = p.Tableau.Rows()
+		for r := range rowsOf[i] {
+			tasks = append(tasks, rowTask{rule: i, row: r})
+		}
 	}
-	return dedupe(out), nil
+
+	workers := workerCount(parallelism, len(tasks))
+	type rowResult struct {
+		vs  []pfd.Violation
+		dur time.Duration
+		err error
+	}
+	// Indexed by task position: workers write disjoint slots, and the
+	// merge below reads them back in deterministic (rule, row) order.
+	results := make([]rowResult, len(tasks))
+	runPool(ctx, len(tasks), workers, func(ti int) {
+		if err := ctx.Err(); err != nil {
+			results[ti].err = err
+			return
+		}
+		tk := tasks[ti]
+		start := time.Now()
+		vs, err := d.detectRow(ps[tk.rule], rowsOf[tk.rule][tk.row], lis[tk.rule], ris[tk.rule])
+		results[ti] = rowResult{vs: vs, dur: time.Since(start), err: err}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("detection cancelled: %w", err)
+	}
+
+	total := 0
+	for ti := range results {
+		if err := results[ti].err; err != nil {
+			return nil, err
+		}
+		total += len(results[ti].vs)
+	}
+	merged := make([]pfd.Violation, 0, total)
+	stats := make([]RuleStats, len(ps))
+	for i, p := range ps {
+		stats[i] = RuleStats{PFDID: p.ID(), Rows: p.Tableau.Len()}
+	}
+	for ti, tk := range tasks {
+		merged = append(merged, results[ti].vs...)
+		stats[tk.rule].Violations += len(results[ti].vs)
+		stats[tk.rule].Duration += results[ti].dur
+	}
+	return &Result{Violations: dedupe(merged), Stats: stats, Parallelism: workers}, nil
 }
 
 func (d *Detector) detectConstant(p *pfd.PFD, row tableau.Row, li, ri int) ([]pfd.Violation, error) {
 	emb := row.LHS.Embedded()
-	var out []pfd.Violation
 	if !d.opts.DisableIndex {
 		ix, err := d.index(p.LHS)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range ix.Match(emb) {
+		match := ix.Match(emb)
+		out := make([]pfd.Violation, 0, len(match))
+		for _, r := range match {
 			if rv := d.t.Cell(r, ri); rv != row.RHS {
 				out = append(out, pfd.ConstantViolation(p, row, r, d.t.Cell(r, li), rv))
 			}
 		}
 		return out, nil
 	}
+	var out []pfd.Violation
 	for r := 0; r < d.t.NumRows(); r++ {
 		lv := d.t.Cell(r, li)
 		if !emb.MatchesDFA(lv) {
@@ -130,8 +362,8 @@ func (d *Detector) detectConstant(p *pfd.PFD, row tableau.Row, li, ri int) ([]pf
 }
 
 func (d *Detector) detectVariable(p *pfd.PFD, row tableau.Row, li, ri int) ([]pfd.Violation, error) {
-	lhs := d.t.ColumnByIndex(li)
-	rhs := d.t.ColumnByIndex(ri)
+	lhs := d.column(li)
+	rhs := d.column(ri)
 	var out []pfd.Violation
 	if d.opts.DisableBlocking {
 		// Quadratic reference: restrict to rows matching the embedded
@@ -214,13 +446,9 @@ type Repair struct {
 // should change. For variable rows the block majority wins; rows already
 // holding the majority value receive no suggestion.
 func (d *Detector) Repairs(p *pfd.PFD) ([]Repair, error) {
-	li, ok := d.t.ColIndex(p.LHS)
-	if !ok {
-		return nil, fmt.Errorf("repair %s: no column %q", p.ID(), p.LHS)
-	}
-	ri, ok := d.t.ColIndex(p.RHS)
-	if !ok {
-		return nil, fmt.Errorf("repair %s: no column %q", p.ID(), p.RHS)
+	li, ri, err := d.cols("repair", p)
+	if err != nil {
+		return nil, err
 	}
 	var out []Repair
 	seen := map[int]bool{}
@@ -246,8 +474,8 @@ func (d *Detector) Repairs(p *pfd.PFD) ([]Repair, error) {
 			}
 			continue
 		}
-		lhs := d.t.ColumnByIndex(li)
-		rhs := d.t.ColumnByIndex(ri)
+		lhs := d.column(li)
+		rhs := d.column(ri)
 		for _, b := range blocking.Blocks(row.LHS, lhs, rhs) {
 			maj, n := b.MajorityRHS()
 			if n == len(b.Rows) {
@@ -273,30 +501,71 @@ func (d *Detector) Repairs(p *pfd.PFD) ([]Repair, error) {
 	return out, nil
 }
 
+// RepairsAllContext derives repair suggestions for several PFDs with a
+// worker pool that fans out per rule (0 = GOMAXPROCS workers). Cells
+// suggested by more than one rule keep the earliest rule's suggestion —
+// the same first-rule-wins order as iterating Repairs sequentially — and
+// the merged list is sorted by cell, so output is identical at every
+// parallelism level. Cancelling ctx stops the pool between rules.
+func (d *Detector) RepairsAllContext(ctx context.Context, ps []*pfd.PFD, parallelism int) ([]Repair, error) {
+	type ruleResult struct {
+		rs  []Repair
+		err error
+	}
+	results := make([]ruleResult, len(ps))
+	runPool(ctx, len(ps), workerCount(parallelism, len(ps)), func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i].err = err
+			return
+		}
+		rs, err := d.Repairs(ps[i])
+		results[i] = ruleResult{rs: rs, err: err}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("repairs cancelled: %w", err)
+	}
+
+	total := 0
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, err
+		}
+		total += len(results[i].rs)
+	}
+	out := make([]Repair, 0, total)
+	seen := make(map[string]bool, total)
+	for i := range results {
+		for _, r := range results[i].rs {
+			k := r.Cell.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell.Less(out[j].Cell) })
+	return out, nil
+}
+
 // RepairToFixpoint alternates detection and repair until no suggestions
 // remain or maxIters passes complete, returning the total cells changed
 // and the violations left at the end. Repairing one rule can surface new
 // block majorities for another, so a single pass is not always enough.
 func RepairToFixpoint(t *table.Table, ps []*pfd.PFD, maxIters int) (changed int, remaining []pfd.Violation, err error) {
+	return RepairToFixpointContext(context.Background(), t, ps, maxIters, 1)
+}
+
+// RepairToFixpointContext is RepairToFixpoint with cancellation and a
+// parallel repair/detect engine. Each pass builds a fresh Detector: the
+// pass mutates the table, so the previous pass's indexes are stale.
+func RepairToFixpointContext(ctx context.Context, t *table.Table, ps []*pfd.PFD, maxIters, parallelism int) (changed int, remaining []pfd.Violation, err error) {
 	if maxIters <= 0 {
 		maxIters = 5
 	}
 	for iter := 0; iter < maxIters; iter++ {
-		d := New(t, Options{})
-		var all []Repair
-		seen := map[string]bool{}
-		for _, p := range ps {
-			rs, err := d.Repairs(p)
-			if err != nil {
-				return changed, nil, err
-			}
-			for _, r := range rs {
-				k := r.Cell.String()
-				if !seen[k] {
-					seen[k] = true
-					all = append(all, r)
-				}
-			}
+		all, err := New(t, Options{}).RepairsAllContext(ctx, ps, parallelism)
+		if err != nil {
+			return changed, nil, err
 		}
 		if len(all) == 0 {
 			break
@@ -310,8 +579,11 @@ func RepairToFixpoint(t *table.Table, ps []*pfd.PFD, maxIters int) (changed int,
 			break // suggestions exist but change nothing; avoid looping
 		}
 	}
-	remaining, err = New(t, Options{}).DetectAll(ps)
-	return changed, remaining, err
+	res, err := New(t, Options{}).DetectAllContext(ctx, ps, parallelism)
+	if err != nil {
+		return changed, nil, err
+	}
+	return changed, res.Violations, nil
 }
 
 // Apply writes the repairs into the table (in place) and returns how many

@@ -17,6 +17,7 @@
 //	GET    /api/v1/sessions/{id}            one session's summary
 //	GET    /api/v1/sessions/{id}/profile    Figure 3 data
 //	GET    /api/v1/sessions/{id}/pfds       Figure 4 data
+//	GET    /api/v1/sessions/{id}/detection  detection summary + per-rule timing
 //	GET    /api/v1/sessions/{id}/violations Figure 5 data (limit/offset)
 //	GET    /api/v1/sessions/{id}/violations/{i}  one violation, full records
 //	GET    /api/v1/sessions/{id}/repairs    suggested fixes
@@ -114,6 +115,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.apiDeleteSession)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/profile", s.apiProfile)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/pfds", s.apiPFDs)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/detection", s.apiDetection)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/violations", s.apiViolations)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/violations/{i}", s.apiViolationDetail)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/repairs", s.apiRepairs)
@@ -217,14 +219,22 @@ func intParam(w http.ResponseWriter, r *http.Request, name string, into *int) bo
 }
 
 // sessionIDBefore orders session IDs by their numeric suffix (s2 before
-// s10), falling back to string order for foreign shapes.
+// s10). Foreign shapes sort after all numeric IDs, by string — keeping
+// the comparator a strict weak ordering even when the registry mixes
+// both (a numeric-vs-string fallback per pair would be cyclic).
 func sessionIDBefore(a, b string) bool {
 	na, erra := strconv.Atoi(strings.TrimPrefix(a, "s"))
 	nb, errb := strconv.Atoi(strings.TrimPrefix(b, "s"))
-	if erra == nil && errb == nil {
+	switch {
+	case erra == nil && errb == nil:
 		return na < nb
+	case erra == nil:
+		return true
+	case errb == nil:
+		return false
+	default:
+		return a < b
 	}
-	return a < b
 }
 
 // paginate slices one page out of the violations, clamping offset to the
@@ -406,6 +416,44 @@ func (s *Server) apiPFDs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"session": h.sess.ID, "pfds": h.sess.Discovered})
 }
 
+// ruleStatView is the JSON shape of one rule's detection cost.
+type ruleStatView struct {
+	PFD        string  `json:"pfd"`
+	Rows       int     `json:"rows"`
+	Violations int     `json:"violations"`
+	DurationNS int64   `json:"duration_ns"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// apiDetection summarizes the session's last detection run: total
+// violation count plus per-rule timing stats (tableau rows evaluated,
+// violations contributed, cumulative wall time of the rule's row tasks).
+func (s *Server) apiDetection(w http.ResponseWriter, r *http.Request) {
+	h := s.requestHandle(w, r)
+	if h == nil {
+		return
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	sess := h.sess
+	stats := make([]ruleStatView, 0, len(sess.DetectStats))
+	for _, st := range sess.DetectStats {
+		stats = append(stats, ruleStatView{
+			PFD:        st.PFDID,
+			Rows:       st.Rows,
+			Violations: st.Violations,
+			DurationNS: st.Duration.Nanoseconds(),
+			DurationMS: float64(st.Duration.Microseconds()) / 1000,
+		})
+	}
+	writeJSON(w, map[string]any{
+		"session":    sess.ID,
+		"rules":      len(sess.DetectStats),
+		"violations": len(sess.Violations),
+		"stats":      stats,
+	})
+}
+
 // apiViolations pages through the detected violations: ?limit= bounds the
 // page size (0 = all), ?offset= skips, and the total count is always
 // returned so clients can iterate.
@@ -468,7 +516,7 @@ func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
 	if sess.Confirmed != nil {
 		prevConfirmed = append([]*pfd.PFD{}, sess.Confirmed...)
 	}
-	prevViolations, prevRepairs := sess.Violations, sess.Repairs
+	prevViolations, prevRepairs, prevStats := sess.Violations, sess.Repairs, sess.DetectStats
 	confirmed := sess.Confirm(body.IDs...)
 	if len(body.IDs) > 0 && len(confirmed) == 0 {
 		sess.Confirmed = prevConfirmed
@@ -477,6 +525,7 @@ func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := sess.RunStages(r.Context(), core.StageDetection, core.StageRepairs); err != nil {
 		sess.Confirmed, sess.Violations, sess.Repairs = prevConfirmed, prevViolations, prevRepairs
+		sess.DetectStats = prevStats
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -541,3 +541,99 @@ func TestDeleteDefaultPromotesSurvivor(t *testing.T) {
 		t.Errorf("legacy route serves %q, want promoted %q", out.Session, id2)
 	}
 }
+
+// TestAPIDetectionStats: the detection endpoint reports per-rule timing
+// consistent with the session's violation total.
+func TestAPIDetectionStats(t *testing.T) {
+	h := newLoadedServer(t).Handler()
+	rec := get(t, h, "/api/v1/sessions/s1/detection")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Session    string `json:"session"`
+		Rules      int    `json:"rules"`
+		Violations int    `json:"violations"`
+		Stats      []struct {
+			PFD        string  `json:"pfd"`
+			Rows       int     `json:"rows"`
+			Violations int     `json:"violations"`
+			DurationNS int64   `json:"duration_ns"`
+			DurationMS float64 `json:"duration_ms"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Session != "s1" || out.Rules == 0 || len(out.Stats) != out.Rules {
+		t.Fatalf("detection summary = %+v", out)
+	}
+	perRule := 0
+	for _, st := range out.Stats {
+		if st.PFD == "" || st.Rows == 0 || st.DurationNS < 0 {
+			t.Errorf("bad rule stat %+v", st)
+		}
+		perRule += st.Violations
+	}
+	// Per-rule counts are pre-dedupe, so they bound the merged total.
+	if perRule < out.Violations {
+		t.Errorf("per-rule violations %d < merged %d", perRule, out.Violations)
+	}
+	rec = get(t, h, "/api/v1/sessions/nope/detection")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("missing session: status = %d", rec.Code)
+	}
+}
+
+// detectionServer builds a server whose system runs detection/repair at
+// the given parallelism.
+func detectionServer(parallelism int) *Server {
+	cfg := core.DefaultSystemConfig()
+	cfg.Parallelism = parallelism // discovery inherits the one knob too
+	return New(core.NewSystemWith(docstore.NewMem(), cfg))
+}
+
+// TestV1ParallelDetectionByteIdentical uploads the same CSV into servers
+// configured with parallelism 1, 4, and 8 — several concurrent sessions
+// each — and expects every violations and repairs response to be
+// byte-identical to the sequential server's. Run under -race this also
+// hammers the per-session engine from concurrent HTTP handlers.
+func TestV1ParallelDetectionByteIdentical(t *testing.T) {
+	body := csvBody(t, datagen.ZipCity(600, 0.02, 33))
+	baseline := detectionServer(1).Handler()
+	_, out := postCSV(t, baseline, "/api/v1/sessions?name=zips", body)
+	baseID := out["session"].(string)
+	wantViolations := get(t, baseline, "/api/v1/sessions/"+baseID+"/violations").Body.String()
+	wantRepairs := get(t, baseline, "/api/v1/sessions/"+baseID+"/repairs").Body.String()
+	stripSession := func(s, id string) string {
+		return strings.ReplaceAll(s, `"session": "`+id+`"`, `"session": "X"`)
+	}
+	wantViolations = stripSession(wantViolations, baseID)
+	wantRepairs = stripSession(wantRepairs, baseID)
+
+	for _, par := range []int{1, 4, 8} {
+		h := detectionServer(par).Handler()
+		const sessions = 4
+		ids := make([]string, sessions)
+		var wg sync.WaitGroup
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, out := postCSV(t, h, "/api/v1/sessions?name=zips", body)
+				ids[i] = out["session"].(string)
+			}(i)
+		}
+		wg.Wait()
+		for _, id := range ids {
+			vs := stripSession(get(t, h, "/api/v1/sessions/"+id+"/violations").Body.String(), id)
+			rs := stripSession(get(t, h, "/api/v1/sessions/"+id+"/repairs").Body.String(), id)
+			if vs != wantViolations {
+				t.Errorf("parallelism %d session %s: violations differ from sequential", par, id)
+			}
+			if rs != wantRepairs {
+				t.Errorf("parallelism %d session %s: repairs differ from sequential", par, id)
+			}
+		}
+	}
+}

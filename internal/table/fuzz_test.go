@@ -15,6 +15,20 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("a,b\n1\n1,2,3\n")
 	f.Add("\n")
 	f.Add("a,a\n1,2\n")
+	// Quoting edge cases: embedded quotes, commas, newlines inside fields.
+	f.Add("a,b\n\"x\"\"y\",z\n")
+	f.Add("a,b\n\"one,two\",3\n")
+	f.Add("a,b\n\"line1\nline2\",3\n")
+	// Empty-cell edge cases: empty fields at every position, all-empty rows.
+	f.Add("a,b,c\n,,\n1,,3\n,2,\n")
+	f.Add("a,b\n,\n")
+	// Whitespace and unicode survive verbatim.
+	f.Add("a,b\n x , y\t\n")
+	f.Add("name,city\nJosé,\"São Paulo\"\n")
+	f.Add("a,b\n\"\",\"\"\n")
+	// Carriage returns inside quoted fields (normalized by encoding/csv;
+	// the round-trip check below skips them).
+	f.Add("a,b\n\"x\r\ny\",z\n")
 	f.Fuzz(func(t *testing.T, data string) {
 		tbl, err := ReadCSV("f", strings.NewReader(data))
 		if err != nil {
@@ -26,6 +40,16 @@ func FuzzReadCSV(f *testing.F) {
 		if tbl.NumCols() == 1 {
 			for r := 0; r < tbl.NumRows(); r++ {
 				if tbl.Cell(r, 0) == "" {
+					return
+				}
+			}
+		}
+		// encoding/csv normalizes \r\n to \n inside quoted fields on both
+		// read and write, so cells containing carriage returns cannot
+		// round-trip either (see the WriteCSV doc comment).
+		for r := 0; r < tbl.NumRows(); r++ {
+			for c := 0; c < tbl.NumCols(); c++ {
+				if strings.ContainsRune(tbl.Cell(r, c), '\r') {
 					return
 				}
 			}

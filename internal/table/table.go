@@ -19,6 +19,9 @@ type Table struct {
 	columns []string
 	colIdx  map[string]int
 	rows    [][]string
+	// version counts mutations (SetCell, Append, Derive) so index caches
+	// built over the table can detect staleness. See Version.
+	version int64
 }
 
 // New creates an empty table with the given column names.
@@ -80,6 +83,7 @@ func (t *Table) Append(row []string) error {
 	cp := make([]string, len(row))
 	copy(cp, row)
 	t.rows = append(t.rows, cp)
+	t.version++
 	return nil
 }
 
@@ -104,7 +108,15 @@ func (t *Table) CellByName(row int, col string) (string, error) {
 
 // SetCell overwrites the value at (row, column index). It is used by the
 // repair engine and by error injection in the data generators.
-func (t *Table) SetCell(row, col int, v string) { t.rows[row][col] = v }
+func (t *Table) SetCell(row, col int, v string) {
+	t.rows[row][col] = v
+	t.version++
+}
+
+// Version returns the mutation count of the table. Index caches record
+// it at build time and rebuild when it changes (it is not synchronized;
+// mutate and detect from separate phases, not concurrently).
+func (t *Table) Version() int64 { return t.version }
 
 // Row returns a copy of the row.
 func (t *Table) Row(i int) []string {
@@ -228,10 +240,11 @@ func ReadCSVFile(path string) (*Table, error) {
 
 // WriteCSV writes the table as CSV with a header record.
 //
-// Limitation inherited from RFC 4180 / encoding/csv: in a one-column
+// Limitations inherited from RFC 4180 / encoding/csv: in a one-column
 // table, a row whose only cell is the empty string serializes as a blank
-// line, which CSV readers skip; such rows do not survive a write/read
-// round trip.
+// line, which CSV readers skip; and carriage returns inside cells are
+// normalized (\r\n becomes \n in quoted fields on both read and write).
+// Such cells do not survive a write/read round trip byte-for-byte.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.columns); err != nil {
@@ -279,6 +292,7 @@ func (t *Table) Derive(name string, cols []string, sep string) (*Table, error) {
 	}
 	t.colIdx[name] = len(t.columns)
 	t.columns = append(t.columns, name)
+	t.version++
 	parts := make([]string, len(idxs))
 	for r := range t.rows {
 		for i, j := range idxs {
