@@ -1,13 +1,16 @@
 # Development entry points. `make bench` is the benchmark regression
 # harness: it runs the detection benchmarks and writes BENCH_detect.json
 # (ns/op, allocs/op, speedup vs parallelism=1) — see README "Detection
-# engine".
+# engine". `make bench-stream` writes BENCH_stream.json: incremental
+# violation maintenance vs full re-detection at delta batch sizes
+# 1/10/100 (speedup_vs_full) — see README "Streaming ingestion".
 
 GO        ?= go
 BENCHTIME ?=
 BENCHOUT  ?= BENCH_detect.json
+STREAMOUT ?= BENCH_stream.json
 
-.PHONY: all build vet test race bench fuzz
+.PHONY: all build vet test race bench bench-stream fuzz vulncheck
 
 all: vet build test
 
@@ -27,5 +30,13 @@ race:
 bench:
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) $(if $(BENCHTIME),-benchtime $(BENCHTIME))
 
+bench-stream:
+	$(GO) run ./cmd/benchjson -out $(STREAMOUT) -pkg ./internal/stream \
+		-bench 'BenchmarkStreamAppend|BenchmarkStreamRepair' $(if $(BENCHTIME),-benchtime $(BENCHTIME))
+
 fuzz:
 	$(GO) test ./internal/table -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s
+
+# Requires network access to fetch the scanner and vuln DB; CI runs it.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

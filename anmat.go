@@ -33,6 +33,7 @@ import (
 	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/table"
 )
 
@@ -63,7 +64,30 @@ type (
 	RuleStats = detect.RuleStats
 	// DetectionResult pairs merged violations with per-rule stats.
 	DetectionResult = detect.Result
+	// StreamEngine is the incremental detection engine behind
+	// Session.Stream: it maintains the violation set across row deltas
+	// without re-running full detection, byte-identical to DetectContext
+	// at any point.
+	StreamEngine = stream.Engine
+	// Delta is one streaming operation (append / update / delete).
+	Delta = stream.Op
+	// DeltaBatch is an atomically applied list of deltas.
+	DeltaBatch = stream.Batch
+	// ViolationDiff reports how one delta batch changed the maintained
+	// violation set (and carries the engine's sequence cursor).
+	ViolationDiff = stream.Diff
+	// StreamStats summarizes a stream engine's maintained state.
+	StreamStats = stream.Stats
 )
+
+// AppendRows builds a delta that appends full records in schema order.
+func AppendRows(rows ...[]string) Delta { return stream.AppendRows(rows...) }
+
+// UpdateCell builds a delta that overwrites one cell.
+func UpdateCell(row int, column, value string) Delta { return stream.UpdateCell(row, column, value) }
+
+// DeleteRows builds a delta that removes rows (survivors renumber down).
+func DeleteRows(rows ...int) Delta { return stream.DeleteRows(rows...) }
 
 // Re-exported pipeline stages.
 const (

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,8 +29,10 @@ import (
 	"github.com/anmat/anmat/internal/dmv"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/experiments"
+	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
 	"github.com/anmat/anmat/internal/report"
+	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/table"
 )
 
@@ -88,6 +93,7 @@ func usage() {
   repair      -in data.csv -out fixed.csv          mine + detect + apply repairs
   report      -in data.csv [-out report.md]        full pipeline as Markdown
   stream      -history clean.csv -in new.csv       mine from history, validate new rows
+              detect -follow tails -in for appended rows, printing violation diffs
   dmv         -in data.csv                         flag disguised missing values
   experiments [-exp id] [-n rows]                  regenerate paper artifacts`)
 }
@@ -123,13 +129,19 @@ func (p pipelineFlags) session(args []string) (*core.Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.buildSession(t), nil
+}
+
+// buildSession binds an already-loaded table to a fresh single-session
+// system configured from the parsed flags.
+func (p pipelineFlags) buildSession(t *table.Table) *core.Session {
 	cfg := core.DefaultSystemConfig()
 	cfg.Parallelism = *p.parallelism
 	sys := core.NewSystemWith(docstore.NewMem(), cfg)
 	return sys.NewSession("cli", t, core.Params{
 		MinCoverage:       *p.coverage,
 		AllowedViolations: *p.violations,
-	}), nil
+	})
 }
 
 func cmdProfile(args []string) error {
@@ -188,8 +200,39 @@ func cmdDiscover(ctx context.Context, args []string) error {
 func cmdDetect(ctx context.Context, args []string) error {
 	pf := newPipelineFlags("detect")
 	stats := pf.fs.Bool("stats", false, "print per-rule detection timing")
-	se, err := pf.session(args)
-	if err != nil {
+	follow := pf.fs.Bool("follow", false, "after detecting, tail the CSV for appended rows and print incremental violation diffs (Ctrl-C to stop)")
+	poll := pf.fs.Duration("poll", 500*time.Millisecond, "polling interval of -follow")
+	var se *core.Session
+	var offset int64
+	var err error
+	if se, err = func() (*core.Session, error) {
+		if err := pf.fs.Parse(args); err != nil {
+			return nil, err
+		}
+		if *pf.in == "" {
+			return nil, fmt.Errorf("-in is required")
+		}
+		if !*follow {
+			t, err := table.ReadCSVFile(*pf.in)
+			if err != nil {
+				return nil, err
+			}
+			return pf.buildSession(t), nil
+		}
+		// Follow mode snapshots the file into memory so the tail offset
+		// is exactly the end of what the table was loaded from — rows
+		// appended while the pipeline runs are picked up by the tail.
+		data, err := os.ReadFile(*pf.in)
+		if err != nil {
+			return nil, err
+		}
+		offset = int64(len(data))
+		t, err := table.ReadCSV(table.NameFromPath(*pf.in), bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return pf.buildSession(t), nil
+	}(); err != nil {
 		return err
 	}
 	if err := se.Run(ctx); err != nil {
@@ -214,7 +257,156 @@ func cmdDetect(ctx context.Context, args []string) error {
 		fmt.Printf("  rule %-45s cells %-30s observed %q expected %q\n",
 			v.Row, strings.Join(cells, " "), v.Observed, v.Expected)
 	}
+	if *follow {
+		return followFile(ctx, os.Stdout, se, *pf.in, offset, *poll)
+	}
 	return nil
+}
+
+// csvTail incrementally parses a growing CSV byte stream: complete
+// records are consumed, a trailing partial record (no newline yet, or an
+// unterminated quote) stays pending until more bytes arrive.
+type csvTail struct {
+	pending []byte
+}
+
+// feed appends new bytes and returns the complete records they close
+// (normalized and padded/truncated to ncols like table.ReadCSV rows)
+// plus the number of malformed records it had to drop. A parse error
+// that consumed the whole buffer means the record may still be growing
+// (unterminated quote, missing newline) and the bytes stay pending; an
+// error that stopped mid-buffer is genuinely malformed — waiting cannot
+// fix it, so the offending record is dropped to keep the tail draining.
+func (ct *csvTail) feed(b []byte, ncols int) (rows [][]string, dropped int) {
+	ct.pending = append(ct.pending, b...)
+	for len(ct.pending) > 0 {
+		r := csv.NewReader(bytes.NewReader(ct.pending))
+		r.FieldsPerRecord = -1
+		rec, err := r.Read()
+		if err != nil {
+			off := int(r.InputOffset())
+			if off >= len(ct.pending) {
+				break // incomplete tail: wait for more bytes
+			}
+			if off == 0 {
+				// Defensive: the reader made no progress; skip one line.
+				nl := bytes.IndexByte(ct.pending, '\n')
+				if nl < 0 {
+					break
+				}
+				off = nl + 1
+			}
+			ct.pending = ct.pending[off:]
+			dropped++
+			continue
+		}
+		end := r.InputOffset()
+		if int(end) >= len(ct.pending) && ct.pending[len(ct.pending)-1] != '\n' {
+			break // record may still be growing
+		}
+		for i := range rec {
+			rec[i] = table.NormalizeCell(rec[i])
+		}
+		switch {
+		case len(rec) < ncols:
+			padded := make([]string, ncols)
+			copy(padded, rec)
+			rec = padded
+		case len(rec) > ncols:
+			rec = rec[:ncols]
+		}
+		rows = append(rows, rec)
+		ct.pending = ct.pending[end:]
+	}
+	return rows, dropped
+}
+
+// followFile tails the CSV at path from offset, routing appended records
+// through the session's incremental engine and printing one violation
+// diff per batch. It returns nil when ctx is cancelled (Ctrl-C).
+func followFile(ctx context.Context, w io.Writer, se *core.Session, path string, offset int64, poll time.Duration) error {
+	eng, err := se.Stream()
+	if err != nil {
+		return fmt.Errorf("follow: %w (no PFDs mined; loosen -coverage/-violations)", err)
+	}
+	fmt.Fprintf(w, "following %s: %d row(s), %d violation(s), seq %d\n",
+		path, se.Table.NumRows(), len(se.Violations), eng.Seq())
+	tail := &csvTail{}
+	ncols := se.Table.NumCols()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(w, "follow stopped (%v) at seq %d, %d row(s), %d violation(s)\n",
+				context.Cause(ctx), eng.Seq(), se.Table.NumRows(), len(se.Violations))
+			return nil
+		case <-ticker.C:
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("follow %s: %w", path, err)
+		}
+		if fi.Size() < offset {
+			return fmt.Errorf("follow %s: file shrank (%d -> %d bytes); restart to re-detect", path, offset, fi.Size())
+		}
+		if fi.Size() == offset {
+			continue
+		}
+		chunk, err := readFrom(path, offset)
+		if err != nil {
+			return fmt.Errorf("follow %s: %w", path, err)
+		}
+		offset += int64(len(chunk))
+		rows, dropped := tail.feed(chunk, ncols)
+		if dropped > 0 {
+			fmt.Fprintf(w, "warning: skipped %d malformed CSV record(s)\n", dropped)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		diff, err := se.ApplyDeltas(stream.Batch{stream.AppendRows(rows...)})
+		if err != nil {
+			return fmt.Errorf("follow %s: %w", path, err)
+		}
+		printDiff(w, diff)
+	}
+}
+
+// readFrom reads the file's bytes from offset to EOF.
+func readFrom(path string, offset int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
+
+// printDiff renders one batch's violation diff, capped per direction.
+func printDiff(w io.Writer, diff *stream.Diff) {
+	fmt.Fprintf(w, "seq %d: +%d -%d violation(s), %d row(s)\n",
+		diff.Seq, len(diff.Added), len(diff.Removed), diff.Rows)
+	const cap = 20
+	printSide := func(sign string, vs []pfd.Violation) {
+		for i, v := range vs {
+			if i >= cap {
+				fmt.Fprintf(w, "  %s … %d more\n", sign, len(vs)-cap)
+				return
+			}
+			cells := make([]string, len(v.Cells))
+			for j, c := range v.Cells {
+				cells[j] = c.String()
+			}
+			fmt.Fprintf(w, "  %s rule %-45s cells %-30s observed %q expected %q\n",
+				sign, v.Row, strings.Join(cells, " "), v.Observed, v.Expected)
+		}
+	}
+	printSide("+", diff.Added)
+	printSide("-", diff.Removed)
 }
 
 func cmdRepair(ctx context.Context, args []string) error {

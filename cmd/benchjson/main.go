@@ -33,6 +33,10 @@ type Bench struct {
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 	SpeedupVsP1 *float64           `json:"speedup_vs_p1,omitempty"`
+	// SpeedupVsFull is filled for /incremental benchmarks whose /full
+	// sibling is present (the streaming family): full ns/op over
+	// incremental ns/op.
+	SpeedupVsFull *float64 `json:"speedup_vs_full,omitempty"`
 }
 
 // Report is the BENCH_detect.json document.
@@ -106,25 +110,34 @@ func parseBenchOutput(out string) ([]Bench, string) {
 func ptr(v float64) *float64 { return &v }
 
 // addSpeedups fills SpeedupVsP1 for every /p<N> benchmark whose /p1
-// sibling is present.
+// sibling is present, and SpeedupVsFull for every /incremental benchmark
+// whose /full sibling is present (the streaming engine family).
 func addSpeedups(benches []Bench) {
 	pVariant := regexp.MustCompile(`^(.*)/p(\d+)$`)
 	base := make(map[string]float64) // prefix -> p1 ns/op
+	fullBase := make(map[string]float64)
 	for _, b := range benches {
 		if m := pVariant.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
 			base[m[1]] = b.NsPerOp
 		}
+		if prefix, ok := strings.CutSuffix(b.Name, "/full"); ok {
+			fullBase[prefix] = b.NsPerOp
+		}
 	}
 	for i := range benches {
-		m := pVariant.FindStringSubmatch(benches[i].Name)
-		if m == nil {
+		if benches[i].NsPerOp <= 0 {
 			continue
 		}
-		p1, ok := base[m[1]]
-		if !ok || benches[i].NsPerOp <= 0 {
-			continue
+		if m := pVariant.FindStringSubmatch(benches[i].Name); m != nil {
+			if p1, ok := base[m[1]]; ok {
+				benches[i].SpeedupVsP1 = ptr(p1 / benches[i].NsPerOp)
+			}
 		}
-		benches[i].SpeedupVsP1 = ptr(p1 / benches[i].NsPerOp)
+		if prefix, ok := strings.CutSuffix(benches[i].Name, "/incremental"); ok {
+			if full, ok := fullBase[prefix]; ok {
+				benches[i].SpeedupVsFull = ptr(full / benches[i].NsPerOp)
+			}
+		}
 	}
 }
 
@@ -179,6 +192,9 @@ func run() error {
 	for _, bb := range benches {
 		if bb.SpeedupVsP1 != nil {
 			fmt.Printf("  %-40s %12.0f ns/op  speedup vs p1: %.2fx\n", bb.Name, bb.NsPerOp, *bb.SpeedupVsP1)
+		}
+		if bb.SpeedupVsFull != nil {
+			fmt.Printf("  %-40s %12.0f ns/op  speedup vs full re-detect: %.2fx\n", bb.Name, bb.NsPerOp, *bb.SpeedupVsFull)
 		}
 	}
 	return nil

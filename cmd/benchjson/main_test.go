@@ -87,3 +87,19 @@ func TestKeepFastest(t *testing.T) {
 		t.Errorf("A/p4 = %+v", out[1])
 	}
 }
+
+func TestAddSpeedupsVsFull(t *testing.T) {
+	benches := []Bench{
+		{Name: "BenchmarkStreamAppend/batch1/full", NsPerOp: 5000},
+		{Name: "BenchmarkStreamAppend/batch1/incremental", NsPerOp: 50},
+		{Name: "BenchmarkStreamAppend/batch10/incremental", NsPerOp: 100}, // no sibling
+		{Name: "BenchmarkOther", NsPerOp: 7},
+	}
+	addSpeedups(benches)
+	if benches[1].SpeedupVsFull == nil || *benches[1].SpeedupVsFull != 100 {
+		t.Errorf("incremental speedup = %v", benches[1].SpeedupVsFull)
+	}
+	if benches[0].SpeedupVsFull != nil || benches[2].SpeedupVsFull != nil || benches[3].SpeedupVsFull != nil {
+		t.Error("only /incremental entries with a /full sibling get the metric")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
+	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/table"
 )
 
@@ -174,6 +175,16 @@ type Session struct {
 	// RunDetection and RunRepairs so each column index is built once per
 	// session rather than once per stage (see Session.engine).
 	det *detect.Detector
+
+	// detected records whether detection has run at least once, so API
+	// layers can distinguish "zero violations" from "never detected".
+	detected bool
+
+	// str is the session's lazily built incremental detection engine
+	// (see Session.Stream); strRules snapshots the rule set it was built
+	// over so a Confirm/UseRules change triggers a rebuild.
+	str      *stream.Engine
+	strRules []*pfd.PFD
 }
 
 // NewSession binds a table to a project with the given parameters
@@ -380,6 +391,7 @@ func (se *Session) RunDetection(ctx context.Context) ([]pfd.Violation, error) {
 	}
 	se.Violations = res.Violations
 	se.DetectStats = res.Stats
+	se.detected = true
 	for _, v := range res.Violations {
 		if _, err := se.sys.store.InsertJSON(CollViolations, v); err != nil {
 			return nil, err
@@ -404,4 +416,105 @@ func (se *Session) RunRepairs(ctx context.Context) ([]detect.Repair, error) {
 // between stages and mid-discovery with an error wrapping ctx.Err().
 func (se *Session) Run(ctx context.Context) error {
 	return se.RunStages(ctx, FullPipeline()...)
+}
+
+// DetectionRan reports whether detection has run on this session at
+// least once — the difference between "zero violations" and "never
+// looked", which the HTTP layer surfaces as a 409.
+func (se *Session) DetectionRan() bool { return se.detected }
+
+// samePFDs reports whether two rule slices hold the same rules in the
+// same order (pointer identity: sessions share *pfd.PFD values).
+func samePFDs(a, b []*pfd.PFD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stream returns the session's incremental detection engine, building it
+// lazily over the active rule set and rebuilding when the table was
+// mutated outside the engine (e.g. a direct detect.Apply) or the rule set
+// changed (Confirm, UseRules). The bootstrap costs about one detection
+// pass; every delta after that is proportional to what it touches, so
+// the engine is the cheap path for continuously arriving data.
+func (se *Session) Stream() (*stream.Engine, error) {
+	rules := se.rules()
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("session %s: no rules to stream against (run discovery or UseRules first)", se.ID)
+	}
+	if se.str == nil || se.str.Stale() || !samePFDs(se.strRules, rules) {
+		// A replacement engine continues the old sequence timeline (one
+		// past the last issued seq), so cursors issued by the previous
+		// engine resolve to a reset snapshot rather than an error.
+		var base int64
+		if se.str != nil {
+			base = se.str.Seq() + 1
+		}
+		eng, err := stream.NewEngineFrom(se.Table, rules, base)
+		if err != nil {
+			return nil, fmt.Errorf("session %s: %w", se.ID, err)
+		}
+		se.str = eng
+		se.strRules = rules
+	}
+	return se.str, nil
+}
+
+// ApplyDeltas routes one delta batch through the session's incremental
+// engine and refreshes the session's violation set from the maintained
+// one (identical to what a full re-detection would produce, without
+// running it).
+func (se *Session) ApplyDeltas(batch stream.Batch) (*stream.Diff, error) {
+	eng, err := se.Stream()
+	if err != nil {
+		return nil, err
+	}
+	diff, err := eng.Apply(batch)
+	if err != nil {
+		return nil, fmt.Errorf("session %s: %w", se.ID, err)
+	}
+	se.Violations = eng.Violations()
+	return diff, nil
+}
+
+// ApplyRepairs writes repair suggestions into the session's table. When
+// the session has a live incremental engine the repairs become cell
+// deltas routed through it — the engine is never discarded and the
+// violation diff of the repair falls out for free. Without one it falls
+// back to the in-place detect.Apply (which bumps the table version, so a
+// later Stream() rebuilds). Returns the number of changed cells and the
+// violation diff (nil on the fallback path).
+func (se *Session) ApplyRepairs(rs []detect.Repair) (int, *stream.Diff, error) {
+	if se.str == nil || se.str.Stale() || !samePFDs(se.strRules, se.rules()) {
+		n, err := detect.Apply(se.Table, rs)
+		return n, nil, err
+	}
+	var batch stream.Batch
+	for _, r := range rs {
+		if r.Cell.Row < 0 || r.Cell.Row >= se.Table.NumRows() {
+			return 0, nil, fmt.Errorf("session %s: apply repair: row %d out of range [0,%d) — suggestions predate a delta that renumbered the table; re-run RunRepairs",
+				se.ID, r.Cell.Row, se.Table.NumRows())
+		}
+		cur, err := se.Table.CellByName(r.Cell.Row, r.Cell.Column)
+		if err != nil {
+			return 0, nil, fmt.Errorf("session %s: apply repair: %w", se.ID, err)
+		}
+		if cur != r.Suggested {
+			batch = append(batch, stream.UpdateCell(r.Cell.Row, r.Cell.Column, r.Suggested))
+		}
+	}
+	if len(batch) == 0 {
+		return 0, &stream.Diff{Seq: se.str.Seq(), Rows: se.Table.NumRows()}, nil
+	}
+	diff, err := se.ApplyDeltas(batch)
+	if err != nil {
+		return 0, nil, err
+	}
+	return len(batch), diff, nil
 }

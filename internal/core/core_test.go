@@ -12,6 +12,10 @@ import (
 	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/invlist"
+	"github.com/anmat/anmat/internal/pattern"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/stream"
+	"github.com/anmat/anmat/internal/tableau"
 )
 
 func TestPipelineEndToEnd(t *testing.T) {
@@ -438,5 +442,187 @@ func TestSessionEngineReuseAndStaleness(t *testing.T) {
 	}
 	if len(after) >= before {
 		t.Errorf("violations after repair = %d, want < %d", len(after), before)
+	}
+}
+
+func TestSessionStreamDeltas(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.PhoneState(600, 0.01, 44)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	ctx := context.Background()
+	if se.DetectionRan() {
+		t.Error("DetectionRan before any run")
+	}
+	if err := se.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !se.DetectionRan() {
+		t.Error("DetectionRan after Run")
+	}
+
+	eng, err := se.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The maintained set matches the session's detected violations.
+	if len(eng.Violations()) != len(se.Violations) {
+		t.Fatalf("engine %d violations, session %d", len(eng.Violations()), len(se.Violations))
+	}
+	// The handle is cached while nothing changed.
+	again, err := se.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != eng {
+		t.Error("Stream must return the cached engine")
+	}
+
+	// A delta flows through and refreshes the session's violations.
+	row := se.Table.Row(0)
+	row[1] = "ZZ" // wrong state for the phone's area code
+	diff, err := se.ApplyDeltas(stream.Batch{stream.AppendRows(row)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Added) == 0 {
+		t.Error("dirty appended row should add violations")
+	}
+	if len(se.Violations) != len(eng.Violations()) {
+		t.Error("ApplyDeltas must refresh session violations")
+	}
+
+	// Detection on the untouched-by-detector table agrees with the
+	// maintained set, and the engine survives it (no mutation happened).
+	vs, err := se.RunDetection(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != len(eng.Violations()) {
+		t.Errorf("full detection %d != maintained %d", len(vs), len(eng.Violations()))
+	}
+
+	// Repairs route through the stream: the engine stays valid and the
+	// diff reports the removals.
+	if _, err := se.RunRepairs(ctx); err != nil {
+		t.Fatal(err)
+	}
+	changed, rdiff, err := se.ApplyRepairs(se.Repairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 || rdiff == nil {
+		t.Fatalf("stream-routed repairs: changed=%d diff=%v", changed, rdiff)
+	}
+	if len(rdiff.Removed) == 0 {
+		t.Error("repairs should remove violations")
+	}
+	if eng.Stale() {
+		t.Error("stream-routed repairs must keep the engine fresh")
+	}
+	if again, _ := se.Stream(); again != eng {
+		t.Error("engine must survive stream-routed repairs")
+	}
+
+	// An external mutation (detect.Apply path) makes the engine stale and
+	// Stream rebuilds.
+	se.Table.SetCell(0, 1, "XX")
+	rebuilt, err := se.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == eng {
+		t.Error("Stream must rebuild after an external table mutation")
+	}
+}
+
+func TestSessionStreamRequiresRules(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.PhoneState(100, 0, 45)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if _, err := se.Stream(); err == nil {
+		t.Error("Stream without rules should fail")
+	}
+	if _, err := se.ApplyDeltas(stream.Batch{stream.DeleteRows(0)}); err == nil {
+		t.Error("ApplyDeltas without rules should fail")
+	}
+}
+
+func TestApplyRepairsFallbackWithoutStream(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.PhoneState(600, 0.01, 46)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if err := se.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(se.Repairs) == 0 {
+		t.Fatal("no repairs on dirty data")
+	}
+	changed, diff, err := se.ApplyRepairs(se.Repairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Error("fallback path should change cells")
+	}
+	if diff != nil {
+		t.Error("fallback path reports no diff")
+	}
+	// Confirming the identical rule set keeps the cached engine; a real
+	// rule-set change (extra rule installed via UseRules) rebuilds it.
+	eng, err := se.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.Confirm(se.Discovered[0].ID())
+	if kept, _ := se.Stream(); len(se.Discovered) == 1 && kept != eng {
+		t.Error("identical rule set must keep the cached engine")
+	}
+	extra := pfd.New(se.Table.Name(), "phone", "state", tableau.New(tableau.Row{
+		LHS: pattern.MustParseConstrained(`<999>\D{7}`),
+		RHS: "ZZ",
+	}))
+	se.UseRules(append(append([]*pfd.PFD{}, se.Discovered...), extra))
+	rebuilt, err := se.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == eng {
+		t.Error("Stream must rebuild after the rule set changes")
+	}
+}
+
+func TestStreamRebuildContinuesCursorTimeline(t *testing.T) {
+	sys := NewSystem(docstore.NewMem())
+	d := datagen.PhoneState(400, 0.01, 47)
+	se := sys.NewSession("p", d.Table, DefaultParams())
+	if err := se.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.ApplyDeltas(stream.Batch{stream.AppendRows(se.Table.Row(0))}); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := se.Stream()
+	if old.Seq() != 1 {
+		t.Fatalf("seq = %d", old.Seq())
+	}
+	// External mutation forces a rebuild; the replacement continues the
+	// timeline so a client cursor from the old engine resets cleanly.
+	se.Table.SetCell(0, 1, "XX")
+	rebuilt, err := se.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt == old {
+		t.Fatal("expected a rebuild")
+	}
+	if rebuilt.Seq() != 2 {
+		t.Errorf("rebuilt seq = %d, want 2 (old seq + 1)", rebuilt.Seq())
+	}
+	diff, err := rebuilt.Since(1)
+	if err != nil {
+		t.Fatalf("old cursor must not error after rebuild: %v", err)
+	}
+	if !diff.Reset {
+		t.Error("old cursor should resolve to a reset snapshot")
 	}
 }

@@ -418,8 +418,18 @@ func dedupe(vs []pfd.Violation) []pfd.Violation {
 			out = append(out, v)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	SortViolations(out)
+	return out
+}
+
+// SortViolations sorts violations into the engine's one total order:
+// first cell, then violation key. Every detection path — sequential,
+// parallel, and the incremental maintenance engine — renders through this
+// order, so any two engines that agree on the violation *set* produce
+// byte-identical output.
+func SortViolations(vs []pfd.Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
 		if len(a.Cells) > 0 && len(b.Cells) > 0 && a.Cells[0] != b.Cells[0] {
 			return a.Cells[0].Less(b.Cells[0])
 		}
@@ -427,7 +437,6 @@ func dedupe(vs []pfd.Violation) []pfd.Violation {
 		// identical across detection engines.
 		return a.Key() < b.Key()
 	})
-	return out
 }
 
 // Repair is a suggested fix for one cell.

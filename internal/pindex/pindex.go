@@ -152,3 +152,100 @@ func (ix *Index) Signatures() []SigCount {
 	})
 	return out
 }
+
+// Insert adds one (row, value) observation to the index, creating the
+// value's signature group on demand — the incremental counterpart of
+// Build, used by the streaming engine to keep a column index fresh across
+// row deltas instead of rebuilding it.
+func (ix *Index) Insert(row int, v string) {
+	sig := pattern.Signature(v)
+	g := ix.groups[sig]
+	if g == nil {
+		g = &group{sig: pattern.MustParse(sig), vals: make(map[string][]int)}
+		ix.groups[sig] = g
+	}
+	if _, seen := g.vals[v]; !seen {
+		// Keep the sorted distinct-value slice ordered for the
+		// literal-prefix range scans of candidates.
+		at := sort.SearchStrings(g.sorted, v)
+		g.sorted = append(g.sorted, "")
+		copy(g.sorted[at+1:], g.sorted[at:])
+		g.sorted[at] = v
+	}
+	g.vals[v] = append(g.vals[v], row)
+	ix.rows++
+}
+
+// Remove drops one (row, value) observation, deleting the distinct value
+// and its signature group when they empty out. Removing a pair that was
+// never inserted is a no-op.
+func (ix *Index) Remove(row int, v string) {
+	sig := pattern.Signature(v)
+	g := ix.groups[sig]
+	if g == nil {
+		return
+	}
+	rows, ok := g.vals[v]
+	if !ok {
+		return
+	}
+	for i, r := range rows {
+		if r == row {
+			rows = append(rows[:i], rows[i+1:]...)
+			ix.rows--
+			break
+		}
+	}
+	if len(rows) == 0 {
+		delete(g.vals, v)
+		if at := sort.SearchStrings(g.sorted, v); at < len(g.sorted) && g.sorted[at] == v {
+			g.sorted = append(g.sorted[:at], g.sorted[at+1:]...)
+		}
+		if len(g.vals) == 0 {
+			delete(ix.groups, sig)
+		}
+		return
+	}
+	g.vals[v] = rows
+}
+
+// Update moves a row from one value to another (a cell overwrite). When
+// the value is unchanged it is a no-op.
+func (ix *Index) Update(row int, old, new string) {
+	if old == new {
+		return
+	}
+	ix.Remove(row, old)
+	ix.Insert(row, new)
+}
+
+// Renumber remaps every stored row id through remap, which returns the
+// new id and whether the row survives; non-surviving rows are dropped
+// (callers normally Remove deleted rows first and use Renumber to close
+// the gaps left by a table compaction).
+func (ix *Index) Renumber(remap func(old int) (int, bool)) {
+	total := 0
+	for sig, g := range ix.groups {
+		for v, rows := range g.vals {
+			kept := rows[:0]
+			for _, r := range rows {
+				if nr, ok := remap(r); ok {
+					kept = append(kept, nr)
+				}
+			}
+			if len(kept) == 0 {
+				delete(g.vals, v)
+				if at := sort.SearchStrings(g.sorted, v); at < len(g.sorted) && g.sorted[at] == v {
+					g.sorted = append(g.sorted[:at], g.sorted[at+1:]...)
+				}
+				continue
+			}
+			g.vals[v] = kept
+			total += len(kept)
+		}
+		if len(g.vals) == 0 {
+			delete(ix.groups, sig)
+		}
+	}
+	ix.rows = total
+}

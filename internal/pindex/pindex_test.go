@@ -108,3 +108,66 @@ func TestMatchEquivalentToScan(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalEquivalence drives a random insert/update/remove/renumber
+// script against an incrementally maintained index and checks that after
+// every step it answers queries identically to an index rebuilt from
+// scratch over the same logical column.
+func TestIncrementalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := []string{"90001", "90002", "10001", "abc", "xy9", "90003", "", "123-45"}
+	queries := []pattern.Pattern{
+		pattern.MustParse(`900\D{2}`),
+		pattern.MustParse(`\D{5}`),
+		pattern.MustParse(`\LL*`),
+		pattern.MustParse(`123-\D{2}`),
+	}
+	var col []string
+	ix := Build(nil)
+	check := func(step string) {
+		t.Helper()
+		ref := Build(col)
+		if ix.NumRows() != ref.NumRows() {
+			t.Fatalf("%s: NumRows %d, want %d", step, ix.NumRows(), ref.NumRows())
+		}
+		if ix.NumSignatures() != ref.NumSignatures() {
+			t.Fatalf("%s: NumSignatures %d, want %d", step, ix.NumSignatures(), ref.NumSignatures())
+		}
+		for _, q := range queries {
+			if got, want := ix.Match(q), ref.Match(q); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: Match(%s) = %v, want %v", step, q, got, want)
+			}
+		}
+		if !reflect.DeepEqual(ix.Signatures(), ref.Signatures()) {
+			t.Fatalf("%s: signature census diverged", step)
+		}
+	}
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(col) == 0: // insert
+			v := pool[rng.Intn(len(pool))]
+			col = append(col, v)
+			ix.Insert(len(col)-1, v)
+		case op == 1: // update
+			r := rng.Intn(len(col))
+			v := pool[rng.Intn(len(pool))]
+			ix.Update(r, col[r], v)
+			col[r] = v
+		case op == 2: // remove last (keeps ids dense without renumbering)
+			r := len(col) - 1
+			ix.Remove(r, col[r])
+			col = col[:r]
+		default: // remove a middle row, then renumber to close the gap
+			r := rng.Intn(len(col))
+			ix.Remove(r, col[r])
+			col = append(col[:r], col[r+1:]...)
+			ix.Renumber(func(old int) (int, bool) {
+				if old > r {
+					return old - 1, true
+				}
+				return old, true
+			})
+		}
+		check("step")
+	}
+}

@@ -12,19 +12,26 @@
 // the server keeps a registry of concurrent sessions, each guarded by its
 // own lock:
 //
-//	POST   /api/v1/sessions                 upload a CSV, run the pipeline
+//	POST   /api/v1/sessions                 upload a CSV, run the pipeline (?stages= for partial runs)
 //	GET    /api/v1/sessions                 list sessions
 //	GET    /api/v1/sessions/{id}            one session's summary
 //	GET    /api/v1/sessions/{id}/profile    Figure 3 data
 //	GET    /api/v1/sessions/{id}/pfds       Figure 4 data
 //	GET    /api/v1/sessions/{id}/detection  detection summary + per-rule timing
-//	GET    /api/v1/sessions/{id}/violations Figure 5 data (limit/offset)
+//	GET    /api/v1/sessions/{id}/violations Figure 5 data (limit/offset; ?since=seq for diffs)
 //	GET    /api/v1/sessions/{id}/violations/{i}  one violation, full records
 //	GET    /api/v1/sessions/{id}/repairs    suggested fixes
+//	POST   /api/v1/sessions/{id}/repairs/apply   apply suggestions as stream deltas
+//	POST   /api/v1/sessions/{id}/deltas     batched row deltas, incremental violation diff
 //	GET    /api/v1/sessions/{id}/dmv        disguised-missing-value scan
 //	POST   /api/v1/sessions/{id}/confirm    confirm rules, re-detect
 //	DELETE /api/v1/sessions/{id}            drop the session
 //	GET    /api/v1/projects                 project names
+//
+// Detection-dependent reads (the detection summary, violations?since=)
+// and delta writes on a session that has never run detection return a
+// structured 409 rather than an empty 200, so partial-stage sessions
+// (?stages=profile,discovery) are distinguishable from clean ones.
 //
 // The pre-versioning routes under /api/ remain as deprecated aliases onto
 // the default session (the first created, or the last legacy upload).
@@ -45,6 +52,7 @@ import (
 	"github.com/anmat/anmat/internal/detect"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
+	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/table"
 )
 
@@ -119,6 +127,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/violations", s.apiViolations)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/violations/{i}", s.apiViolationDetail)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/repairs", s.apiRepairs)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/repairs/apply", s.apiApplyRepairs)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/deltas", s.apiDeltas)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/dmv", s.apiDMV)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/confirm", s.apiConfirm)
 	mux.HandleFunc("GET /api/v1/projects", s.apiProjects)
@@ -184,6 +194,55 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(v)
+}
+
+// writeError emits a structured JSON error body with the given status, so
+// API clients get a machine-readable reason instead of a plain-text line.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// conflictNoDetection writes the structured 409 returned when a
+// detection-dependent resource is requested (or deltas are posted) before
+// any detection has run on the session.
+func conflictNoDetection(w http.ResponseWriter, sessionID string) {
+	writeError(w, http.StatusConflict,
+		"detection has not run on session %s; run the detection stage (POST a full-pipeline session, confirm rules, or include 'detection' in ?stages=) first", sessionID)
+}
+
+// stageNames maps the ?stages= vocabulary onto pipeline stages.
+var stageNames = map[string]core.Stage{
+	string(core.StageProfile):   core.StageProfile,
+	string(core.StageDMV):       core.StageDMV,
+	string(core.StageDiscovery): core.StageDiscovery,
+	string(core.StageConfirm):   core.StageConfirm,
+	string(core.StageDetection): core.StageDetection,
+	string(core.StageRepairs):   core.StageRepairs,
+}
+
+// parseStages resolves the optional ?stages= parameter (comma-separated
+// stage names, executed in the given order) to a stage list; an absent
+// parameter means the full pipeline. Malformed names write a 400.
+func parseStages(w http.ResponseWriter, r *http.Request) ([]core.Stage, bool) {
+	raw := r.URL.Query().Get("stages")
+	if raw == "" {
+		return core.FullPipeline(), true
+	}
+	var out []core.Stage
+	for _, name := range strings.Split(raw, ",") {
+		name = strings.TrimSpace(name)
+		st, ok := stageNames[name]
+		if !ok {
+			writeError(w, http.StatusBadRequest, "unknown pipeline stage %q (valid: profile, dmv, discovery, confirm, detection, repairs)", name)
+			return nil, false
+		}
+		out = append(out, st)
+	}
+	return out, true
 }
 
 // floatParam parses an optional float query parameter, writing a 400 on
@@ -306,13 +365,17 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request, makeDefau
 		!floatParam(w, r, "violations", &params.AllowedViolations) {
 		return
 	}
+	stages, ok := parseStages(w, r)
+	if !ok {
+		return
+	}
 	t, err := table.ReadCSV(name, r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	sess := s.sys.NewSession(project, t, params)
-	if err := sess.Run(r.Context()); err != nil {
+	if err := sess.RunStages(r.Context(), stages...); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -436,6 +499,10 @@ func (s *Server) apiDetection(w http.ResponseWriter, r *http.Request) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	sess := h.sess
+	if !sess.DetectionRan() {
+		conflictNoDetection(w, sess.ID)
+		return
+	}
 	stats := make([]ruleStatView, 0, len(sess.DetectStats))
 	for _, st := range sess.DetectStats {
 		stats = append(stats, ruleStatView{
@@ -456,7 +523,9 @@ func (s *Server) apiDetection(w http.ResponseWriter, r *http.Request) {
 
 // apiViolations pages through the detected violations: ?limit= bounds the
 // page size (0 = all), ?offset= skips, and the total count is always
-// returned so clients can iterate.
+// returned so clients can iterate. With ?since=<seq> the response is a
+// violation diff against the incremental engine's sequence cursor
+// instead of a snapshot (see apiViolationDiff).
 func (s *Server) apiViolations(w http.ResponseWriter, r *http.Request) {
 	h := s.requestHandle(w, r)
 	if h == nil {
@@ -464,6 +533,15 @@ func (s *Server) apiViolations(w http.ResponseWriter, r *http.Request) {
 	}
 	limit, offset := 0, 0
 	if !intParam(w, r, "limit", &limit) || !intParam(w, r, "offset", &offset) {
+		return
+	}
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		since, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || since < 0 {
+			writeError(w, http.StatusBadRequest, "malformed since=%q: want a non-negative integer sequence number", raw)
+			return
+		}
+		s.violationDiff(w, h, since, limit, offset)
 		return
 	}
 	h.mu.RLock()
@@ -476,6 +554,170 @@ func (s *Server) apiViolations(w http.ResponseWriter, r *http.Request) {
 		"offset":     offset,
 		"returned":   len(page),
 		"violations": page,
+	})
+}
+
+// change is one entry of a paginated violation diff.
+type change struct {
+	Kind      string        `json:"kind"` // "added" or "removed"
+	Violation pfd.Violation `json:"violation"`
+}
+
+// diffChanges flattens a stream diff into one paginated change list,
+// additions first, both halves in the engine's violation order.
+func diffChanges(d *stream.Diff) []change {
+	out := make([]change, 0, len(d.Added)+len(d.Removed))
+	for _, v := range d.Added {
+		out = append(out, change{Kind: "added", Violation: v})
+	}
+	for _, v := range d.Removed {
+		out = append(out, change{Kind: "removed", Violation: v})
+	}
+	return out
+}
+
+// paginateChanges slices one page out of a change list (limit 0 = all).
+func paginateChanges(cs []change, limit, offset int) ([]change, int) {
+	if offset > len(cs) {
+		offset = len(cs)
+	}
+	page := cs[offset:]
+	if limit > 0 && len(page) > limit {
+		page = page[:limit]
+	}
+	return page, offset
+}
+
+// writeDiff renders a stream diff with pagination metadata.
+func writeDiff(w http.ResponseWriter, sessionID string, d *stream.Diff, limit, offset int) {
+	changes := diffChanges(d)
+	page, offset := paginateChanges(changes, limit, offset)
+	writeJSON(w, map[string]any{
+		"session":  sessionID,
+		"seq":      d.Seq,
+		"rows":     d.Rows,
+		"reset":    d.Reset,
+		"added":    len(d.Added),
+		"removed":  len(d.Removed),
+		"count":    len(changes),
+		"offset":   offset,
+		"returned": len(page),
+		"changes":  page,
+	})
+}
+
+// violationDiff serves GET violations?since=<seq>: the net violation
+// change between the cursor and the engine's current sequence number,
+// maintained incrementally (never recomputed from scratch). Requires
+// detection to have run (409 otherwise); a cursor older than the
+// retained diff log yields a full snapshot with reset=true.
+func (s *Server) violationDiff(w http.ResponseWriter, h *sessionHandle, since int64, limit, offset int) {
+	// Write lock: resolving the stream handle may build the engine.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sess := h.sess
+	if !sess.DetectionRan() {
+		conflictNoDetection(w, sess.ID)
+		return
+	}
+	eng, err := sess.Stream()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	diff, err := eng.Since(since)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeDiff(w, sess.ID, diff, limit, offset)
+}
+
+// apiDeltas applies one batched, validated delta batch to the session
+// through the incremental engine and returns the paginated violation
+// diff. Body: {"deltas": [{"op":"append","rows":[[...]]},
+// {"op":"update","row":3,"column":"state","value":"FL"},
+// {"op":"delete","drop":[5,6]}]}. The batch is atomic: a validation
+// error applies nothing and returns a 400. Requires detection to have
+// run on the session (409 otherwise).
+func (s *Server) apiDeltas(w http.ResponseWriter, r *http.Request) {
+	h := s.requestHandle(w, r)
+	if h == nil {
+		return
+	}
+	limit, offset := 0, 0
+	if !intParam(w, r, "limit", &limit) || !intParam(w, r, "offset", &offset) {
+		return
+	}
+	var body struct {
+		Deltas stream.Batch `json:"deltas"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed delta body: %v", err)
+		return
+	}
+	if len(body.Deltas) == 0 {
+		writeError(w, http.StatusBadRequest, "empty delta batch")
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sess := h.sess
+	if !sess.DetectionRan() {
+		conflictNoDetection(w, sess.ID)
+		return
+	}
+	diff, err := sess.ApplyDeltas(body.Deltas)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeDiff(w, sess.ID, diff, limit, offset)
+}
+
+// apiApplyRepairs re-derives repair suggestions against the current
+// table (stored sess.Repairs may predate delta batches that renumbered
+// rows), writes them as cell deltas routed through the incremental
+// engine — so the violation diff of the repair comes back without a
+// re-detection — and finally refreshes the remaining suggestions.
+func (s *Server) apiApplyRepairs(w http.ResponseWriter, r *http.Request) {
+	h := s.requestHandle(w, r)
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sess := h.sess
+	if !sess.DetectionRan() {
+		conflictNoDetection(w, sess.ID)
+		return
+	}
+	if _, err := sess.Stream(); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	fresh, err := sess.RunRepairs(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	changed, diff, err := sess.ApplyRepairs(fresh)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if _, err := sess.RunRepairs(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"session":    sess.ID,
+		"changed":    changed,
+		"seq":        diff.Seq,
+		"violations": len(sess.Violations),
+		"repairs":    len(sess.Repairs),
+		"added":      len(diff.Added),
+		"removed":    len(diff.Removed),
 	})
 }
 

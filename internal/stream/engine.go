@@ -1,0 +1,735 @@
+// Package stream is the incremental detection subsystem: a delta-ingestion
+// engine that maintains the violation set of a rule set over a mutating
+// table without re-running full detection.
+//
+// An Engine is built once over a table and a fixed set of PFDs. Batched
+// deltas (AppendRows, UpdateCell, DeleteRows) flow through Apply, which
+// updates the table, the per-column pattern indexes (pindex), the
+// per-tableau-row block posting lists (invlist), and the materialized
+// violation set — recomputing only the constant-row tuples and
+// variable-row pattern groups a delta touches. The maintained invariant,
+// property-tested by replaying random delta scripts against full
+// re-detection, is:
+//
+//	Engine.Violations() is byte-identical to a fresh
+//	detect.DetectAllContext over the current table at any point,
+//	at every parallelism level.
+//
+// The invariant holds because full detection's output is a pure function
+// of the violation *set* (detect.SortViolations is a total order and
+// duplicates are byte-identical), so maintaining the set maintains the
+// bytes.
+//
+// Bookkeeping is source-based: every violation is owed to one or more
+// sources — a (rule, constant tableau row, tuple) triple or a (rule,
+// variable tableau row, block key) triple — and carries a reference
+// count, since ambiguous pattern extractions can make two blocks report
+// the same pair. A delta recomputes exactly the touched sources,
+// unreferencing their old violations and referencing the new ones; the
+// 0↔1 reference transitions form the batch's violation diff.
+//
+// Each applied batch advances a sequence number and appends its Diff to a
+// bounded log, so clients can poll "what changed since seq s" (Since)
+// without ever re-reading the full set. An Engine is safe for concurrent
+// use; Apply batches serialize on an internal lock.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/anmat/anmat/internal/blocking"
+	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/invlist"
+	"github.com/anmat/anmat/internal/pattern"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/pindex"
+	"github.com/anmat/anmat/internal/table"
+	"github.com/anmat/anmat/internal/tableau"
+)
+
+// DefaultLogCap is the number of per-batch diffs retained for Since
+// cursors before old entries are trimmed and stale cursors fall back to a
+// full-snapshot reset.
+const DefaultLogCap = 512
+
+// vioEntry is one maintained violation with the number of sources
+// currently reporting it.
+type vioEntry struct {
+	v    pfd.Violation
+	refs int
+}
+
+// ruleState is the incremental bookkeeping of one PFD. Slices are indexed
+// by tableau-row position; only the slot matching the row kind is
+// populated (consts for constant rows, blocks/vioOf for variable rows).
+type ruleState struct {
+	p      *pfd.PFD
+	li, ri int
+	rows   []tableau.Row
+	// emb caches each row's embedded pattern so per-delta matching does
+	// not rebuild it.
+	emb []pattern.Pattern
+	// consts maps, per constant row, a violating tuple to the key of the
+	// violation it currently owes.
+	consts []map[int]string
+	// blocks holds, per variable row, the block posting lists: block key →
+	// postings whose TupleID is the member row (RHS carries the member's
+	// current determined value for observability).
+	blocks []*invlist.List
+	// vioOf maps, per variable row, a block key to the keys of the
+	// violations that block currently owes.
+	vioOf []map[string][]string
+}
+
+// Engine maintains the violation set of a rule set over a mutating table.
+type Engine struct {
+	mu      sync.Mutex
+	t       *table.Table
+	rules   []*pfd.PFD
+	version int64 // table version after the engine's last own mutation
+
+	seq int64
+	rs  []*ruleState
+	vio map[string]*vioEntry
+	// cols are the incrementally maintained pattern indexes of every
+	// column that is some rule's LHS, keyed by column position.
+	cols map[int]*pindex.Index
+
+	log    []*Diff
+	logCap int
+}
+
+// NewEngine bootstraps an engine over the table's current contents. The
+// rule set is fixed for the engine's lifetime; build a new engine to
+// change it. The bootstrap costs about one full detection pass — every
+// delta after that is proportional to the data it touches.
+func NewEngine(t *table.Table, rules []*pfd.PFD) (*Engine, error) {
+	return NewEngineFrom(t, rules, 0)
+}
+
+// NewEngineFrom is NewEngine with an explicit starting sequence number.
+// A holder replacing an engine (table mutated externally, rule set
+// changed) passes the old engine's Seq()+1 so client cursors keep a
+// consistent timeline: cursors at or before the old seq fall outside the
+// fresh (empty) diff log and resolve to a reset snapshot instead of an
+// out-of-range error.
+func NewEngineFrom(t *table.Table, rules []*pfd.PFD, baseSeq int64) (*Engine, error) {
+	e := &Engine{
+		t:      t,
+		rules:  rules,
+		seq:    baseSeq,
+		vio:    make(map[string]*vioEntry),
+		cols:   make(map[int]*pindex.Index),
+		logCap: DefaultLogCap,
+	}
+	for _, p := range rules {
+		li, ok := t.ColIndex(p.LHS)
+		if !ok {
+			return nil, fmt.Errorf("stream %s: no column %q", p.ID(), p.LHS)
+		}
+		ri, ok := t.ColIndex(p.RHS)
+		if !ok {
+			return nil, fmt.Errorf("stream %s: no column %q", p.ID(), p.RHS)
+		}
+		rows := p.Tableau.Rows()
+		rs := &ruleState{
+			p: p, li: li, ri: ri, rows: rows,
+			emb:    make([]pattern.Pattern, len(rows)),
+			consts: make([]map[int]string, len(rows)),
+			blocks: make([]*invlist.List, len(rows)),
+			vioOf:  make([]map[string][]string, len(rows)),
+		}
+		for tri, row := range rows {
+			rs.emb[tri] = row.LHS.Embedded()
+			if row.Variable() {
+				rs.blocks[tri] = invlist.NewList()
+				rs.vioOf[tri] = make(map[string][]string)
+			} else {
+				rs.consts[tri] = make(map[int]string)
+			}
+		}
+		e.rs = append(e.rs, rs)
+		if _, ok := e.cols[li]; !ok {
+			e.cols[li] = pindex.Build(t.ColumnByIndex(li))
+		}
+	}
+
+	// Bootstrap the maintained state. Constant rows probe the pattern
+	// index (the same index full detection uses); variable rows extract
+	// block keys per tuple and then evaluate each block once.
+	d := newBatchDiff()
+	for rsi, rs := range e.rs {
+		lhs := t.ColumnByIndex(rs.li)
+		for tri, row := range rs.rows {
+			if !row.Variable() {
+				for _, r := range e.cols[rs.li].Match(rs.emb[tri]) {
+					if rv := t.Cell(r, rs.ri); rv != row.RHS {
+						v := pfd.ConstantViolation(rs.p, row, r, lhs[r], rv)
+						rs.consts[tri][r] = e.ref(v, d)
+					}
+				}
+				continue
+			}
+			touched := make(map[string]bool)
+			for r, lv := range lhs {
+				for _, key := range row.LHS.Extract(lv) {
+					rs.blocks[tri].Insert(key, invlist.Posting{TupleID: r, RHS: t.Cell(r, rs.ri)})
+					touched[key] = true
+				}
+			}
+			for key := range touched {
+				e.recomputeBlock(rsi, tri, key, d)
+			}
+		}
+	}
+	e.version = t.Version()
+	return e, nil
+}
+
+// Stale reports whether the table was mutated outside the engine (e.g. a
+// direct detect.Apply) since the engine's last delta, invalidating its
+// maintained state. A stale engine refuses further deltas; rebuild it.
+func (e *Engine) Stale() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.t.Version() != e.version
+}
+
+// Seq returns the sequence number of the last applied batch (0 right
+// after bootstrap).
+func (e *Engine) Seq() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seq
+}
+
+// Rules returns the engine's rule set (shared slice; do not mutate).
+func (e *Engine) Rules() []*pfd.PFD { return e.rules }
+
+// Violations returns the maintained violation set in the engine's total
+// order — byte-identical to a fresh full detection over the current
+// table.
+func (e *Engine) Violations() []pfd.Violation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.violationsLocked()
+}
+
+func (e *Engine) violationsLocked() []pfd.Violation {
+	out := make([]pfd.Violation, 0, len(e.vio))
+	for _, ent := range e.vio {
+		out = append(out, ent.v)
+	}
+	detect.SortViolations(out)
+	return out
+}
+
+// Stats summarizes the engine's maintained state for observability.
+type Stats struct {
+	Seq        int64 `json:"seq"`
+	Rows       int   `json:"rows"`
+	Rules      int   `json:"rules"`
+	Violations int   `json:"violations"`
+	// Blocks is the total number of tracked pattern groups across all
+	// variable tableau rows.
+	Blocks int `json:"blocks"`
+	// IndexedColumns is the number of incrementally maintained per-column
+	// pattern indexes.
+	IndexedColumns int `json:"indexed_columns"`
+	// LogLen is the number of retained per-batch diffs (Since horizon).
+	LogLen int `json:"log_len"`
+}
+
+// Stats returns a snapshot of the engine's maintained state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Stats{
+		Seq: e.seq, Rows: e.t.NumRows(), Rules: len(e.rules),
+		Violations: len(e.vio), IndexedColumns: len(e.cols), LogLen: len(e.log),
+	}
+	for _, rs := range e.rs {
+		for _, bl := range rs.blocks {
+			if bl != nil {
+				st.Blocks += bl.Len()
+			}
+		}
+	}
+	return st
+}
+
+// Apply validates the batch, applies it atomically, and returns the
+// violation diff. On a validation error nothing is applied. Applying to a
+// stale engine (table mutated externally) fails.
+func (e *Engine) Apply(batch Batch) (*Diff, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.t.Version() != e.version {
+		return nil, fmt.Errorf("stream: table mutated outside the engine (version %d, engine at %d); rebuild the engine", e.t.Version(), e.version)
+	}
+	if err := validate(e.t, batch); err != nil {
+		return nil, fmt.Errorf("stream: invalid batch: %w", err)
+	}
+	d := newBatchDiff()
+	for _, op := range batch {
+		switch op.Kind {
+		case OpAppend:
+			e.applyAppend(op.Rows, d)
+		case OpUpdate:
+			e.applyUpdate(op.Row, op.Column, op.Value, d)
+		case OpDelete:
+			e.applyDelete(op.Drop, d)
+		}
+		e.version = e.t.Version()
+	}
+	e.seq++
+	diff := d.finalize(e.seq, e.t.NumRows(), e.vio)
+	e.log = append(e.log, diff)
+	if len(e.log) > e.logCap {
+		e.log = append(e.log[:0:0], e.log[len(e.log)-e.logCap:]...)
+	}
+	return diff, nil
+}
+
+// Since merges the retained per-batch diffs after the cursor into one net
+// diff: violations both added and removed in the span cancel out, and a
+// violation whose bytes changed appears in both lists. When the cursor
+// predates the retained log the change cannot be expressed as a diff and
+// a full snapshot is returned with Reset set. A cursor ahead of the
+// engine is an error.
+func (e *Engine) Since(seq int64) (*Diff, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seq > e.seq || seq < 0 {
+		return nil, fmt.Errorf("stream: cursor %d out of range [0,%d]", seq, e.seq)
+	}
+	out := &Diff{Seq: e.seq, Rows: e.t.NumRows()}
+	if seq == e.seq {
+		return out, nil
+	}
+	if len(e.log) == 0 || e.log[0].Seq > seq+1 {
+		out.Reset = true
+		out.Added = e.violationsLocked()
+		return out, nil
+	}
+	type pend struct {
+		removed, added *pfd.Violation
+	}
+	net := make(map[string]*pend)
+	at := func(k string) *pend {
+		p := net[k]
+		if p == nil {
+			p = &pend{}
+			net[k] = p
+		}
+		return p
+	}
+	for _, dl := range e.log {
+		if dl.Seq <= seq {
+			continue
+		}
+		for i := range dl.Removed {
+			v := dl.Removed[i]
+			p := at(v.Key())
+			if p.added != nil {
+				p.added = nil // added then removed within the span: net nothing
+			} else if p.removed == nil {
+				p.removed = &v // keep the earliest removal rendering
+			}
+		}
+		for i := range dl.Added {
+			v := dl.Added[i]
+			at(v.Key()).added = &v
+		}
+	}
+	for _, p := range net {
+		switch {
+		case p.added != nil && p.removed == nil:
+			out.Added = append(out.Added, *p.added)
+		case p.removed != nil && p.added == nil:
+			out.Removed = append(out.Removed, *p.removed)
+		case p.added != nil && p.removed != nil:
+			if !sameViolation(*p.added, *p.removed) {
+				out.Added = append(out.Added, *p.added)
+				out.Removed = append(out.Removed, *p.removed)
+			}
+		}
+	}
+	detect.SortViolations(out.Added)
+	detect.SortViolations(out.Removed)
+	return out, nil
+}
+
+// ---- delta application ----
+
+func (e *Engine) applyAppend(rows [][]string, d *batchDiff) {
+	start := e.t.NumRows()
+	for _, r := range rows {
+		// The engine is an ingestion boundary: normalize CRLF sequences
+		// like table.ReadCSV does, so streamed tables keep the CSV
+		// round-trip invariant. Arity was validated; Append copies.
+		rec := make([]string, len(r))
+		for i, c := range r {
+			rec[i] = table.NormalizeCell(c)
+		}
+		_ = e.t.Append(rec)
+	}
+	for ci, ix := range e.cols {
+		for n := start; n < e.t.NumRows(); n++ {
+			ix.Insert(n, e.t.Cell(n, ci))
+		}
+	}
+	for rsi, rs := range e.rs {
+		type touchKey struct {
+			tri int
+			key string
+		}
+		touched := make(map[touchKey]bool)
+		for n := start; n < e.t.NumRows(); n++ {
+			lv := e.t.Cell(n, rs.li)
+			for tri, row := range rs.rows {
+				if !row.Variable() {
+					e.recomputeConst(rsi, tri, n, d)
+					continue
+				}
+				for _, key := range row.LHS.Extract(lv) {
+					rs.blocks[tri].Insert(key, invlist.Posting{TupleID: n, RHS: e.t.Cell(n, rs.ri)})
+					touched[touchKey{tri, key}] = true
+				}
+			}
+		}
+		for tk := range touched {
+			e.recomputeBlock(rsi, tk.tri, tk.key, d)
+		}
+	}
+}
+
+func (e *Engine) applyUpdate(rowIdx int, column, value string, d *batchDiff) {
+	ci, _ := e.t.ColIndex(column) // validated
+	value = table.NormalizeCell(value)
+	old := e.t.Cell(rowIdx, ci)
+	if old == value {
+		return
+	}
+	e.t.SetCell(rowIdx, ci, value)
+	if ix := e.cols[ci]; ix != nil {
+		ix.Update(rowIdx, old, value)
+	}
+	for rsi, rs := range e.rs {
+		if rs.li != ci && rs.ri != ci {
+			continue
+		}
+		for tri, row := range rs.rows {
+			if !row.Variable() {
+				e.recomputeConst(rsi, tri, rowIdx, d)
+				continue
+			}
+			// Move the tuple between blocks (LHS change) and/or refresh
+			// its determined value (RHS change), then re-evaluate every
+			// block the tuple left or joined.
+			lhsNow := e.t.Cell(rowIdx, rs.li)
+			lhsBefore := lhsNow
+			if rs.li == ci {
+				lhsBefore = old
+			}
+			rhsNow := e.t.Cell(rowIdx, rs.ri)
+			touched := make(map[string]bool)
+			for _, key := range row.LHS.Extract(lhsBefore) {
+				rs.blocks[tri].Remove(key, rowIdx)
+				touched[key] = true
+			}
+			for _, key := range row.LHS.Extract(lhsNow) {
+				rs.blocks[tri].Insert(key, invlist.Posting{TupleID: rowIdx, RHS: rhsNow})
+				touched[key] = true
+			}
+			for key := range touched {
+				e.recomputeBlock(rsi, tri, key, d)
+			}
+		}
+	}
+}
+
+func (e *Engine) applyDelete(drop []int, d *batchDiff) {
+	// Dedupe and sort the targets.
+	set := make(map[int]bool, len(drop))
+	for _, r := range drop {
+		set[r] = true
+	}
+	targets := make([]int, 0, len(set))
+	for r := range set {
+		targets = append(targets, r)
+	}
+	sort.Ints(targets)
+
+	// A delete renumbers every surviving row, so every maintained
+	// violation may change its rendering: snapshot them all into the
+	// batch diff before touching anything.
+	for k, ent := range e.vio {
+		d.touch(k, ent)
+	}
+
+	// Drop the deleted tuples from every source, and clear the violations
+	// of every block that loses a member — any violation mentioning a
+	// deleted row lives in such a block (or in a constant source of the
+	// row itself), so after this pass no maintained violation references a
+	// deleted row and renumbering is total.
+	type varKey struct {
+		rsi, tri int
+		key      string
+	}
+	affected := make(map[varKey]bool)
+	for rsi, rs := range e.rs {
+		for tri, row := range rs.rows {
+			if !row.Variable() {
+				for _, r := range targets {
+					if key, ok := rs.consts[tri][r]; ok {
+						e.unref(key, d)
+						delete(rs.consts[tri], r)
+					}
+				}
+				continue
+			}
+			for _, r := range targets {
+				for _, key := range row.LHS.Extract(e.t.Cell(r, rs.li)) {
+					rs.blocks[tri].Remove(key, r)
+					affected[varKey{rsi, tri, key}] = true
+				}
+			}
+		}
+	}
+	for vk := range affected {
+		rs := e.rs[vk.rsi]
+		for _, key := range rs.vioOf[vk.tri][vk.key] {
+			e.unref(key, d)
+		}
+		delete(rs.vioOf[vk.tri], vk.key)
+	}
+
+	// Remove the rows from the column indexes, compact the table, and
+	// renumber everything that survived.
+	for ci, ix := range e.cols {
+		for _, r := range targets {
+			ix.Remove(r, e.t.Cell(r, ci))
+		}
+	}
+	_, _ = e.t.DeleteRows(targets...) // validated in-range
+	remap := remapFor(targets)
+	for _, ix := range e.cols {
+		ix.Renumber(remap)
+	}
+	keyMap := make(map[string]string, len(e.vio))
+	newVio := make(map[string]*vioEntry, len(e.vio))
+	for k, ent := range e.vio {
+		nv := renumberViolation(ent.v, remap)
+		nk := nv.Key()
+		keyMap[k] = nk
+		newVio[nk] = &vioEntry{v: nv, refs: ent.refs}
+		// The renumbered key may be brand new this batch; record that it
+		// was absent at batch start so the diff reports the re-addition.
+		// (If nk was live at batch start it is already snapshotted: every
+		// key live at delete time was, and keys removed earlier in the
+		// batch were touched when removed.)
+		d.touch(nk, nil)
+	}
+	e.vio = newVio
+	for _, rs := range e.rs {
+		for tri, row := range rs.rows {
+			if !row.Variable() {
+				renumbered := make(map[int]string, len(rs.consts[tri]))
+				for tuple, key := range rs.consts[tri] {
+					nt, _ := remap(tuple) // deleted tuples were dropped above
+					renumbered[nt] = keyMap[key]
+				}
+				rs.consts[tri] = renumbered
+				continue
+			}
+			rs.blocks[tri].RenumberTuples(remap)
+			for blockKey, keys := range rs.vioOf[tri] {
+				for i, key := range keys {
+					keys[i] = keyMap[key]
+				}
+				rs.vioOf[tri][blockKey] = keys
+			}
+		}
+	}
+
+	// Re-evaluate the blocks that lost members, now in the new numbering.
+	for vk := range affected {
+		e.recomputeBlock(vk.rsi, vk.tri, vk.key, d)
+	}
+}
+
+// remapFor returns the old→new row mapping of deleting the sorted target
+// rows: a surviving row shifts down by the number of deleted rows below
+// it; deleted rows do not survive.
+func remapFor(sortedTargets []int) func(int) (int, bool) {
+	targets := append([]int(nil), sortedTargets...)
+	return func(old int) (int, bool) {
+		below := sort.SearchInts(targets, old)
+		if below < len(targets) && targets[below] == old {
+			return 0, false
+		}
+		return old - below, true
+	}
+}
+
+// renumberViolation rewrites a violation's row references through remap.
+// Cell order is preserved (the mapping is monotone on survivors), so the
+// result is exactly what full detection reports on the compacted table.
+func renumberViolation(v pfd.Violation, remap func(int) (int, bool)) pfd.Violation {
+	nv := v
+	nv.Cells = make([]table.CellRef, len(v.Cells))
+	for i, c := range v.Cells {
+		nr, _ := remap(c.Row)
+		nv.Cells[i] = table.CellRef{Row: nr, Column: c.Column}
+	}
+	nv.Tuples = make([]int, len(v.Tuples))
+	for i, t := range v.Tuples {
+		nv.Tuples[i], _ = remap(t)
+	}
+	return nv
+}
+
+// ---- per-source recomputation ----
+
+// recomputeConst re-evaluates one (rule, constant tableau row, tuple)
+// source against the current table.
+func (e *Engine) recomputeConst(rsi, tri, tuple int, d *batchDiff) {
+	rs := e.rs[rsi]
+	row := rs.rows[tri]
+	if key, ok := rs.consts[tri][tuple]; ok {
+		e.unref(key, d)
+		delete(rs.consts[tri], tuple)
+	}
+	lv := e.t.Cell(tuple, rs.li)
+	if !rs.emb[tri].MatchesDFA(lv) {
+		return
+	}
+	if rv := e.t.Cell(tuple, rs.ri); rv != row.RHS {
+		v := pfd.ConstantViolation(rs.p, row, tuple, lv, rv)
+		rs.consts[tri][tuple] = e.ref(v, d)
+	}
+}
+
+// recomputeBlock re-evaluates one (rule, variable tableau row, block key)
+// source: it rebuilds the block from the maintained postings and reports
+// exactly the conflicts full detection's blocking pass would.
+func (e *Engine) recomputeBlock(rsi, tri int, key string, d *batchDiff) {
+	rs := e.rs[rsi]
+	row := rs.rows[tri]
+	for _, k := range rs.vioOf[tri][key] {
+		e.unref(k, d)
+	}
+	delete(rs.vioOf[tri], key)
+	ps := rs.blocks[tri].Postings(key)
+	if len(ps) < 2 {
+		return
+	}
+	rows := make([]int, len(ps))
+	for i, p := range ps {
+		rows[i] = p.TupleID
+	}
+	sort.Ints(rows)
+	b := blocking.Block{Key: key, Rows: rows, RHSVals: make([]string, len(rows))}
+	for i, r := range rows {
+		b.RHSVals[i] = e.t.Cell(r, rs.ri)
+	}
+	var keys []string
+	for _, c := range b.Conflicts(true) {
+		v := pfd.VariableViolation(rs.p, row, c.I, c.J, c.RHSI, c.RHSJ)
+		keys = append(keys, e.ref(v, d))
+	}
+	if len(keys) > 0 {
+		rs.vioOf[tri][key] = keys
+	}
+}
+
+// ---- violation reference counting and batch diffs ----
+
+// ref adds one source reference to the violation and returns its key.
+// When the key is already tracked the stored rendering is refreshed: the
+// caller just computed v from the current table, while the entry may hold
+// bytes from before this delta (two sources can owe the same violation —
+// ambiguous extractions put a pair in several blocks — and sequential
+// recomputation then never passes through zero references).
+func (e *Engine) ref(v pfd.Violation, d *batchDiff) string {
+	k := v.Key()
+	ent := e.vio[k]
+	d.touch(k, ent)
+	if ent == nil {
+		e.vio[k] = &vioEntry{v: v, refs: 1}
+	} else {
+		ent.refs++
+		ent.v = v
+	}
+	return k
+}
+
+// unref drops one source reference, deleting the violation when no source
+// reports it any more.
+func (e *Engine) unref(k string, d *batchDiff) {
+	ent := e.vio[k]
+	if ent == nil {
+		return
+	}
+	d.touch(k, ent)
+	ent.refs--
+	if ent.refs <= 0 {
+		delete(e.vio, k)
+	}
+}
+
+// batchDiff records, per violation key touched during one batch, the
+// violation's rendering at batch start (nil = absent), so the batch's net
+// diff falls out of comparing that snapshot with the final state.
+type batchDiff struct {
+	prior map[string]*pfd.Violation
+}
+
+func newBatchDiff() *batchDiff { return &batchDiff{prior: make(map[string]*pfd.Violation)} }
+
+// touch records the batch-start state of a key the first time the key is
+// modified within the batch.
+func (d *batchDiff) touch(k string, ent *vioEntry) {
+	if _, done := d.prior[k]; done {
+		return
+	}
+	if ent == nil {
+		d.prior[k] = nil
+		return
+	}
+	v := ent.v
+	d.prior[k] = &v
+}
+
+// finalize compares every touched key's batch-start state with the final
+// state and renders the net diff in the engine's violation order.
+func (d *batchDiff) finalize(seq int64, rows int, vio map[string]*vioEntry) *Diff {
+	out := &Diff{Seq: seq, Rows: rows}
+	for k, prior := range d.prior {
+		cur := vio[k]
+		switch {
+		case prior == nil && cur != nil:
+			out.Added = append(out.Added, cur.v)
+		case prior != nil && cur == nil:
+			out.Removed = append(out.Removed, *prior)
+		case prior != nil && cur != nil:
+			if !sameViolation(*prior, cur.v) {
+				out.Removed = append(out.Removed, *prior)
+				out.Added = append(out.Added, cur.v)
+			}
+		}
+	}
+	detect.SortViolations(out.Added)
+	detect.SortViolations(out.Removed)
+	return out
+}
+
+// sameViolation reports whether two violations with the same key (same
+// rule, tableau row, and cells) also agree on the value fields, i.e. are
+// byte-identical.
+func sameViolation(a, b pfd.Violation) bool {
+	return a.Observed == b.Observed && a.Expected == b.Expected && a.Variable == b.Variable
+}

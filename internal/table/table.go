@@ -118,6 +118,36 @@ func (t *Table) SetCell(row, col int, v string) {
 // mutate and detect from separate phases, not concurrently).
 func (t *Table) Version() int64 { return t.version }
 
+// DeleteRows removes the given row indices (any order, duplicates
+// tolerated), compacting the remaining rows in order: surviving rows keep
+// their relative order and are renumbered downward. Returns the number of
+// rows removed. Out-of-range indices fail without modifying the table.
+func (t *Table) DeleteRows(rows ...int) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	drop := make(map[int]bool, len(rows))
+	for _, r := range rows {
+		if r < 0 || r >= len(t.rows) {
+			return 0, fmt.Errorf("table %q: delete row %d out of range [0,%d)", t.name, r, len(t.rows))
+		}
+		drop[r] = true
+	}
+	kept := t.rows[:0]
+	for i, row := range t.rows {
+		if !drop[i] {
+			kept = append(kept, row)
+		}
+	}
+	removed := len(t.rows) - len(kept)
+	for i := len(kept); i < len(t.rows); i++ {
+		t.rows[i] = nil
+	}
+	t.rows = kept
+	t.version++
+	return removed, nil
+}
+
 // Row returns a copy of the row.
 func (t *Table) Row(i int) []string {
 	cp := make([]string, len(t.rows[i]))
@@ -184,7 +214,33 @@ func SortCellRefs(refs []CellRef) {
 	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
 }
 
+// NormalizeCell canonicalizes line endings inside one cell value: \r\n
+// becomes \n, repeatedly, until the cell contains no \r\n sequence (a run
+// of carriage returns before a newline collapses entirely, since each
+// replacement can expose a new \r\n from a preceding \r). encoding/csv
+// performs only a single sequential pass for quoted fields it reads, so
+// composed sequences like \r\r\n come out half normalized, and cells
+// written with an embedded \r\n come back as \n — such cells can never
+// survive a write/read round trip. Applying NormalizeCell at every
+// ingestion boundary (ReadCSV, streamed rows) makes round trips exact:
+// the \r\n-free canonical form is a fixed point of the CSV reader.
+func NormalizeCell(s string) string {
+	for strings.Contains(s, "\r\n") {
+		s = strings.ReplaceAll(s, "\r\n", "\n")
+	}
+	return s
+}
+
+func normalizeRecord(rec []string) {
+	for i, c := range rec {
+		rec[i] = NormalizeCell(c)
+	}
+}
+
 // ReadCSV loads a table from CSV data. The first record is the header.
+// Cell values are normalized with NormalizeCell, so loaded tables always
+// survive a WriteCSV/ReadCSV round trip (see the WriteCSV limitations for
+// the one remaining single-column empty-cell case).
 func ReadCSV(name string, r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -192,6 +248,7 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("read csv header: %w", err)
 	}
+	normalizeRecord(header)
 	t, err := New(name, header)
 	if err != nil {
 		return nil, err
@@ -213,6 +270,7 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		case len(rec) > len(header):
 			rec = rec[:len(header)]
 		}
+		normalizeRecord(rec)
 		if err := t.Append(rec); err != nil {
 			return nil, err
 		}
@@ -220,14 +278,10 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 	return t, nil
 }
 
-// ReadCSVFile loads a table from a CSV file; the table is named after the
-// file's base name without extension.
-func ReadCSVFile(path string) (*Table, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
+// NameFromPath derives a table name from a file path: the base name
+// without its extension. It is the naming rule of ReadCSVFile, exported
+// so other loaders (e.g. the CLI's follow mode) name tables identically.
+func NameFromPath(path string) string {
 	name := path
 	if i := strings.LastIndexByte(name, '/'); i >= 0 {
 		name = name[i+1:]
@@ -235,16 +289,29 @@ func ReadCSVFile(path string) (*Table, error) {
 	if i := strings.LastIndexByte(name, '.'); i > 0 {
 		name = name[:i]
 	}
-	return ReadCSV(name, f)
+	return name
+}
+
+// ReadCSVFile loads a table from a CSV file; the table is named after the
+// file's base name without extension (NameFromPath).
+func ReadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(NameFromPath(path), f)
 }
 
 // WriteCSV writes the table as CSV with a header record.
 //
-// Limitations inherited from RFC 4180 / encoding/csv: in a one-column
+// Limitation inherited from RFC 4180 / encoding/csv: in a one-column
 // table, a row whose only cell is the empty string serializes as a blank
-// line, which CSV readers skip; and carriage returns inside cells are
-// normalized (\r\n becomes \n in quoted fields on both read and write).
-// Such cells do not survive a write/read round trip byte-for-byte.
+// line, which CSV readers skip, so such cells do not survive a write/read
+// round trip. Cells containing the \r\n sequence do not round-trip either
+// (readers normalize it to \n), but tables loaded through ReadCSV never
+// hold one: ReadCSV applies NormalizeCell to every cell. Lone carriage
+// returns round-trip exactly.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.columns); err != nil {
