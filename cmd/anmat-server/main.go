@@ -1,11 +1,17 @@
 // Command anmat-server runs the HTTP GUI substitute (Figures 3–5):
 //
-//	anmat-server [-addr :8080] [-store anmat.json] [-in data.csv] [-parallelism n]
+//	anmat-server [-addr :8080] [-data dir] [-store anmat.json] [-in data.csv] [-parallelism n]
 //
 // With -in the dataset is loaded as the default session and the pipeline
 // run at startup; otherwise POST a CSV to /api/v1/sessions. The server is
 // multi-session: every upload creates an independent session addressable
 // under /api/v1/sessions/{id}.
+//
+// With -data the registry is durable: every session is checkpointed into
+// <dir> (snapshot + write-ahead delta log), and a restart rehydrates all
+// sessions — tables, rules, violation sets, and `violations?since=`
+// sequence cursors included. Add -fsync to survive power loss, not just
+// process crashes.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/persist"
 	"github.com/anmat/anmat/internal/server"
 	"github.com/anmat/anmat/internal/table"
 )
@@ -27,6 +34,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storePath := flag.String("store", "", "document-store file (empty = in-memory)")
+	data := flag.String("data", "", "durability directory: checkpoint sessions + journal deltas here, rehydrate on startup (empty = memory-only sessions)")
+	fsync := flag.Bool("fsync", false, "with -data: fsync every WAL append and snapshot (power-loss durability)")
+	compactEvery := flag.Int("compact-every", persist.DefaultCompactEvery, "with -data: journaled batches before a session's WAL is folded into a fresh snapshot")
 	in := flag.String("in", "", "CSV to load at startup as the default session")
 	coverage := flag.Float64("coverage", core.DefaultParams().MinCoverage, "minimum coverage γ")
 	violations := flag.Float64("violations", core.DefaultParams().AllowedViolations, "allowed violation ratio")
@@ -46,6 +56,29 @@ func main() {
 	sys := core.NewSystemWith(store, cfg)
 	sys.CreateProject("default")
 	srv := server.New(sys)
+
+	if *data != "" {
+		pm, err := persist.Open(*data, persist.Options{Fsync: *fsync, CompactEvery: *compactEvery})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anmat-server:", err)
+			os.Exit(1)
+		}
+		defer pm.Close()
+		n, err := srv.RestoreSessions(pm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anmat-server: restore:", err)
+			os.Exit(1)
+		}
+		srv.AttachPersist(pm)
+		log.Printf("durable sessions in %s: restored %d session(s)", *data, n)
+		if *in != "" && srv.HasTable(table.NameFromPath(*in)) {
+			// This dataset's session was just restored; reloading -in
+			// would shadow it with a duplicate. Other restored sessions
+			// don't block loading a new dataset.
+			log.Printf("skipping -in %s: its session was restored from -data", *in)
+			*in = ""
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

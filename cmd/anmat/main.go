@@ -29,6 +29,7 @@ import (
 	"github.com/anmat/anmat/internal/dmv"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/experiments"
+	"github.com/anmat/anmat/internal/persist"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
 	"github.com/anmat/anmat/internal/report"
@@ -90,10 +91,12 @@ func usage() {
   profile     -in data.csv                         per-column pattern listing
   discover    -in data.csv [-coverage f] [-violations f]   mine PFDs
   detect      -in data.csv [-coverage f] [-violations f]   mine + detect errors
+              -follow tails -in for appended rows, printing violation diffs
+              -data dir makes the session durable: a restart restores rules,
+              violations, and ingested rows, and -follow resumes the tail
   repair      -in data.csv -out fixed.csv          mine + detect + apply repairs
   report      -in data.csv [-out report.md]        full pipeline as Markdown
   stream      -history clean.csv -in new.csv       mine from history, validate new rows
-              detect -follow tails -in for appended rows, printing violation diffs
   dmv         -in data.csv                         flag disguised missing values
   experiments [-exp id] [-n rows]                  regenerate paper artifacts`)
 }
@@ -132,16 +135,23 @@ func (p pipelineFlags) session(args []string) (*core.Session, error) {
 	return p.buildSession(t), nil
 }
 
+// system builds the in-memory single-process system configured from the
+// parsed flags.
+func (p pipelineFlags) system() *core.System {
+	cfg := core.DefaultSystemConfig()
+	cfg.Parallelism = *p.parallelism
+	return core.NewSystemWith(docstore.NewMem(), cfg)
+}
+
+// params returns the session parameters from the parsed flags.
+func (p pipelineFlags) params() core.Params {
+	return core.Params{MinCoverage: *p.coverage, AllowedViolations: *p.violations}
+}
+
 // buildSession binds an already-loaded table to a fresh single-session
 // system configured from the parsed flags.
 func (p pipelineFlags) buildSession(t *table.Table) *core.Session {
-	cfg := core.DefaultSystemConfig()
-	cfg.Parallelism = *p.parallelism
-	sys := core.NewSystemWith(docstore.NewMem(), cfg)
-	return sys.NewSession("cli", t, core.Params{
-		MinCoverage:       *p.coverage,
-		AllowedViolations: *p.violations,
-	})
+	return p.system().NewSession("cli", t, p.params())
 }
 
 func cmdProfile(args []string) error {
@@ -202,43 +212,75 @@ func cmdDetect(ctx context.Context, args []string) error {
 	stats := pf.fs.Bool("stats", false, "print per-rule detection timing")
 	follow := pf.fs.Bool("follow", false, "after detecting, tail the CSV for appended rows and print incremental violation diffs (Ctrl-C to stop)")
 	poll := pf.fs.Duration("poll", 500*time.Millisecond, "polling interval of -follow")
+	dataDir := pf.fs.String("data", "", "durability directory: checkpoint the session and journal -follow deltas there; a restart restores mined rules, violations, and ingested rows instead of redoing the work")
+	if err := pf.fs.Parse(args); err != nil {
+		return err
+	}
+	if *pf.in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	// With -data, the system is built once and every persisted session is
+	// restored into it first: restored IDs are adopted into the ID
+	// sequence, so a fresh session for a new table can never collide with
+	// (and silently overwrite) another table's persisted session.
+	sys := pf.system()
+	var pm *persist.Manager
+	restored := false
 	var se *core.Session
 	var offset int64
-	var err error
-	if se, err = func() (*core.Session, error) {
-		if err := pf.fs.Parse(args); err != nil {
-			return nil, err
+	if *dataDir != "" {
+		var err error
+		if pm, err = persist.Open(*dataDir, persist.Options{}); err != nil {
+			return err
 		}
-		if *pf.in == "" {
-			return nil, fmt.Errorf("-in is required")
+		defer pm.Close()
+		if se, offset, restored, err = restoreDetectSession(pm, sys, *pf.in, *follow); err != nil {
+			return err
 		}
-		if !*follow {
-			t, err := table.ReadCSVFile(*pf.in)
-			if err != nil {
-				return nil, err
+	}
+	if se == nil {
+		var err error
+		if se, offset, err = func() (*core.Session, int64, error) {
+			if !*follow {
+				t, err := table.ReadCSVFile(*pf.in)
+				if err != nil {
+					return nil, 0, err
+				}
+				return sys.NewSession("cli", t, pf.params()), 0, nil
 			}
-			return pf.buildSession(t), nil
+			// Follow mode snapshots the file into memory so the tail offset
+			// is exactly the end of what the table was loaded from — rows
+			// appended while the pipeline runs are picked up by the tail.
+			data, err := os.ReadFile(*pf.in)
+			if err != nil {
+				return nil, 0, err
+			}
+			t, err := table.ReadCSV(table.NameFromPath(*pf.in), bytes.NewReader(data))
+			if err != nil {
+				return nil, 0, err
+			}
+			return sys.NewSession("cli", t, pf.params()), int64(len(data)), nil
+		}(); err != nil {
+			return err
 		}
-		// Follow mode snapshots the file into memory so the tail offset
-		// is exactly the end of what the table was loaded from — rows
-		// appended while the pipeline runs are picked up by the tail.
-		data, err := os.ReadFile(*pf.in)
-		if err != nil {
-			return nil, err
-		}
-		offset = int64(len(data))
-		t, err := table.ReadCSV(table.NameFromPath(*pf.in), bytes.NewReader(data))
-		if err != nil {
-			return nil, err
-		}
-		return pf.buildSession(t), nil
-	}(); err != nil {
-		return err
 	}
-	if err := se.Run(ctx); err != nil {
-		return err
+	if restored {
+		fmt.Printf("restored session from %s: %d row(s), %d PFD(s), %d violation(s) (checkpointed params: coverage %g, violations %g)\n",
+			*dataDir, se.Table.NumRows(), len(se.Discovered), len(se.Violations),
+			se.Params.MinCoverage, se.Params.AllowedViolations)
+	} else {
+		if err := se.Run(ctx); err != nil {
+			return err
+		}
+		if pm != nil {
+			se.SetPersist(pm)
+			if err := se.Checkpoint(); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%d PFD(s), %d violation(s)\n", len(se.Discovered), len(se.Violations))
 	}
-	fmt.Printf("%d PFD(s), %d violation(s)\n", len(se.Discovered), len(se.Violations))
 	if *stats {
 		for _, st := range se.DetectStats {
 			fmt.Printf("  rule %-45s rows %-3d violations %-5d %v\n",
@@ -263,6 +305,131 @@ func cmdDetect(ctx context.Context, args []string) error {
 	return nil
 }
 
+// restoreDetectSession restores every persisted session into sys (so
+// their IDs are reserved — a fresh session can never collide with and
+// overwrite another table's persisted state; the full-rehydration cost is
+// accepted since CLI data directories hold few sessions) and looks for
+// one matching the input file's table name — mined rules, violation set,
+// and ingested rows come back, so a restarted `detect -data` skips
+// discovery and detection entirely.
+//
+// The restored state is only served if it still describes the file: in
+// one-shot mode the file is re-read and must equal the checkpointed
+// table (otherwise the stale session is dropped and the caller re-runs
+// the pipeline); in follow mode the file's leading records must match
+// the restored rows, and the returned offset is where tailing resumes.
+//
+// Sessions are keyed by table name — the file's basename — so two
+// different files sharing a basename in one -data directory look like
+// one dataset that keeps changing and thrash each other's checkpoint
+// (results stay correct; only the restore shortcut is lost). Dedicate a
+// data directory per dataset.
+func restoreDetectSession(pm *persist.Manager, sys *core.System, path string, follow bool) (*core.Session, int64, bool, error) {
+	sessions, err := pm.Restore(sys)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	name := table.NameFromPath(path)
+	var se *core.Session
+	for _, s := range sessions {
+		if s.Table.Name() == name {
+			se = s
+			break
+		}
+	}
+	if se == nil {
+		return nil, 0, false, nil
+	}
+	if !follow {
+		cur, err := table.ReadCSVFile(path)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if !sameTable(se.Table, cur) {
+			fmt.Printf("input %s changed since its checkpoint; dropping the stale session and re-running the pipeline\n", path)
+			if err := pm.Drop(se.ID); err != nil {
+				return nil, 0, false, err
+			}
+			return nil, 0, false, nil
+		}
+		return se, 0, true, nil
+	}
+	offset, err := resumeOffset(path, se.Table)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("resume %s: %w (remove %s to start fresh)", path, err, pm.Dir())
+	}
+	return se, offset, true, nil
+}
+
+// sameTable reports whether two tables hold identical schemas and cells.
+func sameTable(a, b *table.Table) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	ac, bc := a.Columns(), b.Columns()
+	for i := range ac {
+		if ac[i] != bc[i] {
+			return false
+		}
+	}
+	for r := 0; r < a.NumRows(); r++ {
+		for c := 0; c < a.NumCols(); c++ {
+			if a.Cell(r, c) != b.Cell(r, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resumeOffset returns the byte offset just past the header and the
+// restored table's rows in the CSV at path — where a restored follow
+// session resumes tailing. It applies the same record semantics as
+// csvTail.feed — cells normalized, ragged rows padded/truncated,
+// genuinely malformed records skipped — so any file history the previous
+// run ingested (malformed drops included) aligns. Follow ingestion is
+// append-only, so the surviving leading records must be exactly the
+// already-ingested rows: a shorter file means truncation or rotation, a
+// diverging record means the file was rewritten, and resuming over
+// either would be silent corruption.
+func resumeOffset(path string, t *table.Table) (int64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	hr := csv.NewReader(bytes.NewReader(b))
+	hr.FieldsPerRecord = -1
+	if _, err := hr.Read(); err != nil {
+		return 0, fmt.Errorf("read header: %w", err)
+	}
+	offset := hr.InputOffset()
+	pending := b[offset:]
+	ncols := t.NumCols()
+	shortErr := func(rows int) error {
+		return fmt.Errorf("file holds %d record(s) but the restored table has %d rows (truncated or rotated?)", rows, t.NumRows())
+	}
+	for i := 0; i < t.NumRows(); {
+		// final=true: the file is static, so an unterminated trailing
+		// record is exactly what the previous run's load ingested.
+		rec, consumed, malformed, incomplete := nextRecord(pending, ncols, true)
+		if incomplete {
+			return 0, shortErr(i)
+		}
+		pending = pending[consumed:]
+		offset += int64(consumed)
+		if malformed {
+			continue // the previous run's tail dropped it too
+		}
+		for j := 0; j < ncols; j++ {
+			if rec[j] != t.Cell(i, j) {
+				return 0, fmt.Errorf("file record %d diverges from the restored row (file rewritten?)", i+1)
+			}
+		}
+		i++
+	}
+	return offset, nil
+}
+
 // csvTail incrementally parses a growing CSV byte stream: complete
 // records are consumed, a trailing partial record (no newline yet, or an
 // unterminated quote) stays pending until more bytes arrive.
@@ -272,53 +439,76 @@ type csvTail struct {
 
 // feed appends new bytes and returns the complete records they close
 // (normalized and padded/truncated to ncols like table.ReadCSV rows)
-// plus the number of malformed records it had to drop. A parse error
-// that consumed the whole buffer means the record may still be growing
-// (unterminated quote, missing newline) and the bytes stay pending; an
-// error that stopped mid-buffer is genuinely malformed — waiting cannot
-// fix it, so the offending record is dropped to keep the tail draining.
+// plus the number of malformed records it had to drop — see nextRecord
+// for the per-record semantics.
 func (ct *csvTail) feed(b []byte, ncols int) (rows [][]string, dropped int) {
 	ct.pending = append(ct.pending, b...)
-	for len(ct.pending) > 0 {
-		r := csv.NewReader(bytes.NewReader(ct.pending))
-		r.FieldsPerRecord = -1
-		rec, err := r.Read()
-		if err != nil {
-			off := int(r.InputOffset())
-			if off >= len(ct.pending) {
-				break // incomplete tail: wait for more bytes
-			}
-			if off == 0 {
-				// Defensive: the reader made no progress; skip one line.
-				nl := bytes.IndexByte(ct.pending, '\n')
-				if nl < 0 {
-					break
-				}
-				off = nl + 1
-			}
-			ct.pending = ct.pending[off:]
+	for {
+		rec, consumed, malformed, incomplete := nextRecord(ct.pending, ncols, false)
+		if incomplete {
+			break // wait for more bytes
+		}
+		ct.pending = ct.pending[consumed:]
+		if malformed {
 			dropped++
 			continue
 		}
-		end := r.InputOffset()
-		if int(end) >= len(ct.pending) && ct.pending[len(ct.pending)-1] != '\n' {
-			break // record may still be growing
-		}
-		for i := range rec {
-			rec[i] = table.NormalizeCell(rec[i])
-		}
-		switch {
-		case len(rec) < ncols:
-			padded := make([]string, ncols)
-			copy(padded, rec)
-			rec = padded
-		case len(rec) > ncols:
-			rec = rec[:ncols]
-		}
 		rows = append(rows, rec)
-		ct.pending = ct.pending[end:]
 	}
 	return rows, dropped
+}
+
+// nextRecord decodes the leading CSV record of pending with the tail's
+// record semantics: cells normalized, ragged rows padded/truncated to
+// ncols. It is the ONE decoder both live tailing (csvTail.feed) and
+// crash resume (resumeOffset) drive — their alignment guarantee depends
+// on identical behavior, so neither may grow its own copy.
+//
+// A parse error that consumed the whole buffer means the record may
+// still be growing (unterminated quote, missing newline) and comes back
+// incomplete; an error that stopped mid-buffer is genuinely malformed —
+// waiting cannot fix it, so consumed skips past it (one line when the
+// reader made no progress). With final set (no more bytes will ever
+// arrive), a parseable record without a trailing newline is complete —
+// exactly what table.ReadCSV ingests from a file that ends without one.
+func nextRecord(pending []byte, ncols int, final bool) (rec []string, consumed int, malformed, incomplete bool) {
+	if len(pending) == 0 {
+		return nil, 0, false, true
+	}
+	r := csv.NewReader(bytes.NewReader(pending))
+	r.FieldsPerRecord = -1
+	rec, err := r.Read()
+	if err != nil {
+		off := int(r.InputOffset())
+		if off >= len(pending) {
+			return nil, 0, false, true // incomplete tail
+		}
+		if off == 0 {
+			// Defensive: the reader made no progress; skip one line.
+			nl := bytes.IndexByte(pending, '\n')
+			if nl < 0 {
+				return nil, 0, false, true
+			}
+			off = nl + 1
+		}
+		return nil, off, true, false
+	}
+	end := int(r.InputOffset())
+	if !final && end >= len(pending) && pending[len(pending)-1] != '\n' {
+		return nil, 0, false, true // record may still be growing
+	}
+	for i := range rec {
+		rec[i] = table.NormalizeCell(rec[i])
+	}
+	switch {
+	case len(rec) < ncols:
+		padded := make([]string, ncols)
+		copy(padded, rec)
+		rec = padded
+	case len(rec) > ncols:
+		rec = rec[:ncols]
+	}
+	return rec, end, false, false
 }
 
 // followFile tails the CSV at path from offset, routing appended records

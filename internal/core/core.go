@@ -185,6 +185,15 @@ type Session struct {
 	// over so a Confirm/UseRules change triggers a rebuild.
 	str      *stream.Engine
 	strRules []*pfd.PFD
+	// strNextBase carries the sequence base of an engine whose baseline
+	// checkpoint failed, so the retry rebuild continues the same timeline
+	// instead of restarting cursors at zero.
+	strNextBase int64
+
+	// persist, when set, is the session's durability sink: delta batches
+	// are journaled write-ahead through the engine sink, and engine
+	// rebuilds checkpoint a fresh baseline (see snapshot.go).
+	persist Persister
 }
 
 // NewSession binds a table to a project with the given parameters
@@ -392,10 +401,14 @@ func (se *Session) RunDetection(ctx context.Context) ([]pfd.Violation, error) {
 	se.Violations = res.Violations
 	se.DetectStats = res.Stats
 	se.detected = true
-	for _, v := range res.Violations {
-		if _, err := se.sys.store.InsertJSON(CollViolations, v); err != nil {
-			return nil, err
-		}
+	// One batched append for the whole run's violations: a single store
+	// lock acquisition instead of one per violation.
+	vals := make([]any, len(res.Violations))
+	for i, v := range res.Violations {
+		vals[i] = v
+	}
+	if _, err := se.sys.store.InsertJSONBatch(CollViolations, vals); err != nil {
+		return nil, err
 	}
 	return res.Violations, nil
 }
@@ -452,8 +465,8 @@ func (se *Session) Stream() (*stream.Engine, error) {
 		// A replacement engine continues the old sequence timeline (one
 		// past the last issued seq), so cursors issued by the previous
 		// engine resolve to a reset snapshot rather than an error.
-		var base int64
-		if se.str != nil {
+		base := se.strNextBase
+		if se.str != nil && se.str.Seq()+1 > base {
 			base = se.str.Seq() + 1
 		}
 		eng, err := stream.NewEngineFrom(se.Table, rules, base)
@@ -462,6 +475,21 @@ func (se *Session) Stream() (*stream.Engine, error) {
 		}
 		se.str = eng
 		se.strRules = rules
+		if se.persist != nil {
+			// A fresh engine breaks WAL continuity (its bootstrap state is
+			// not snapshot + old WAL), so the new baseline must be durable
+			// before any delta is journaled against it. If the checkpoint
+			// fails the engine must not be cached either — a later call
+			// would otherwise journal batches against a baseline that was
+			// never snapshotted, making them unrecoverable.
+			eng.SetSink(se.journalSink())
+			if err := se.Checkpoint(); err != nil {
+				se.str, se.strRules = nil, nil
+				se.strNextBase = base
+				return nil, err
+			}
+			se.strNextBase = 0
+		}
 	}
 	return se.str, nil
 }
@@ -480,6 +508,17 @@ func (se *Session) ApplyDeltas(batch stream.Batch) (*stream.Diff, error) {
 		return nil, fmt.Errorf("session %s: %w", se.ID, err)
 	}
 	se.Violations = eng.Violations()
+	// Periodic snapshot compaction: once the journal has absorbed enough
+	// batches, fold them into a fresh checkpoint so recovery replays a
+	// short tail instead of the session's whole delta history. A failed
+	// compaction is not fatal to the batch — it was already journaled
+	// write-ahead, so recovery replays it from the WAL; the diff is
+	// returned alongside the (persistence-typed) error.
+	if se.persist != nil && se.persist.CompactionDue(se.ID) {
+		if err := se.Checkpoint(); err != nil {
+			return diff, fmt.Errorf("deltas applied but %w", err)
+		}
+	}
 	return diff, nil
 }
 
@@ -488,12 +527,20 @@ func (se *Session) ApplyDeltas(batch stream.Batch) (*stream.Diff, error) {
 // deltas routed through it — the engine is never discarded and the
 // violation diff of the repair falls out for free. Without one it falls
 // back to the in-place detect.Apply (which bumps the table version, so a
-// later Stream() rebuilds). Returns the number of changed cells and the
-// violation diff (nil on the fallback path).
+// later Stream() rebuilds) — unless a persister is attached, in which
+// case the engine is (re)built first so the repairs are journaled: the
+// in-place path would mutate acknowledged state the durability layer
+// never sees. Returns the number of changed cells and the violation diff
+// (nil on the fallback path).
 func (se *Session) ApplyRepairs(rs []detect.Repair) (int, *stream.Diff, error) {
 	if se.str == nil || se.str.Stale() || !samePFDs(se.strRules, se.rules()) {
-		n, err := detect.Apply(se.Table, rs)
-		return n, nil, err
+		if se.persist == nil {
+			n, err := detect.Apply(se.Table, rs)
+			return n, nil, err
+		}
+		if _, err := se.Stream(); err != nil {
+			return 0, nil, err
+		}
 	}
 	var batch stream.Batch
 	for _, r := range rs {

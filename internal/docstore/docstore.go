@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -24,12 +25,24 @@ const IDField = "_id"
 type Store struct {
 	mu     sync.RWMutex
 	path   string // "" = memory-only
+	fsync  bool
 	colls  map[string]*collection
 	nextID int64
 }
 
 type collection struct {
 	docs map[int64]Doc
+}
+
+// Options tunes a persisted store.
+type Options struct {
+	// Fsync forces, on every Flush, an fsync of the temp file before the
+	// atomic rename and of the parent directory after it — without the
+	// directory sync the rename's entry is not durable, so a power loss
+	// could revert the store to its previous contents. Off by default:
+	// the atomic rename alone already guarantees the file is never
+	// half-written on process death.
+	Fsync bool
 }
 
 // NewMem returns a memory-only store.
@@ -39,8 +52,17 @@ func NewMem() *Store {
 
 // Open loads (or creates) a store persisted at path.
 func Open(path string) (*Store, error) {
+	return OpenWith(path, Options{})
+}
+
+// OpenWith is Open with explicit options. A corrupt persistence file —
+// unparseable JSON (including a truncated write), or a document without a
+// valid "_id" — is reported as an error rather than silently dropped, so
+// callers never mistake a damaged store for a partially empty one.
+func OpenWith(path string, opts Options) (*Store, error) {
 	s := NewMem()
 	s.path = path
+	s.fsync = opts.Fsync
 	b, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return s, nil
@@ -58,10 +80,10 @@ func Open(path string) (*Store, error) {
 	}
 	for name, docs := range dump.Collections {
 		c := &collection{docs: make(map[int64]Doc)}
-		for _, d := range docs {
+		for i, d := range docs {
 			id, ok := asID(d[IDField])
 			if !ok {
-				continue
+				return nil, fmt.Errorf("docstore parse %s: collection %q document %d has no valid %q field (corrupt store)", path, name, i, IDField)
 			}
 			c.docs[id] = d
 			if id >= s.nextID {
@@ -122,10 +144,40 @@ func (s *Store) flushLocked() error {
 		return err
 	}
 	tmp := s.path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	if s.fsync {
+		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(b); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(tmp, b, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.path)
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	if s.fsync {
+		d, err := os.Open(filepath.Dir(s.path))
+		if err != nil {
+			return err
+		}
+		if err := d.Sync(); err != nil {
+			d.Close()
+			return err
+		}
+		return d.Close()
+	}
+	return nil
 }
 
 func (s *Store) coll(name string) *collection {
@@ -151,6 +203,33 @@ func (s *Store) Insert(coll string, d Doc) int64 {
 	cp[IDField] = id
 	s.coll(coll).docs[id] = cp
 	return id
+}
+
+// InsertBatch stores copies of all documents in the collection under one
+// lock acquisition and returns their assigned ids in order: one call, one
+// contiguous id reservation, no interleaving with concurrent writers. It
+// is the batched append path for bulk record writers — see InsertJSONBatch
+// for the typed variant the detection pipeline uses for violations.
+func (s *Store) InsertBatch(coll string, docs []Doc) []int64 {
+	if len(docs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.coll(coll)
+	ids := make([]int64, len(docs))
+	for i, d := range docs {
+		id := s.nextID
+		s.nextID++
+		cp := make(Doc, len(d)+1)
+		for k, v := range d {
+			cp[k] = v
+		}
+		cp[IDField] = id
+		c.docs[id] = cp
+		ids[i] = id
+	}
+	return ids
 }
 
 // Get returns the document with the id, or nil.
@@ -292,4 +371,22 @@ func (s *Store) InsertJSON(coll string, v any) (int64, error) {
 		return 0, fmt.Errorf("docstore: value must marshal to a JSON object: %w", err)
 	}
 	return s.Insert(coll, d), nil
+}
+
+// InsertJSONBatch marshals every value and appends the resulting
+// documents with one InsertBatch call — the write path for bulk typed
+// records (e.g. a detection run's whole violation set). Nothing is stored
+// if any value fails to marshal.
+func (s *Store) InsertJSONBatch(coll string, vs []any) ([]int64, error) {
+	docs := make([]Doc, len(vs))
+	for i, v := range vs {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(b, &docs[i]); err != nil {
+			return nil, fmt.Errorf("docstore: value %d must marshal to a JSON object: %w", i, err)
+		}
+	}
+	return s.InsertBatch(coll, docs), nil
 }

@@ -3,6 +3,7 @@ package docstore
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -155,6 +156,129 @@ func TestOpenCorruptFile(t *testing.T) {
 	}
 	if _, err := Open(path); err == nil {
 		t.Error("corrupt file should error")
+	}
+}
+
+func TestOpenTruncatedFile(t *testing.T) {
+	// A store file cut off mid-write (crash during a non-atomic copy,
+	// disk-full tail loss) must be reported, not loaded as partial data.
+	path := filepath.Join(t.TempDir(), "store.json")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Insert("pfds", Doc{"table": "zip", "payload": "0123456789"})
+	s.Insert("pfds", Doc{"table": "phone", "payload": "abcdefghij"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{4, 2, 1} { // 25%, 50%, all-but-one-byte
+		cut := len(b) / frac
+		if frac == 1 {
+			cut = len(b) - 1
+		}
+		if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(path); err == nil {
+			t.Errorf("truncated to %d/%d bytes: Open should error", cut, len(b))
+		}
+	}
+}
+
+func TestOpenGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := writeFile(path, "\x00\x91\x7f binary junk \xfe\xff"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("garbage file should error")
+	}
+}
+
+func TestOpenDocWithoutIDReported(t *testing.T) {
+	// Valid JSON whose documents lack the reserved _id is a corrupt store:
+	// it must surface as an error instead of silently dropping documents.
+	path := filepath.Join(t.TempDir(), "store.json")
+	if err := writeFile(path, `{"next_id":5,"collections":{"pfds":[{"table":"zip"}]}}`); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if err == nil {
+		t.Fatal("doc without _id should error")
+	}
+	if want := "_id"; !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q should mention %q", err, want)
+	}
+}
+
+func TestInsertBatch(t *testing.T) {
+	s := NewMem()
+	ids := s.InsertBatch("c", []Doc{{"n": 1}, {"n": 2}, {"n": 3}})
+	if len(ids) != 3 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1]+1 {
+			t.Errorf("batch ids not contiguous: %v", ids)
+		}
+	}
+	if s.Count("c", nil) != 3 {
+		t.Errorf("count = %d", s.Count("c", nil))
+	}
+	if got := s.InsertBatch("c", nil); got != nil {
+		t.Errorf("empty batch = %v", got)
+	}
+	// Batch inserts copy like Insert does.
+	d := Doc{"k": "v"}
+	id := s.InsertBatch("c", []Doc{d})[0]
+	d["k"] = "mutated"
+	if s.Get("c", id)["k"] != "v" {
+		t.Error("InsertBatch should copy documents")
+	}
+}
+
+func TestInsertJSONBatch(t *testing.T) {
+	s := NewMem()
+	type rec struct {
+		Name string `json:"name"`
+	}
+	ids, err := s.InsertJSONBatch("c", []any{rec{"a"}, rec{"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || s.Get("c", ids[1])["name"] != "b" {
+		t.Errorf("ids = %v, doc = %v", ids, s.Get("c", ids[1]))
+	}
+	// One bad value stores nothing.
+	if _, err := s.InsertJSONBatch("c", []any{rec{"ok"}, []int{1}}); err == nil {
+		t.Error("non-object value should fail the whole batch")
+	}
+	if s.Count("c", nil) != 2 {
+		t.Errorf("failed batch stored documents: count = %d", s.Count("c", nil))
+	}
+}
+
+func TestFsyncFlushRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	s, err := OpenWith(path, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.Insert("c", Doc{"k": "v"})
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenWith(path, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Get("c", id)["k"] != "v" {
+		t.Error("fsync flush lost data")
 	}
 }
 

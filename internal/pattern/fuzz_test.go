@@ -29,6 +29,52 @@ func FuzzParse(f *testing.F) {
 	})
 }
 
+// FuzzParsePattern asserts the parse→render→parse fixpoint at the string
+// level: for any input that parses, its rendering must re-parse, and the
+// rendering must be a fixed point (render(parse(render(parse(s)))) ==
+// render(parse(s))) — otherwise stored patterns (golden files, the PFD
+// JSON serialization, durable session snapshots) would drift each time
+// they round-trip through the parser. The seed corpus is drawn from the
+// patterns the golden CSV corpus actually discovers
+// (testdata/golden/*.golden), both in plain and in constrained syntax
+// (where < and > parse as literals).
+func FuzzParsePattern(f *testing.F) {
+	seeds := []string{
+		// phone_state.golden
+		`<\D{3}>\D{7}`, `<415>\D{7}`, `<713>\D{7}`, `\A{1}<151>\A*`,
+		`\D{3}\D{7}`, `\D{10}`,
+		// name_gender.golden
+		`\A*,\ <Mary>\A*`, `\A*,\ <Donald>\A*`, `<King,\ >\A*`,
+		`\A*\ <C.>`, `\A*,\ <Richard>`, `\A*,\ Mary\A*`, `King,\ \A*`,
+		// zip goldens
+		`\D{5}`, `900\D{2}`, `<900>\D{2}`, `9000\D{1}`,
+		// stress shapes
+		`\LU\LL*\ \A*`, `a{3}b+c*`, `\\`, `\ `, ``, `\S+\D{12}`,
+		`\{literal\}`, `x{65536}`, `\A{2}\A{2}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering does not re-parse: %q -> %q: %v", s, rendered, err)
+		}
+		again := back.String()
+		if again != rendered {
+			t.Fatalf("render not a parse fixpoint: %q -> %q -> %q", s, rendered, again)
+		}
+		if !p.Equal(back) {
+			t.Fatalf("re-parsed pattern differs: %q -> %q", s, rendered)
+		}
+	})
+}
+
 // FuzzMatch checks that matching never panics and respects the MinLen
 // lower bound for arbitrary pattern/value pairs.
 func FuzzMatch(f *testing.F) {

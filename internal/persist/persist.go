@@ -1,0 +1,420 @@
+// Package persist is the session durability layer: it checkpoints each
+// session's full state (binary table snapshot, parameters, rule sets,
+// detection state, stream-engine sequence cursor) into the document
+// store, journals every applied delta batch to a per-session write-ahead
+// log, and rebuilds the whole session registry on startup by loading the
+// latest snapshots and replaying the WAL tails through the incremental
+// detection engine.
+//
+// The recovery invariant — property-tested with simulated crashes at
+// arbitrary batch boundaries and torn final WAL records — is that a
+// recovered session's violation set is byte-identical to a fresh full
+// detection over the recovered table, and that sequence cursors issued
+// before the crash resolve to the exact diff (or a flagged snapshot
+// reset when they predate the retained history).
+//
+// Layout under the data directory:
+//
+//	<dir>/store.json    document store holding one snapshot per session
+//	<dir>/wal/<id>.wal  delta batches journaled since <id>'s checkpoint
+//
+// Durability protocol: a delta batch is journaled write-ahead (the
+// session's engine calls Journal before mutating anything), so a batch is
+// either durable in the WAL or was never applied. Checkpoints write the
+// snapshot first and truncate the WAL after; a crash between the two
+// leaves stale WAL records at or below the snapshot's cursor, which
+// replay skips.
+//
+// Cost note: snapshots live in one docstore file, so a checkpoint
+// rewrites every session's snapshot (journal appends — the hot path —
+// touch only the session's own WAL). With many large sessions, moving to
+// one snapshot file per session would make checkpoints O(own table);
+// the single-file layout follows the docstore the rest of the system
+// already uses.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/stream"
+)
+
+// CollSnapshots is the document-store collection holding one snapshot
+// document per session.
+const CollSnapshots = "session_snapshots"
+
+// DefaultCompactEvery is the number of journaled batches after which a
+// session's WAL is folded into a fresh snapshot.
+const DefaultCompactEvery = 64
+
+// Options tunes a Manager.
+type Options struct {
+	// CompactEvery is the journal length that triggers snapshot
+	// compaction (default DefaultCompactEvery; negative disables).
+	CompactEvery int
+	// Fsync forces fsync on every WAL append and snapshot flush, making
+	// durability survive power loss rather than just process death.
+	Fsync bool
+}
+
+// Manager implements core.Persister over a data directory. It is safe for
+// concurrent use by distinct sessions: the manager lock only guards the
+// session map, and each session's journal has its own lock, so sessions
+// append (and fsync) their WALs in parallel.
+type Manager struct {
+	dir   string
+	opts  Options
+	store *docstore.Store
+
+	mu   sync.Mutex // guards wals (the map, not the states)
+	wals map[string]*walState
+
+	// storeMu serializes snapshot-document rewrites (Checkpoint, Drop)
+	// across sessions. Without it, session A's Flush could durably write
+	// the store in the window where session B's snapshot is deleted but
+	// not yet re-inserted — a crash then would silently lose B. Journal
+	// appends (the hot path) never take it.
+	storeMu sync.Mutex
+}
+
+// walState is the per-session journal bookkeeping. Its lock serializes
+// operations on one session's journal; lock ordering is m.mu before
+// ws.mu, never the reverse.
+type walState struct {
+	mu sync.Mutex
+	f  *os.File
+	// records counts batches journaled (or replayed) since the last
+	// checkpoint; it is the compaction trigger.
+	records int
+	// ckptSeq is the sequence cursor of the last durable checkpoint.
+	ckptSeq int64
+}
+
+// Open creates (or reopens) the durability layer rooted at dir.
+func Open(dir string, opts Options) (*Manager, error) {
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = DefaultCompactEvery
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "wal"), 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	store, err := docstore.OpenWith(filepath.Join(dir, "store.json"), docstore.Options{Fsync: opts.Fsync})
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &Manager{dir: dir, opts: opts, store: store, wals: make(map[string]*walState)}, nil
+}
+
+// Dir returns the data directory the manager persists into.
+func (m *Manager) Dir() string { return m.dir }
+
+// walPath maps a session ID to its journal file.
+func (m *Manager) walPath(id string) string {
+	return filepath.Join(m.dir, "wal", id+".wal")
+}
+
+// validID rejects session IDs that would escape the wal directory.
+func validID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("persist: invalid session id %q", id)
+	}
+	return nil
+}
+
+// state returns (creating if needed) the session's journal bookkeeping,
+// opening its WAL file for appends. In fsync mode the wal directory is
+// synced so a freshly created file's directory entry is durable too.
+func (m *Manager) state(id string) (*walState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ws := m.wals[id]
+	if ws != nil {
+		return ws, nil
+	}
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(m.walPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	if m.opts.Fsync {
+		if err := syncDir(filepath.Join(m.dir, "wal")); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: open wal: %w", err)
+		}
+	}
+	ws = &walState{f: f}
+	m.wals[id] = ws
+	return ws, nil
+}
+
+// syncDir fsyncs a directory so entry creations/renames inside it are
+// durable across power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// Journal durably appends one delta batch to the session's WAL. It is the
+// write-ahead half of core.Persister: the session's engine calls it after
+// validating a batch and before applying it. Distinct sessions append
+// concurrently — only same-session appends serialize.
+func (m *Manager) Journal(sessionID string, seq int64, batch stream.Batch) error {
+	ws, err := m.state(sessionID)
+	if err != nil {
+		return err
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	fi, err := ws.f.Stat()
+	if err != nil {
+		return fmt.Errorf("persist: journal %s: %w", sessionID, err)
+	}
+	if err := appendRecord(ws.f, walRecord{Seq: seq, Batch: batch}, m.opts.Fsync); err != nil {
+		// Roll the file back to its pre-append length: a partial record
+		// left mid-file would strand (and lose) every later acknowledged
+		// record behind it at the next recovery, and a fully written
+		// record whose fsync failed would replay a batch the caller was
+		// told did not happen. Best-effort — if the truncate fails too,
+		// recovery's torn-tail handling is the backstop.
+		_ = ws.f.Truncate(fi.Size())
+		return err
+	}
+	ws.records++
+	return nil
+}
+
+// CompactionDue reports whether the session's journal has reached the
+// compaction threshold.
+func (m *Manager) CompactionDue(sessionID string) bool {
+	if m.opts.CompactEvery < 0 {
+		return false
+	}
+	m.mu.Lock()
+	ws := m.wals[sessionID]
+	m.mu.Unlock()
+	if ws == nil {
+		return false
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.records >= m.opts.CompactEvery
+}
+
+// Checkpoint durably replaces the session's snapshot document and resets
+// its WAL. Snapshot first, truncate after: a crash between the two leaves
+// only stale WAL records, which replay skips by sequence number.
+func (m *Manager) Checkpoint(snap *core.SessionSnapshot) error {
+	ws, err := m.state(snap.ID)
+	if err != nil {
+		return err
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	m.storeMu.Lock()
+	m.store.Delete(CollSnapshots, docstore.Filter{"session": snap.ID})
+	_, insErr := m.store.InsertJSON(CollSnapshots, snap)
+	var flushErr error
+	if insErr == nil {
+		flushErr = m.store.Flush()
+	}
+	m.storeMu.Unlock()
+	if insErr != nil {
+		return fmt.Errorf("persist: store snapshot %s: %w", snap.ID, insErr)
+	}
+	if flushErr != nil {
+		return fmt.Errorf("persist: flush snapshot %s: %w", snap.ID, flushErr)
+	}
+	if err := ws.f.Truncate(0); err != nil {
+		return fmt.Errorf("persist: reset wal %s: %w", snap.ID, err)
+	}
+	// O_APPEND writes position at the (new) end, but reset the counter and
+	// record the durable cursor.
+	ws.records = 0
+	ws.ckptSeq = snap.Seq
+	return nil
+}
+
+// Drop removes every trace of the session: snapshot document and WAL.
+func (m *Manager) Drop(sessionID string) error {
+	if err := validID(sessionID); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	ws := m.wals[sessionID]
+	delete(m.wals, sessionID)
+	m.mu.Unlock()
+	if ws != nil {
+		ws.mu.Lock()
+		ws.f.Close()
+		ws.mu.Unlock()
+	}
+	m.storeMu.Lock()
+	removed := m.store.Delete(CollSnapshots, docstore.Filter{"session": sessionID})
+	var flushErr error
+	if removed > 0 {
+		flushErr = m.store.Flush()
+	}
+	m.storeMu.Unlock()
+	if flushErr != nil {
+		return fmt.Errorf("persist: drop %s: %w", sessionID, flushErr)
+	}
+	if err := os.Remove(m.walPath(sessionID)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("persist: drop %s: %w", sessionID, err)
+	}
+	return nil
+}
+
+// Close releases the WAL file handles. The manager is unusable after.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var first error
+	for id, ws := range m.wals {
+		ws.mu.Lock()
+		if err := ws.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		ws.mu.Unlock()
+		delete(m.wals, id)
+	}
+	return first
+}
+
+// Status is one session's persistence health, surfaced by the server's
+// admin API.
+type Status struct {
+	// CheckpointSeq is the sequence cursor of the last durable snapshot.
+	CheckpointSeq int64 `json:"checkpoint_seq"`
+	// WALRecords is the number of delta batches journaled (or replayed)
+	// since that snapshot — the replay cost of a crash right now.
+	WALRecords int `json:"wal_records"`
+}
+
+// Status reports a tracked session's persistence state.
+func (m *Manager) Status(sessionID string) (Status, bool) {
+	m.mu.Lock()
+	ws := m.wals[sessionID]
+	m.mu.Unlock()
+	if ws == nil {
+		return Status{}, false
+	}
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return Status{CheckpointSeq: ws.ckptSeq, WALRecords: ws.records}, true
+}
+
+// Restore rehydrates every persisted session into the system: for each
+// snapshot document it rebuilds the session, replays the WAL tail through
+// the incremental engine (recomputing the violation set, byte-identical
+// to a full detection), reattaches the journal, and returns the sessions
+// sorted by ID. Torn WAL tails — the expected artifact of a crash mid
+// append — are discarded; structurally damaged snapshots are an error.
+func (m *Manager) Restore(sys *core.System) ([]*core.Session, error) {
+	docs := m.store.Find(CollSnapshots, nil)
+	out := make([]*core.Session, 0, len(docs))
+	for _, d := range docs {
+		snap, err := decodeSnapshot(d)
+		if err != nil {
+			return nil, err
+		}
+		se, err := sys.RestoreSession(snap)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		batches, err := m.tail(snap)
+		if err != nil {
+			return nil, err
+		}
+		if err := se.ReplayJournal(snap.Seq, batches); err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		ws, err := m.state(snap.ID)
+		if err != nil {
+			return nil, err
+		}
+		ws.mu.Lock()
+		ws.records = len(batches)
+		ws.ckptSeq = snap.Seq
+		ws.mu.Unlock()
+		se.SetPersist(m)
+		out = append(out, se)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// tail reads the session's WAL and extracts the replayable suffix: the
+// contiguous run of records starting right after the snapshot's cursor.
+// Records at or below the cursor are a crash artifact of checkpointing
+// (snapshot durable, truncate lost) and are skipped; a sequence gap means
+// the records beyond it can no longer be interpreted, so they are
+// discarded like a torn tail. The file is then truncated back to the
+// clean usable prefix — leaving torn or gapped bytes in place would
+// strand every record journaled after recovery behind them, silently
+// losing acknowledged batches on the *next* restart.
+func (m *Manager) tail(snap *core.SessionSnapshot) ([]stream.Batch, error) {
+	path := m.walPath(snap.ID)
+	recs, ends, tornAt, err := readWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	var batches []stream.Batch
+	var keep int64
+	next := snap.Seq + 1
+	gapped := false
+	for i, rec := range recs {
+		if rec.Seq > next {
+			gapped = true
+			break // gap: unreachable suffix
+		}
+		if rec.Seq == next {
+			batches = append(batches, rec.Batch)
+			next++
+		}
+		keep = ends[i] // stale records (< next) are harmless; keep them
+	}
+	if tornAt >= 0 || gapped {
+		if err := os.Truncate(path, keep); err != nil {
+			return nil, fmt.Errorf("persist: trim wal %s: %w", snap.ID, err)
+		}
+	}
+	return batches, nil
+}
+
+// decodeSnapshot converts a snapshot document back to the typed form.
+func decodeSnapshot(d docstore.Doc) (*core.SessionSnapshot, error) {
+	b, err := json.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("persist: snapshot doc %v: %w", d[docstore.IDField], err)
+	}
+	var snap core.SessionSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("persist: snapshot doc %v: %w", d[docstore.IDField], err)
+	}
+	if snap.ID == "" {
+		return nil, fmt.Errorf("persist: snapshot doc %v: missing session id", d[docstore.IDField])
+	}
+	// A tampered store must not smuggle a path-traversing ID into the WAL
+	// path construction — tail() truncates the file it resolves to.
+	if err := validID(snap.ID); err != nil {
+		return nil, fmt.Errorf("persist: snapshot doc %v: %w", d[docstore.IDField], err)
+	}
+	return &snap, nil
+}

@@ -40,6 +40,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -50,6 +51,7 @@ import (
 
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/persist"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
 	"github.com/anmat/anmat/internal/stream"
@@ -69,6 +71,11 @@ type sessionHandle struct {
 type Server struct {
 	sys *core.System
 
+	// pm, when non-nil, is the durability layer: new sessions are
+	// checkpointed into it, delta batches journal through it, and deleted
+	// sessions are dropped from it. Set via AttachPersist before serving.
+	pm *persist.Manager
+
 	mu        sync.RWMutex // guards sessions and defaultID only
 	sessions  map[string]*sessionHandle
 	defaultID string
@@ -79,12 +86,78 @@ func New(sys *core.System) *Server {
 	return &Server{sys: sys, sessions: make(map[string]*sessionHandle)}
 }
 
+// AttachPersist makes the registry durable: every session registered from
+// now on is checkpointed to m and journals its delta batches into m's
+// write-ahead log. Call RestoreSessions first to rehydrate previous state.
+func (s *Server) AttachPersist(m *persist.Manager) { s.pm = m }
+
+// RestoreSessions rehydrates the session registry from the durability
+// layer: each persisted session is rebuilt from its latest snapshot, its
+// WAL tail is replayed through the incremental engine (so violation sets
+// and sequence timelines — including clients' `violations?since=` cursors
+// — survive the restart), and the session is registered. The lowest ID
+// becomes the default session for the unversioned routes. Returns the
+// number of sessions restored.
+func (s *Server) RestoreSessions(m *persist.Manager) (int, error) {
+	sessions, err := m.Restore(s.sys)
+	if err != nil {
+		return 0, err
+	}
+	for _, sess := range sessions {
+		s.register(sess, false)
+	}
+	// register promotes the first-registered session; re-elect the lowest
+	// numeric ID so the default is stable across restarts.
+	s.mu.Lock()
+	for id := range s.sessions {
+		if sessionIDBefore(id, s.defaultID) {
+			s.defaultID = id
+		}
+	}
+	s.mu.Unlock()
+	return len(sessions), nil
+}
+
+// HasTable reports whether any registered session serves a table with
+// the given name — used at startup to decide whether a -in dataset was
+// already restored from the data directory.
+func (s *Server) HasTable(name string) bool {
+	s.mu.RLock()
+	handles := make([]*sessionHandle, 0, len(s.sessions))
+	for _, h := range s.sessions {
+		handles = append(handles, h)
+	}
+	s.mu.RUnlock()
+	for _, h := range handles {
+		h.mu.RLock()
+		match := h.sess.Table.Name() == name
+		h.mu.RUnlock()
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// persistNew attaches the durability layer to a freshly created session
+// and writes its first checkpoint. A no-op without an attached manager.
+func (s *Server) persistNew(sess *core.Session) error {
+	if s.pm == nil {
+		return nil
+	}
+	sess.SetPersist(s.pm)
+	return sess.Checkpoint()
+}
+
 // CreateSession runs the full pipeline on a new session and registers it.
 // The first session ever registered becomes the default target of the
 // deprecated unversioned routes.
 func (s *Server) CreateSession(ctx context.Context, project string, t *table.Table, p core.Params) (*core.Session, error) {
 	sess := s.sys.NewSession(project, t, p)
 	if err := sess.Run(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.persistNew(sess); err != nil {
 		return nil, err
 	}
 	s.register(sess, false)
@@ -98,6 +171,9 @@ func (s *Server) CreateSession(ctx context.Context, project string, t *table.Tab
 func (s *Server) LoadSession(project string, t *table.Table, p core.Params) error {
 	sess := s.sys.NewSession(project, t, p)
 	if err := sess.Run(context.Background()); err != nil {
+		return err
+	}
+	if err := s.persistNew(sess); err != nil {
 		return err
 	}
 	s.register(sess, true)
@@ -204,6 +280,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// persistStatus distinguishes durability-layer failures (server-side,
+// 500) from rejections of the caller's input: a journaling or checkpoint
+// error on a well-formed batch is not the client's fault, and answering
+// 400 would invite a resubmit of a batch that may already be applied.
+func persistStatus(err error, clientStatus int) int {
+	var pe *core.PersistenceError
+	if errors.As(err, &pe) {
+		return http.StatusInternalServerError
+	}
+	return clientStatus
 }
 
 // conflictNoDetection writes the structured 409 returned when a
@@ -317,13 +405,17 @@ type sessionSummary struct {
 	PFDs       int    `json:"pfds"`
 	Violations int    `json:"violations"`
 	Repairs    int    `json:"repairs"`
+	// Persistence reports the session's durability state (checkpoint
+	// cursor, journaled batches pending compaction); nil when the server
+	// runs without a data directory.
+	Persistence *persist.Status `json:"persistence,omitempty"`
 }
 
-func summarize(h *sessionHandle) sessionSummary {
+func (s *Server) summarize(h *sessionHandle) sessionSummary {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	se := h.sess
-	return sessionSummary{
+	sum := sessionSummary{
 		Session:    se.ID,
 		Project:    se.Project,
 		Table:      se.Table.Name(),
@@ -332,6 +424,12 @@ func summarize(h *sessionHandle) sessionSummary {
 		Violations: len(se.Violations),
 		Repairs:    len(se.Repairs),
 	}
+	if s.pm != nil {
+		if st, ok := s.pm.Status(se.ID); ok {
+			sum.Persistence = &st
+		}
+	}
+	return sum
 }
 
 func (s *Server) apiProjects(w http.ResponseWriter, r *http.Request) {
@@ -379,6 +477,10 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request, makeDefau
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	if err := s.persistNew(sess); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.register(sess, makeDefault)
 	writeJSON(w, map[string]any{
 		"session":    sess.ID,
@@ -399,7 +501,7 @@ func (s *Server) apiListSessions(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	out := make([]sessionSummary, 0, len(handles))
 	for _, h := range handles {
-		out = append(out, summarize(h))
+		out = append(out, s.summarize(h))
 	}
 	sort.Slice(out, func(i, j int) bool { return sessionIDBefore(out[i].Session, out[j].Session) })
 	writeJSON(w, map[string]any{"sessions": out, "default": defaultID})
@@ -410,13 +512,13 @@ func (s *Server) apiSessionSummary(w http.ResponseWriter, r *http.Request) {
 	if h == nil {
 		return
 	}
-	writeJSON(w, summarize(h))
+	writeJSON(w, s.summarize(h))
 }
 
 func (s *Server) apiDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.sessions[id]
+	h, ok := s.sessions[id]
 	if ok {
 		delete(s.sessions, id)
 		if s.defaultID == id {
@@ -434,6 +536,18 @@ func (s *Server) apiDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		http.Error(w, "no such session "+id, http.StatusNotFound)
 		return
+	}
+	if s.pm != nil {
+		// Drain in-flight requests that resolved the handle before it
+		// left the registry, and detach the persister so nothing can
+		// re-journal (recreating the WAL file) after the Drop below.
+		h.mu.Lock()
+		h.sess.SetPersist(nil)
+		h.mu.Unlock()
+		if err := s.pm.Drop(id); err != nil {
+			writeError(w, http.StatusInternalServerError, "session deleted but persisted state not dropped: %v", err)
+			return
+		}
 	}
 	writeJSON(w, map[string]any{"deleted": id})
 }
@@ -622,7 +736,7 @@ func (s *Server) violationDiff(w http.ResponseWriter, h *sessionHandle, since in
 	}
 	eng, err := sess.Stream()
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, persistStatus(err, http.StatusConflict), "%v", err)
 		return
 	}
 	diff, err := eng.Since(since)
@@ -669,7 +783,15 @@ func (s *Server) apiDeltas(w http.ResponseWriter, r *http.Request) {
 	}
 	diff, err := sess.ApplyDeltas(body.Deltas)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		if diff != nil {
+			// The batch WAS applied and journaled; only the follow-up
+			// compaction checkpoint failed. Tell the client not to
+			// resubmit — recovery replays the batch from the WAL.
+			writeError(w, http.StatusInternalServerError,
+				"deltas applied (seq %d) but checkpoint failed — do not resubmit; resync with violations?since=: %v", diff.Seq, err)
+			return
+		}
+		writeError(w, persistStatus(err, http.StatusBadRequest), "%v", err)
 		return
 	}
 	writeDiff(w, sess.ID, diff, limit, offset)
@@ -693,7 +815,7 @@ func (s *Server) apiApplyRepairs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, err := sess.Stream(); err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, persistStatus(err, http.StatusConflict), "%v", err)
 		return
 	}
 	fresh, err := sess.RunRepairs(r.Context())
@@ -768,6 +890,12 @@ func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
 	if err := sess.RunStages(r.Context(), core.StageDetection, core.StageRepairs); err != nil {
 		sess.Confirmed, sess.Violations, sess.Repairs = prevConfirmed, prevViolations, prevRepairs
 		sess.DetectStats = prevStats
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The durable snapshot must see the new rule set; the stream engine
+	// (and its WAL baseline) rebuilds lazily on the next delta.
+	if err := sess.Checkpoint(); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -876,7 +1004,7 @@ func (s *Server) pageIndex(w http.ResponseWriter, r *http.Request) {
 	h := s.pageSession(r)
 	body := "<p>No dataset loaded. POST a CSV to /api/v1/sessions.</p>"
 	if h != nil {
-		sum := summarize(h)
+		sum := s.summarize(h)
 		body = fmt.Sprintf("<p>Session <b>%s</b>, project <b>%s</b>, dataset <b>%s</b>: %d rows, %d PFDs, %d violations.</p>",
 			template.HTMLEscapeString(sum.Session),
 			template.HTMLEscapeString(sum.Project),

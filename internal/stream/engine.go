@@ -99,6 +99,12 @@ type Engine struct {
 
 	log    []*Diff
 	logCap int
+
+	// sink, when set, is the write-ahead journal hook: Apply calls it with
+	// the batch and the sequence number the batch will receive, after
+	// validation but before any mutation. A sink error aborts the batch
+	// untouched. Replay never calls it.
+	sink func(seq int64, batch Batch) error
 }
 
 // NewEngine bootstraps an engine over the table's current contents. The
@@ -260,10 +266,36 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// Apply validates the batch, applies it atomically, and returns the
-// violation diff. On a validation error nothing is applied. Applying to a
-// stale engine (table mutated externally) fails.
+// SetSink installs the write-ahead journal hook: a function Apply calls —
+// under the engine lock, after validating the batch, before mutating
+// anything — with the batch and the sequence number it is about to
+// receive. A sink error aborts the batch with nothing applied, so a batch
+// is never in memory without being durably journaled first. Replay
+// bypasses the sink (replayed batches are already in the journal).
+// Pass nil to detach.
+func (e *Engine) SetSink(fn func(seq int64, batch Batch) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sink = fn
+}
+
+// Apply validates the batch, journals it through the sink (when one is
+// set), applies it atomically, and returns the violation diff. On a
+// validation or journaling error nothing is applied. Applying to a stale
+// engine (table mutated externally) fails.
 func (e *Engine) Apply(batch Batch) (*Diff, error) {
+	return e.apply(batch, true)
+}
+
+// Replay is Apply without the journal hook: the recovery path uses it to
+// re-apply batches read back from the write-ahead log, which must not be
+// journaled a second time. Diffs still land in the Since log, so cursors
+// spanning replayed batches resolve exactly.
+func (e *Engine) Replay(batch Batch) (*Diff, error) {
+	return e.apply(batch, false)
+}
+
+func (e *Engine) apply(batch Batch, journal bool) (*Diff, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.t.Version() != e.version {
@@ -271,6 +303,11 @@ func (e *Engine) Apply(batch Batch) (*Diff, error) {
 	}
 	if err := validate(e.t, batch); err != nil {
 		return nil, fmt.Errorf("stream: invalid batch: %w", err)
+	}
+	if journal && e.sink != nil {
+		if err := e.sink(e.seq+1, batch); err != nil {
+			return nil, fmt.Errorf("stream: journal batch %d: %w", e.seq+1, err)
+		}
 	}
 	d := newBatchDiff()
 	for _, op := range batch {

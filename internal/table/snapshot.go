@@ -1,0 +1,174 @@
+// Binary table snapshots: a compact, checksummed encoding of a whole
+// table used by the durability layer (internal/persist) to checkpoint
+// session state. The format is length-prefixed and versioned:
+//
+//	magic "ANMTBL" | uvarint version | string name |
+//	uvarint ncols | ncols × string | uvarint nrows | nrows × ncols × string |
+//	uint32 CRC-32 (IEEE) of everything before it
+//
+// where string = uvarint byte length + bytes. Decoding verifies the magic,
+// the version, and the checksum, so a truncated or bit-flipped snapshot is
+// reported as corrupt rather than silently loaded.
+package table
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// snapshotMagic identifies a binary table snapshot stream.
+const snapshotMagic = "ANMTBL"
+
+// snapshotVersion is the current encoding version.
+const snapshotVersion = 1
+
+// maxSnapshotStr caps one decoded string length (64 MiB) so a corrupt
+// length prefix cannot drive a huge allocation.
+const maxSnapshotStr = 64 << 20
+
+// EncodeBinary writes the table (name, schema, every row) in the binary
+// snapshot format. The mutation version is deliberately not encoded: a
+// decoded table starts a fresh version timeline, and holders rebuild
+// their caches over it.
+func (t *Table) EncodeBinary(w io.Writer) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, snapshotVersion)
+	writeString(bw, t.name)
+	writeUvarint(bw, uint64(len(t.columns)))
+	for _, c := range t.columns {
+		writeString(bw, c)
+	}
+	writeUvarint(bw, uint64(len(t.rows)))
+	for _, row := range t.rows {
+		for _, cell := range row {
+			writeString(bw, cell)
+		}
+	}
+	// Flush through the MultiWriter so the CRC covers everything written.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// EncodeBinaryBytes is EncodeBinary into a fresh byte slice.
+func (t *Table) EncodeBinaryBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.EncodeBinary(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBinary reads one binary table snapshot to EOF, verifying the
+// magic, version, and checksum. Any structural damage — truncation, a
+// foreign stream, a flipped bit — yields an error naming the defect.
+func DecodeBinary(r io.Reader) (*Table, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("table snapshot: %w", err)
+	}
+	return DecodeBinaryBytes(b)
+}
+
+// DecodeBinaryBytes is DecodeBinary over an in-memory snapshot.
+func DecodeBinaryBytes(b []byte) (*Table, error) {
+	if len(b) < len(snapshotMagic)+4 {
+		return nil, fmt.Errorf("table snapshot: truncated (%d bytes)", len(b))
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("table snapshot: checksum mismatch (stored %08x, computed %08x)", got, want)
+	}
+	br := bytes.NewReader(body)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("table snapshot: read magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("table snapshot: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("table snapshot: read version: %w", err)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("table snapshot: unsupported version %d (want %d)", version, snapshotVersion)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, fmt.Errorf("table snapshot: read name: %w", err)
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("table snapshot: read column count: %w", err)
+	}
+	if ncols == 0 || ncols > 1<<20 {
+		return nil, fmt.Errorf("table snapshot: implausible column count %d", ncols)
+	}
+	cols := make([]string, ncols)
+	for i := range cols {
+		if cols[i], err = readString(br); err != nil {
+			return nil, fmt.Errorf("table snapshot: read column %d: %w", i, err)
+		}
+	}
+	t, err := New(name, cols)
+	if err != nil {
+		return nil, fmt.Errorf("table snapshot: %w", err)
+	}
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("table snapshot: read row count: %w", err)
+	}
+	t.rows = make([][]string, 0, min(nrows, 1<<20))
+	for i := uint64(0); i < nrows; i++ {
+		row := make([]string, ncols)
+		for j := range row {
+			if row[j], err = readString(br); err != nil {
+				return nil, fmt.Errorf("table snapshot: read row %d cell %d: %w", i, j, err)
+			}
+		}
+		t.rows = append(t.rows, row)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("table snapshot: %d trailing bytes after %d rows", br.Len(), nrows)
+	}
+	return t, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	_, _ = w.Write(tmp[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	_, _ = w.WriteString(s)
+}
+
+func readString(br *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapshotStr {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

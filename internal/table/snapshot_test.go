@@ -1,0 +1,98 @@
+package table
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func snapshotFixture() *Table {
+	return MustFromRows("fixture", []string{"zip", "city", "note"}, [][]string{
+		{"90001", "Los Angeles", ""},
+		{"10001", "New York", "quoted \"cell\""},
+		{"85777", "Phoenix", "multi\nline"},
+		{"", "", "unicode ✓ €"},
+	})
+}
+
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	orig := snapshotFixture()
+	b, err := orig.EncodeBinaryBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinaryBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != orig.Name() {
+		t.Errorf("name = %q, want %q", back.Name(), orig.Name())
+	}
+	if !reflect.DeepEqual(back.Columns(), orig.Columns()) {
+		t.Errorf("columns = %v", back.Columns())
+	}
+	if back.NumRows() != orig.NumRows() {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), orig.NumRows())
+	}
+	for r := 0; r < orig.NumRows(); r++ {
+		if !reflect.DeepEqual(back.Row(r), orig.Row(r)) {
+			t.Errorf("row %d = %v, want %v", r, back.Row(r), orig.Row(r))
+		}
+	}
+}
+
+func TestBinarySnapshotEmptyTable(t *testing.T) {
+	orig := MustNew("empty", []string{"a", "b"})
+	b, err := orig.EncodeBinaryBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinaryBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 0 || back.NumCols() != 2 {
+		t.Errorf("decoded %d rows × %d cols", back.NumRows(), back.NumCols())
+	}
+}
+
+func TestBinarySnapshotStreamDecode(t *testing.T) {
+	b, err := snapshotFixture().EncodeBinaryBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 4 {
+		t.Errorf("rows = %d", back.NumRows())
+	}
+}
+
+func TestBinarySnapshotCorruption(t *testing.T) {
+	good, err := snapshotFixture().EncodeBinaryBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"tiny":      []byte("AN"),
+		"bad magic": append([]byte("XXXXXX"), good[6:]...),
+		"truncated": good[:len(good)/2],
+		"one short": good[:len(good)-1],
+		"garbage":   []byte(strings.Repeat("\x91\x02", 64)),
+		"trailing":  append(append([]byte{}, good...), 0xAA),
+		"double":    append(append([]byte{}, good...), good...),
+	}
+	// A flipped bit anywhere in the body must fail the checksum.
+	flipped := append([]byte{}, good...)
+	flipped[len(flipped)/3] ^= 0x40
+	cases["bit flip"] = flipped
+	for name, b := range cases {
+		if _, err := DecodeBinaryBytes(b); err == nil {
+			t.Errorf("%s: decode should fail", name)
+		}
+	}
+}
