@@ -4,13 +4,20 @@
 # engine". `make bench-stream` writes BENCH_stream.json: incremental
 # violation maintenance vs full re-detection at delta batch sizes
 # 1/10/100 (speedup_vs_full) — see README "Streaming ingestion".
+# `make bench-shard` writes BENCH_shard.json: full sharded detection over
+# a ≥1M-row datagen table at K=1/2/4/8 (rows/sec, speedup_vs_1shard) —
+# see README "Sharding". SHARD_BENCH_ROWS scales the table for quick
+# local runs.
 
 GO        ?= go
 BENCHTIME ?=
 BENCHOUT  ?= BENCH_detect.json
 STREAMOUT ?= BENCH_stream.json
+SHARDOUT  ?= BENCH_shard.json
+# Table size of the shard bench (read by the benchmark as an env var).
+export SHARD_BENCH_ROWS
 
-.PHONY: all build vet test race bench bench-stream fuzz vulncheck
+.PHONY: all build vet test race bench bench-stream bench-shard fuzz vulncheck
 
 all: vet build test
 
@@ -33,6 +40,10 @@ bench:
 bench-stream:
 	$(GO) run ./cmd/benchjson -out $(STREAMOUT) -pkg ./internal/stream \
 		-bench 'BenchmarkStreamAppend|BenchmarkStreamRepair' $(if $(BENCHTIME),-benchtime $(BENCHTIME))
+
+bench-shard:
+	$(GO) run ./cmd/benchjson -out $(SHARDOUT) -pkg ./internal/shard \
+		-bench 'BenchmarkShardDetect|BenchmarkShardApply' $(if $(BENCHTIME),-benchtime $(BENCHTIME))
 
 fuzz:
 	$(GO) test ./internal/table -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s

@@ -26,6 +26,7 @@ package anmat
 
 import (
 	"context"
+	"fmt"
 	"io"
 
 	"github.com/anmat/anmat/internal/core"
@@ -33,6 +34,7 @@ import (
 	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/shard"
 	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/table"
 )
@@ -78,6 +80,16 @@ type (
 	ViolationDiff = stream.Diff
 	// StreamStats summarizes a stream engine's maintained state.
 	StreamStats = stream.Stats
+	// Streamer is the incremental-detection surface Session.Stream
+	// returns: a single StreamEngine, or a sharded coordinator when the
+	// session runs with WithShards(k > 1) — byte-identical either way.
+	Streamer = core.Streamer
+	// SessionConfig is the full per-session configuration accepted by
+	// System.NewSessionWith (params, shard count, discovery override).
+	SessionConfig = core.SessionConfig
+	// ShardStats summarizes a sharded session's coordinator: the merged
+	// global state plus per-shard row/violation counts.
+	ShardStats = shard.Stats
 )
 
 // AppendRows builds a delta that appends full records in schema order.
@@ -143,6 +155,22 @@ func WithDiscoveryConfig(cfg DiscoveryConfig) Option {
 // WithDiscoveryConfig in either order.
 func WithParallelism(n int) Option {
 	return func(o *options) error { o.parallelism = &n; return nil }
+}
+
+// WithShards sets the default shard count of every session's incremental
+// detection engine. With k > 1 a session's table is hash-partitioned on
+// the rule set's block keys across k per-shard engines that ingest
+// deltas independently; the merged violation set is byte-identical to
+// the single-engine one at every k. 0 or 1 keeps the single engine.
+// Override per session with SessionConfig.Shards.
+func WithShards(k int) Option {
+	return func(o *options) error {
+		if k < 0 {
+			return fmt.Errorf("anmat: WithShards(%d): want >= 0", k)
+		}
+		o.cfg.Shards = k
+		return nil
+	}
 }
 
 // New builds a System from functional options. With no options the store

@@ -1,6 +1,6 @@
 // Command anmat-server runs the HTTP GUI substitute (Figures 3–5):
 //
-//	anmat-server [-addr :8080] [-data dir] [-store anmat.json] [-in data.csv] [-parallelism n]
+//	anmat-server [-addr :8080] [-data dir] [-store anmat.json] [-in data.csv] [-parallelism n] [-shards k]
 //
 // With -in the dataset is loaded as the default session and the pipeline
 // run at startup; otherwise POST a CSV to /api/v1/sessions. The server is
@@ -41,6 +41,7 @@ func main() {
 	coverage := flag.Float64("coverage", core.DefaultParams().MinCoverage, "minimum coverage γ")
 	violations := flag.Float64("violations", core.DefaultParams().AllowedViolations, "allowed violation ratio")
 	parallelism := flag.Int("parallelism", 0, "pipeline workers per session: discovery candidates and detection/repair fan-out (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 1, "incremental-detection shards per session: hash-partition each table on block keys across K independent engines (byte-identical results at any K; per-shard stats on the detection endpoint)")
 	flag.Parse()
 
 	var store *docstore.Store
@@ -53,6 +54,7 @@ func main() {
 	}
 	cfg := core.DefaultSystemConfig()
 	cfg.Parallelism = *parallelism
+	cfg.Shards = *shards
 	sys := core.NewSystemWith(store, cfg)
 	sys.CreateProject("default")
 	srv := server.New(sys)

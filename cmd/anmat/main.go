@@ -94,6 +94,8 @@ func usage() {
               -follow tails -in for appended rows, printing violation diffs
               -data dir makes the session durable: a restart restores rules,
               violations, and ingested rows, and -follow resumes the tail
+              -shards K partitions incremental detection across K engines
+              (byte-identical results; per-shard WALs under -data)
   repair      -in data.csv -out fixed.csv          mine + detect + apply repairs
   report      -in data.csv [-out report.md]        full pipeline as Markdown
   stream      -history clean.csv -in new.csv       mine from history, validate new rows
@@ -107,6 +109,7 @@ type pipelineFlags struct {
 	coverage    *float64
 	violations  *float64
 	parallelism *int
+	shards      *int
 }
 
 func newPipelineFlags(name string) pipelineFlags {
@@ -118,6 +121,7 @@ func newPipelineFlags(name string) pipelineFlags {
 		coverage:    fs.Float64("coverage", d.MinCoverage, "minimum coverage γ"),
 		violations:  fs.Float64("violations", d.AllowedViolations, "allowed violation ratio"),
 		parallelism: fs.Int("parallelism", 0, "pipeline workers: discovery candidates and detection/repair fan-out (0 = GOMAXPROCS)"),
+		shards:      fs.Int("shards", 1, "incremental-detection shards: hash-partition the table on block keys across K independent engines (results byte-identical at any K; speeds up -follow ingestion on multicore)"),
 	}
 }
 
@@ -140,6 +144,7 @@ func (p pipelineFlags) session(args []string) (*core.Session, error) {
 func (p pipelineFlags) system() *core.System {
 	cfg := core.DefaultSystemConfig()
 	cfg.Parallelism = *p.parallelism
+	cfg.Shards = *p.shards
 	return core.NewSystemWith(docstore.NewMem(), cfg)
 }
 

@@ -37,13 +37,20 @@ type Bench struct {
 	// sibling is present (the streaming family): full ns/op over
 	// incremental ns/op.
 	SpeedupVsFull *float64 `json:"speedup_vs_full,omitempty"`
+	// SpeedupVs1Shard is filled for /k<N> benchmarks whose /k1 sibling is
+	// present (the sharded-detection family): single-shard ns/op over
+	// their own ns/op.
+	SpeedupVs1Shard *float64 `json:"speedup_vs_1shard,omitempty"`
 }
 
-// Report is the BENCH_detect.json document.
+// Report is the BENCH_*.json document. NumCPU and GOMAXPROCS make every
+// record self-describing: a ~1.0x parallel speedup measured in a 1-CPU
+// container reads as a hardware limit, not a regression.
 type Report struct {
 	GeneratedAt string  `json:"generated_at"`
 	GoVersion   string  `json:"go_version"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
 	CPU         string  `json:"cpu,omitempty"`
 	BenchRegex  string  `json:"bench_regex"`
 	Benchmarks  []Bench `json:"benchmarks"`
@@ -110,15 +117,22 @@ func parseBenchOutput(out string) ([]Bench, string) {
 func ptr(v float64) *float64 { return &v }
 
 // addSpeedups fills SpeedupVsP1 for every /p<N> benchmark whose /p1
-// sibling is present, and SpeedupVsFull for every /incremental benchmark
-// whose /full sibling is present (the streaming engine family).
+// sibling is present, SpeedupVsFull for every /incremental benchmark
+// whose /full sibling is present (the streaming engine family), and
+// SpeedupVs1Shard for every /k<N> benchmark whose /k1 sibling is present
+// (the sharded-detection family).
 func addSpeedups(benches []Bench) {
 	pVariant := regexp.MustCompile(`^(.*)/p(\d+)$`)
+	kVariant := regexp.MustCompile(`^(.*)/k(\d+)$`)
 	base := make(map[string]float64) // prefix -> p1 ns/op
 	fullBase := make(map[string]float64)
+	kBase := make(map[string]float64) // prefix -> k1 ns/op
 	for _, b := range benches {
 		if m := pVariant.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
 			base[m[1]] = b.NsPerOp
+		}
+		if m := kVariant.FindStringSubmatch(b.Name); m != nil && m[2] == "1" {
+			kBase[m[1]] = b.NsPerOp
 		}
 		if prefix, ok := strings.CutSuffix(b.Name, "/full"); ok {
 			fullBase[prefix] = b.NsPerOp
@@ -131,6 +145,11 @@ func addSpeedups(benches []Bench) {
 		if m := pVariant.FindStringSubmatch(benches[i].Name); m != nil {
 			if p1, ok := base[m[1]]; ok {
 				benches[i].SpeedupVsP1 = ptr(p1 / benches[i].NsPerOp)
+			}
+		}
+		if m := kVariant.FindStringSubmatch(benches[i].Name); m != nil {
+			if k1, ok := kBase[m[1]]; ok {
+				benches[i].SpeedupVs1Shard = ptr(k1 / benches[i].NsPerOp)
 			}
 		}
 		if prefix, ok := strings.CutSuffix(benches[i].Name, "/incremental"); ok {
@@ -176,6 +195,7 @@ func run() error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		CPU:         cpu,
 		BenchRegex:  *benchRe,
 		Benchmarks:  benches,
@@ -195,6 +215,9 @@ func run() error {
 		}
 		if bb.SpeedupVsFull != nil {
 			fmt.Printf("  %-40s %12.0f ns/op  speedup vs full re-detect: %.2fx\n", bb.Name, bb.NsPerOp, *bb.SpeedupVsFull)
+		}
+		if bb.SpeedupVs1Shard != nil {
+			fmt.Printf("  %-40s %12.0f ns/op  speedup vs 1 shard: %.2fx\n", bb.Name, bb.NsPerOp, *bb.SpeedupVs1Shard)
 		}
 	}
 	return nil

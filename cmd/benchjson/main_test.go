@@ -103,3 +103,22 @@ func TestAddSpeedupsVsFull(t *testing.T) {
 		t.Error("only /incremental entries with a /full sibling get the metric")
 	}
 }
+
+func TestAddSpeedupsVs1Shard(t *testing.T) {
+	benches := []Bench{
+		{Name: "BenchmarkShardDetect/rows1000000/k1", NsPerOp: 8000},
+		{Name: "BenchmarkShardDetect/rows1000000/k4", NsPerOp: 2000},
+		{Name: "BenchmarkShardDetect/rows500000/k8", NsPerOp: 500}, // no k1 sibling
+		{Name: "BenchmarkOther", NsPerOp: 7},
+	}
+	addSpeedups(benches)
+	if benches[0].SpeedupVs1Shard == nil || *benches[0].SpeedupVs1Shard != 1 {
+		t.Errorf("k1 speedup = %v", benches[0].SpeedupVs1Shard)
+	}
+	if benches[1].SpeedupVs1Shard == nil || *benches[1].SpeedupVs1Shard != 4 {
+		t.Errorf("k4 speedup = %v", benches[1].SpeedupVs1Shard)
+	}
+	if benches[2].SpeedupVs1Shard != nil || benches[3].SpeedupVs1Shard != nil {
+		t.Error("only /k entries with a /k1 sibling get the metric")
+	}
+}

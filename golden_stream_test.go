@@ -21,6 +21,50 @@ import (
 )
 
 func TestGoldenStreamDeltas(t *testing.T) {
+	got := goldenStreamReplay(t, 1)
+	path := filepath.Join("testdata", "golden", "phone_state_deltas.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantB, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(wantB) {
+		t.Errorf("delta replay differs from %s (rerun with -update if intended):\n%s",
+			path, diffLines(string(wantB), got))
+	}
+}
+
+// TestGoldenStreamDeltasSharded replays the same committed delta script
+// through sharded sessions at K ∈ {2,4,8} and requires the rendered
+// per-batch diffs — every violation line, every count — to be
+// byte-identical to the single-engine golden file. This is the corpus
+// half of the sharding acceptance criterion.
+func TestGoldenStreamDeltasSharded(t *testing.T) {
+	wantB, err := os.ReadFile(filepath.Join("testdata", "golden", "phone_state_deltas.golden"))
+	if err != nil {
+		t.Fatalf("missing golden file (run TestGoldenStreamDeltas with -update): %v", err)
+	}
+	for _, k := range []int{2, 4, 8} {
+		k := k
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			if got := goldenStreamReplay(t, k); got != string(wantB) {
+				t.Errorf("sharded (k=%d) delta replay diverges from the single-engine golden:\n%s",
+					k, diffLines(string(wantB), got))
+			}
+		})
+	}
+}
+
+// goldenStreamReplay runs the committed delta script through a session
+// with the given shard count and returns the rendered replay, asserting
+// the maintained-set invariant after every batch.
+func goldenStreamReplay(t *testing.T, shards int) string {
+	t.Helper()
 	tbl, err := anmat.LoadCSV(filepath.Join("testdata", "phone_state.csv"))
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +74,7 @@ func TestGoldenStreamDeltas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := sys.NewSession("golden-stream", tbl, params)
+	sess := sys.NewSessionWith("golden-stream", tbl, anmat.SessionConfig{Params: params, Shards: shards})
 	ctx := context.Background()
 	if err := sess.RunStages(ctx, anmat.StageProfile, anmat.StageDiscovery); err != nil {
 		t.Fatal(err)
@@ -100,23 +144,7 @@ func TestGoldenStreamDeltas(t *testing.T) {
 		}
 	}
 	fmt.Fprintf(&b, "\n## final: %d row(s), %d violation(s)\n", tbl.NumRows(), len(sess.Violations))
-
-	got := b.String()
-	path := filepath.Join("testdata", "golden", "phone_state_deltas.golden")
-	if *updateGolden {
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		return
-	}
-	wantB, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("missing golden file (run with -update): %v", err)
-	}
-	if got != string(wantB) {
-		t.Errorf("delta replay differs from %s (rerun with -update if intended):\n%s",
-			path, diffLines(string(wantB), got))
-	}
+	return b.String()
 }
 
 // renderViolationLine mirrors the violation rendering of the static

@@ -21,6 +21,7 @@ import (
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
+	"github.com/anmat/anmat/internal/shard"
 	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/table"
 )
@@ -54,6 +55,12 @@ type SystemConfig struct {
 	// set explicitly) and the detection/repair engine (0 = GOMAXPROCS).
 	// Output is identical at every setting; see detect.DetectAllContext.
 	Parallelism int
+	// Shards is the default shard count of every session's incremental
+	// detection engine (0 or 1 = one engine, no sharding). With K > 1 the
+	// session's table is hash-partitioned on block keys across K
+	// per-shard engines (see internal/shard); results are byte-identical
+	// at every K. Per-session SessionConfig.Shards overrides it.
+	Shards int
 }
 
 // DefaultSystemConfig returns the demo defaults.
@@ -180,10 +187,15 @@ type Session struct {
 	// layers can distinguish "zero violations" from "never detected".
 	detected bool
 
-	// str is the session's lazily built incremental detection engine
-	// (see Session.Stream); strRules snapshots the rule set it was built
-	// over so a Confirm/UseRules change triggers a rebuild.
-	str      *stream.Engine
+	// shards, when > 0, overrides the system's default shard count for
+	// this session's incremental engine (see SessionConfig.Shards).
+	shards int
+
+	// str is the session's lazily built incremental detection engine —
+	// a single stream.Engine, or a shard.Coordinator when the session is
+	// sharded (see Session.Stream); strRules snapshots the rule set it
+	// was built over so a Confirm/UseRules change triggers a rebuild.
+	str      Streamer
 	strRules []*pfd.PFD
 	// strNextBase carries the sequence base of an engine whose baseline
 	// checkpoint failed, so the retry rebuild continues the same timeline
@@ -202,6 +214,41 @@ type Session struct {
 func (s *System) NewSession(project string, t *table.Table, p Params) *Session {
 	id := fmt.Sprintf("s%d", s.seq.Add(1))
 	return &Session{sys: s, ID: id, Project: project, Table: t, Params: p}
+}
+
+// SessionConfig is the full per-session configuration of NewSessionWith.
+type SessionConfig struct {
+	// Params are the session's user parameters (see Params).
+	Params Params
+	// Shards overrides the system default shard count for this session's
+	// incremental detection engine: 0 inherits SystemConfig.Shards, 1
+	// forces a single engine, K > 1 partitions the table across K
+	// per-shard engines with byte-identical results.
+	Shards int
+	// Discovery, when non-nil, overrides the system's base discovery
+	// configuration for this session.
+	Discovery *discovery.Config
+}
+
+// NewSessionWith is NewSession with the full per-session configuration.
+func (s *System) NewSessionWith(project string, t *table.Table, cfg SessionConfig) *Session {
+	se := s.NewSession(project, t, cfg.Params)
+	se.shards = cfg.Shards
+	se.Discovery = cfg.Discovery
+	return se
+}
+
+// Shards resolves the session's effective shard count: the per-session
+// override when set, the system default otherwise, and never below 1.
+func (se *Session) Shards() int {
+	k := se.shards
+	if k == 0 {
+		k = se.sys.cfg.Shards
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // discoveryConfig resolves the effective discovery configuration: the
@@ -450,13 +497,42 @@ func samePFDs(a, b []*pfd.PFD) bool {
 	return true
 }
 
+// Streamer is the incremental-detection surface shared by the single
+// stream.Engine and the sharded shard.Coordinator: apply (or replay)
+// delta batches, read the maintained violation set, and resolve sequence
+// cursors. Session.Stream returns one or the other depending on the
+// session's shard count; everything downstream — the HTTP API, the CLI
+// follow mode, the durability layer — programs against this surface.
+type Streamer interface {
+	Apply(stream.Batch) (*stream.Diff, error)
+	Replay(stream.Batch) (*stream.Diff, error)
+	Violations() []pfd.Violation
+	Since(int64) (*stream.Diff, error)
+	Seq() int64
+	Stale() bool
+	SetSink(func(int64, stream.Batch) error)
+	Rules() []*pfd.PFD
+}
+
+// newStreamer builds the session's incremental engine over the given
+// rules at the given base sequence: a shard coordinator when the session
+// is sharded, a single stream engine otherwise. Output is byte-identical
+// either way.
+func (se *Session) newStreamer(rules []*pfd.PFD, base int64) (Streamer, error) {
+	if k := se.Shards(); k > 1 {
+		return shard.NewFrom(se.Table, rules, k, base)
+	}
+	return stream.NewEngineFrom(se.Table, rules, base)
+}
+
 // Stream returns the session's incremental detection engine, building it
 // lazily over the active rule set and rebuilding when the table was
 // mutated outside the engine (e.g. a direct detect.Apply) or the rule set
 // changed (Confirm, UseRules). The bootstrap costs about one detection
-// pass; every delta after that is proportional to what it touches, so
-// the engine is the cheap path for continuously arriving data.
-func (se *Session) Stream() (*stream.Engine, error) {
+// pass (split across shards when the session is sharded); every delta
+// after that is proportional to what it touches, so the engine is the
+// cheap path for continuously arriving data.
+func (se *Session) Stream() (Streamer, error) {
 	rules := se.rules()
 	if len(rules) == 0 {
 		return nil, fmt.Errorf("session %s: no rules to stream against (run discovery or UseRules first)", se.ID)
@@ -469,7 +545,7 @@ func (se *Session) Stream() (*stream.Engine, error) {
 		if se.str != nil && se.str.Seq()+1 > base {
 			base = se.str.Seq() + 1
 		}
-		eng, err := stream.NewEngineFrom(se.Table, rules, base)
+		eng, err := se.newStreamer(rules, base)
 		if err != nil {
 			return nil, fmt.Errorf("session %s: %w", se.ID, err)
 		}
@@ -492,6 +568,35 @@ func (se *Session) Stream() (*stream.Engine, error) {
 		}
 	}
 	return se.str, nil
+}
+
+// EngineStats describes the session's live incremental engine for
+// observability endpoints. It reports without building: a session whose
+// engine has not been constructed yet (or was invalidated) has Kind
+// "none".
+type EngineStats struct {
+	// Kind is "none", "stream" (single engine), or "sharded".
+	Kind string `json:"kind"`
+	// Shards is the session's resolved shard count (meaningful even
+	// before the engine is built).
+	Shards  int           `json:"shards"`
+	Stream  *stream.Stats `json:"stream,omitempty"`
+	Sharded *shard.Stats  `json:"sharded,omitempty"`
+}
+
+// EngineStats returns a snapshot of the session's live incremental
+// engine, never building one.
+func (se *Session) EngineStats() EngineStats {
+	out := EngineStats{Kind: "none", Shards: se.Shards()}
+	switch e := se.str.(type) {
+	case *stream.Engine:
+		st := e.Stats()
+		out.Kind, out.Stream = "stream", &st
+	case *shard.Coordinator:
+		st := e.Stats()
+		out.Kind, out.Sharded = "sharded", &st
+	}
+	return out
 }
 
 // ApplyDeltas routes one delta batch through the session's incremental

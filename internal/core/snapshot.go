@@ -47,6 +47,11 @@ type SessionSnapshot struct {
 	// when no engine exists). WAL records at or below it are already
 	// folded into TableData and are skipped on replay.
 	Seq int64 `json:"seq"`
+	// Shards is the session's resolved shard count at checkpoint time
+	// (>= 1), so recovery rebuilds the same engine topology — a sharded
+	// session journals into per-shard WALs, and its coordinator is
+	// rebuilt shard by shard and re-merged.
+	Shards int `json:"shards,omitempty"`
 }
 
 // PersistenceError marks a durability-layer failure — journaling or
@@ -67,6 +72,12 @@ type Persister interface {
 	// Journal durably appends one delta batch before the session applies
 	// it (write-ahead). An error aborts the batch.
 	Journal(sessionID string, seq int64, batch stream.Batch) error
+	// JournalSharded durably appends one delta batch to each of the
+	// session's k per-shard journals before the session applies it — a
+	// k-way replicated write-ahead record, so recovery can read the
+	// batch from any shard's WAL whose tail survived the crash intact.
+	// An error aborts the batch.
+	JournalSharded(sessionID string, k int, seq int64, batch stream.Batch) error
 	// Checkpoint durably replaces the session's snapshot and resets its
 	// journal to empty.
 	Checkpoint(snap *SessionSnapshot) error
@@ -86,14 +97,23 @@ func (se *Session) SetPersist(p Persister) {
 	}
 }
 
-// journalSink adapts the session's persister to the stream engine hook.
+// journalSink adapts the session's persister to the engine's write-ahead
+// hook. Sharded sessions journal each batch into k per-shard WALs (one
+// replicated record per shard); single-engine sessions keep the one
+// session WAL.
 func (se *Session) journalSink() func(int64, stream.Batch) error {
 	if se.persist == nil {
 		return nil
 	}
-	id, p := se.ID, se.persist
+	id, p, k := se.ID, se.persist, se.Shards()
 	return func(seq int64, batch stream.Batch) error {
-		if err := p.Journal(id, seq, batch); err != nil {
+		var err error
+		if k > 1 {
+			err = p.JournalSharded(id, k, seq, batch)
+		} else {
+			err = p.Journal(id, seq, batch)
+		}
+		if err != nil {
 			return &PersistenceError{Err: err}
 		}
 		return nil
@@ -118,6 +138,7 @@ func (se *Session) Snapshot() (*SessionSnapshot, error) {
 		Confirmed:    se.Confirmed,
 		ConfirmedSet: se.Confirmed != nil,
 		Detected:     se.detected,
+		Shards:       se.Shards(),
 	}
 	if se.str != nil {
 		snap.Seq = se.str.Seq()
@@ -171,6 +192,7 @@ func (s *System) RestoreSession(snap *SessionSnapshot) (*Session, error) {
 		Table:    t,
 		Params:   snap.Params,
 		detected: snap.Detected,
+		shards:   snap.Shards,
 	}
 	se.Discovered = snap.Discovered
 	if snap.ConfirmedSet {
@@ -218,12 +240,13 @@ func (s *System) adoptID(id string) {
 }
 
 // ReplayJournal finishes recovery: it bootstraps the incremental engine
-// over the restored table at the checkpoint's sequence cursor — which
-// recomputes the violation set, byte-identical to a full detection — and
-// replays the journaled delta batches through it in order, restoring the
-// sequence timeline so pre-crash `since` cursors resolve. Sessions that
-// never ran detection skip the engine entirely and must have an empty
-// journal.
+// over the restored table at the checkpoint's sequence cursor — the
+// shard coordinator, rebuilt shard by shard and re-merged, when the
+// snapshot was sharded — which recomputes the violation set,
+// byte-identical to a full detection — and replays the journaled delta
+// batches through it in order, restoring the sequence timeline so
+// pre-crash `since` cursors resolve. Sessions that never ran detection
+// skip the engine entirely and must have an empty journal.
 func (se *Session) ReplayJournal(baseSeq int64, batches []stream.Batch) error {
 	rules := se.rules()
 	if !se.detected {
@@ -242,7 +265,7 @@ func (se *Session) ReplayJournal(baseSeq int64, batches []stream.Batch) error {
 		se.Violations = nil
 		return nil
 	}
-	eng, err := stream.NewEngineFrom(se.Table, rules, baseSeq)
+	eng, err := se.newStreamer(rules, baseSeq)
 	if err != nil {
 		return fmt.Errorf("session %s: replay: %w", se.ID, err)
 	}

@@ -68,10 +68,25 @@ var states = []string{
 // state. errRate is the fraction of rows whose state is replaced with a
 // different state.
 func PhoneState(n int, errRate float64, seed int64) *Dataset {
+	return PhoneStateSkewed(n, errRate, seed, 0)
+}
+
+// PhoneStateSkewed is PhoneState with a Zipf-distributed area-code
+// choice: with skew s > 1 the area codes — the variable rule's block
+// keys — follow a power law, so a few keys dominate the table. That is
+// the workload that stresses hash-partitioned detection with hot-shard
+// imbalance (the shard owning a dominant key hosts most rows) while
+// results stay exact. skew <= 1 falls back to the uniform distribution.
+func PhoneStateSkewed(n int, errRate float64, seed int64, skew float64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
+	pick := func() int { return rng.Intn(len(areaCodes)) }
+	if skew > 1 {
+		z := rand.NewZipf(rng, skew, 1, uint64(len(areaCodes)-1))
+		pick = func() int { return int(z.Uint64()) }
+	}
 	t := table.MustNew("d1_phone_state", []string{"phone", "state"})
 	for i := 0; i < n; i++ {
-		ac := areaCodes[rng.Intn(len(areaCodes))]
+		ac := areaCodes[pick()]
 		phone := ac.code + fmt.Sprintf("%07d", rng.Intn(10_000_000))
 		t.MustAppend(phone, ac.state)
 	}

@@ -15,13 +15,23 @@
 //
 // Layout under the data directory:
 //
-//	<dir>/store.json    document store holding one snapshot per session
-//	<dir>/wal/<id>.wal  delta batches journaled since <id>'s checkpoint
+//	<dir>/store.json              document store holding one snapshot per session
+//	<dir>/wal/<id>.wal            delta batches journaled since <id>'s checkpoint
+//	<dir>/wal/<id>.shard<K>.wal   per-shard journals of a sharded session
+//
+// A sharded session (core.SessionConfig.Shards > 1) journals every batch
+// into each of its K per-shard WALs — a K-way replicated write-ahead
+// record keyed by the session's global sequence number. Recovery merges
+// the base WAL and every shard WAL by sequence number, so a batch whose
+// record was torn in one shard's file is still replayed from any sibling
+// whose copy survived intact; only a batch torn (or missing) in every
+// file — the expected artifact of a crash mid-journal, before the batch
+// was ever acknowledged — is discarded.
 //
 // Durability protocol: a delta batch is journaled write-ahead (the
 // session's engine calls Journal before mutating anything), so a batch is
 // either durable in the WAL or was never applied. Checkpoints write the
-// snapshot first and truncate the WAL after; a crash between the two
+// snapshot first and truncate the WALs after; a crash between the two
 // leaves stale WAL records at or below the snapshot's cursor, which
 // replay skips.
 //
@@ -90,13 +100,20 @@ type Manager struct {
 // ws.mu, never the reverse.
 type walState struct {
 	mu sync.Mutex
-	f  *os.File
+	// files are the session's open journal handles, keyed by shard index
+	// (baseWAL = the unsharded session WAL), opened lazily on first
+	// append.
+	files map[int]*os.File
 	// records counts batches journaled (or replayed) since the last
-	// checkpoint; it is the compaction trigger.
+	// checkpoint; it is the compaction trigger. A sharded batch counts
+	// once, not once per shard copy.
 	records int
 	// ckptSeq is the sequence cursor of the last durable checkpoint.
 	ckptSeq int64
 }
+
+// baseWAL is the files key of the unsharded session WAL (<id>.wal).
+const baseWAL = -1
 
 // Open creates (or reopens) the durability layer rooted at dir.
 func Open(dir string, opts Options) (*Manager, error) {
@@ -121,6 +138,45 @@ func (m *Manager) walPath(id string) string {
 	return filepath.Join(m.dir, "wal", id+".wal")
 }
 
+// shardWALPath maps (session, shard) to the shard's journal file.
+func (m *Manager) shardWALPath(id string, shard int) string {
+	return filepath.Join(m.dir, "wal", fmt.Sprintf("%s.shard%d.wal", id, shard))
+}
+
+// walPathIdx resolves a files key to its path.
+func (m *Manager) walPathIdx(id string, idx int) string {
+	if idx == baseWAL {
+		return m.walPath(id)
+	}
+	return m.shardWALPath(id, idx)
+}
+
+// sessionWALPaths lists every journal file of the session that exists on
+// disk: the base WAL plus any per-shard WALs — including shard files left
+// by an earlier run with a different shard count, which checkpointing and
+// dropping must still clean up.
+func (m *Manager) sessionWALPaths(id string) ([]string, error) {
+	var out []string
+	if _, err := os.Stat(m.walPath(id)); err == nil {
+		out = append(out, m.walPath(id))
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(m.dir, "wal"))
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	prefix := id + ".shard"
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, prefix) && strings.HasSuffix(name, ".wal") {
+			out = append(out, filepath.Join(m.dir, "wal", name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
 // validID rejects session IDs that would escape the wal directory.
 func validID(id string) error {
 	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
@@ -129,9 +185,8 @@ func validID(id string) error {
 	return nil
 }
 
-// state returns (creating if needed) the session's journal bookkeeping,
-// opening its WAL file for appends. In fsync mode the wal directory is
-// synced so a freshly created file's directory entry is durable too.
+// state returns (creating if needed) the session's journal bookkeeping.
+// WAL files open lazily on first append (see file).
 func (m *Manager) state(id string) (*walState, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -142,7 +197,19 @@ func (m *Manager) state(id string) (*walState, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(m.walPath(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	ws = &walState{files: make(map[int]*os.File)}
+	m.wals[id] = ws
+	return ws, nil
+}
+
+// file returns (opening if needed) one of the session's journal handles.
+// The caller holds ws.mu. In fsync mode the wal directory is synced so a
+// freshly created file's directory entry is durable too.
+func (m *Manager) file(ws *walState, id string, idx int) (*os.File, error) {
+	if f := ws.files[idx]; f != nil {
+		return f, nil
+	}
+	f, err := os.OpenFile(m.walPathIdx(id, idx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: open wal: %w", err)
 	}
@@ -152,9 +219,8 @@ func (m *Manager) state(id string) (*walState, error) {
 			return nil, fmt.Errorf("persist: open wal: %w", err)
 		}
 	}
-	ws = &walState{f: f}
-	m.wals[id] = ws
-	return ws, nil
+	ws.files[idx] = f
+	return f, nil
 }
 
 // syncDir fsyncs a directory so entry creations/renames inside it are
@@ -176,25 +242,67 @@ func syncDir(dir string) error {
 // validating a batch and before applying it. Distinct sessions append
 // concurrently — only same-session appends serialize.
 func (m *Manager) Journal(sessionID string, seq int64, batch stream.Batch) error {
+	return m.journal(sessionID, []int{baseWAL}, seq, batch)
+}
+
+// JournalSharded durably appends one delta batch to each of the
+// session's k per-shard WALs — one replicated record per shard, all
+// carrying the session's global sequence number. Recovery merges the
+// shard files by sequence, so the batch survives as long as any copy's
+// tail is intact. All k appends must succeed for the batch to be
+// acknowledged; on failure every copy written in this call is rolled
+// back.
+func (m *Manager) JournalSharded(sessionID string, k int, seq int64, batch stream.Batch) error {
+	if k <= 1 {
+		return m.Journal(sessionID, seq, batch)
+	}
+	targets := make([]int, k)
+	for s := range targets {
+		targets[s] = s
+	}
+	return m.journal(sessionID, targets, seq, batch)
+}
+
+// journal appends one record to each target WAL of the session.
+func (m *Manager) journal(sessionID string, targets []int, seq int64, batch stream.Batch) error {
 	ws, err := m.state(sessionID)
 	if err != nil {
 		return err
 	}
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
-	fi, err := ws.f.Stat()
-	if err != nil {
-		return fmt.Errorf("persist: journal %s: %w", sessionID, err)
+	type written struct {
+		f    *os.File
+		size int64
 	}
-	if err := appendRecord(ws.f, walRecord{Seq: seq, Batch: batch}, m.opts.Fsync); err != nil {
-		// Roll the file back to its pre-append length: a partial record
-		// left mid-file would strand (and lose) every later acknowledged
-		// record behind it at the next recovery, and a fully written
-		// record whose fsync failed would replay a batch the caller was
-		// told did not happen. Best-effort — if the truncate fails too,
-		// recovery's torn-tail handling is the backstop.
-		_ = ws.f.Truncate(fi.Size())
-		return err
+	var done []written
+	rollback := func() {
+		// Roll every touched file back to its pre-append length: a
+		// partial record left mid-file would strand (and lose) every
+		// later acknowledged record behind it at the next recovery, and a
+		// fully written record whose fsync failed would replay a batch
+		// the caller was told did not happen. Best-effort — if a truncate
+		// fails too, recovery's torn-tail handling is the backstop.
+		for _, w := range done {
+			_ = w.f.Truncate(w.size)
+		}
+	}
+	for _, idx := range targets {
+		f, err := m.file(ws, sessionID, idx)
+		if err != nil {
+			rollback()
+			return err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			rollback()
+			return fmt.Errorf("persist: journal %s: %w", sessionID, err)
+		}
+		done = append(done, written{f, fi.Size()})
+		if err := appendRecord(f, walRecord{Seq: seq, Batch: batch}, m.opts.Fsync); err != nil {
+			rollback()
+			return err
+		}
 	}
 	ws.records++
 	return nil
@@ -218,8 +326,10 @@ func (m *Manager) CompactionDue(sessionID string) bool {
 }
 
 // Checkpoint durably replaces the session's snapshot document and resets
-// its WAL. Snapshot first, truncate after: a crash between the two leaves
-// only stale WAL records, which replay skips by sequence number.
+// its WALs — the base file plus every per-shard file, including stragglers
+// from an earlier shard count. Snapshot first, truncate after: a crash
+// between the two leaves only stale WAL records, which replay skips by
+// sequence number.
 func (m *Manager) Checkpoint(snap *core.SessionSnapshot) error {
 	ws, err := m.state(snap.ID)
 	if err != nil {
@@ -241,17 +351,32 @@ func (m *Manager) Checkpoint(snap *core.SessionSnapshot) error {
 	if flushErr != nil {
 		return fmt.Errorf("persist: flush snapshot %s: %w", snap.ID, flushErr)
 	}
-	if err := ws.f.Truncate(0); err != nil {
-		return fmt.Errorf("persist: reset wal %s: %w", snap.ID, err)
+	// Truncate the session's known WAL paths — the base file plus the
+	// snapshot's shard count — rather than scanning the whole wal/
+	// directory, so per-session checkpoint cost does not scale with the
+	// server's total session count. Straggler shard files from an
+	// earlier, larger shard count hold only records at or below an older
+	// checkpoint cursor; replay skips them by sequence number and the
+	// next recovery's tail() trims them, so leaving them untouched here
+	// is safe.
+	paths := []string{m.walPath(snap.ID)}
+	for s := 0; s < snap.Shards; s++ {
+		paths = append(paths, m.shardWALPath(snap.ID, s))
 	}
-	// O_APPEND writes position at the (new) end, but reset the counter and
-	// record the durable cursor.
+	for _, p := range paths {
+		// O_APPEND handles keep working after a path truncate: their next
+		// write lands at the (new) end of file.
+		if err := os.Truncate(p, 0); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("persist: reset wal %s: %w", snap.ID, err)
+		}
+	}
 	ws.records = 0
 	ws.ckptSeq = snap.Seq
 	return nil
 }
 
-// Drop removes every trace of the session: snapshot document and WAL.
+// Drop removes every trace of the session: snapshot document, base WAL,
+// and all per-shard WALs.
 func (m *Manager) Drop(sessionID string) error {
 	if err := validID(sessionID); err != nil {
 		return err
@@ -262,7 +387,9 @@ func (m *Manager) Drop(sessionID string) error {
 	m.mu.Unlock()
 	if ws != nil {
 		ws.mu.Lock()
-		ws.f.Close()
+		for _, f := range ws.files {
+			f.Close()
+		}
 		ws.mu.Unlock()
 	}
 	m.storeMu.Lock()
@@ -275,8 +402,14 @@ func (m *Manager) Drop(sessionID string) error {
 	if flushErr != nil {
 		return fmt.Errorf("persist: drop %s: %w", sessionID, flushErr)
 	}
-	if err := os.Remove(m.walPath(sessionID)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("persist: drop %s: %w", sessionID, err)
+	paths, err := m.sessionWALPaths(sessionID)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("persist: drop %s: %w", sessionID, err)
+		}
 	}
 	return nil
 }
@@ -288,8 +421,10 @@ func (m *Manager) Close() error {
 	var first error
 	for id, ws := range m.wals {
 		ws.mu.Lock()
-		if err := ws.f.Close(); err != nil && first == nil {
-			first = err
+		for _, f := range ws.files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 		ws.mu.Unlock()
 		delete(m.wals, id)
@@ -360,39 +495,70 @@ func (m *Manager) Restore(sys *core.System) ([]*core.Session, error) {
 	return out, nil
 }
 
-// tail reads the session's WAL and extracts the replayable suffix: the
-// contiguous run of records starting right after the snapshot's cursor.
+// tail reads the session's WALs — the base file plus every per-shard
+// file — and extracts the replayable suffix: the contiguous run of
+// batches starting right after the snapshot's cursor, merged across
+// files by sequence number. A sharded session writes one replicated
+// record per shard, so a record torn in one file (the crash landed
+// mid-append there) is recovered from any sibling whose copy is intact;
+// a batch readable from no file was never acknowledged and is discarded.
 // Records at or below the cursor are a crash artifact of checkpointing
-// (snapshot durable, truncate lost) and are skipped; a sequence gap means
-// the records beyond it can no longer be interpreted, so they are
-// discarded like a torn tail. The file is then truncated back to the
-// clean usable prefix — leaving torn or gapped bytes in place would
-// strand every record journaled after recovery behind them, silently
-// losing acknowledged batches on the *next* restart.
+// (snapshot durable, truncate lost) and are skipped; a sequence gap
+// means the records beyond it can no longer be interpreted, so they are
+// discarded like a torn tail. Every file is then truncated back to its
+// clean replayable prefix — leaving torn or beyond-the-gap bytes in
+// place would strand (or worse, resurrect under a reused sequence
+// number) records journaled after recovery.
 func (m *Manager) tail(snap *core.SessionSnapshot) ([]stream.Batch, error) {
-	path := m.walPath(snap.ID)
-	recs, ends, tornAt, err := readWAL(path)
+	paths, err := m.sessionWALPaths(snap.ID)
 	if err != nil {
 		return nil, err
 	}
-	var batches []stream.Batch
-	var keep int64
-	next := snap.Seq + 1
-	gapped := false
-	for i, rec := range recs {
-		if rec.Seq > next {
-			gapped = true
-			break // gap: unreachable suffix
-		}
-		if rec.Seq == next {
-			batches = append(batches, rec.Batch)
-			next++
-		}
-		keep = ends[i] // stale records (< next) are harmless; keep them
+	type walFile struct {
+		path   string
+		recs   []walRecord
+		ends   []int64
+		tornAt int64
 	}
-	if tornAt >= 0 || gapped {
-		if err := os.Truncate(path, keep); err != nil {
-			return nil, fmt.Errorf("persist: trim wal %s: %w", snap.ID, err)
+	files := make([]walFile, 0, len(paths))
+	bySeq := make(map[int64]stream.Batch)
+	for _, p := range paths {
+		recs, ends, tornAt, err := readWAL(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, walFile{p, recs, ends, tornAt})
+		for _, rec := range recs {
+			if _, ok := bySeq[rec.Seq]; !ok {
+				bySeq[rec.Seq] = rec.Batch
+			}
+		}
+	}
+	var batches []stream.Batch
+	next := snap.Seq + 1
+	for {
+		b, ok := bySeq[next]
+		if !ok {
+			break
+		}
+		batches = append(batches, b)
+		next++
+	}
+	replayEnd := next - 1
+	for _, f := range files {
+		var keep int64
+		cut := f.tornAt >= 0
+		for i, rec := range f.recs {
+			if rec.Seq > replayEnd {
+				cut = true // gapped or duplicated-ahead record: unreachable
+				break
+			}
+			keep = f.ends[i] // stale records (<= cursor) are harmless; keep them
+		}
+		if cut {
+			if err := os.Truncate(f.path, keep); err != nil {
+				return nil, fmt.Errorf("persist: trim wal %s: %w", snap.ID, err)
+			}
 		}
 	}
 	return batches, nil

@@ -48,13 +48,22 @@ const (
 //     (or to a flagged snapshot reset).
 //
 // A failing script is dumped to testdata/failures/ so CI can upload it.
+//
+// The property runs both unsharded (one engine, one WAL) and sharded
+// (K=4: a coordinator journaling replicated records into four per-shard
+// WALs). For the sharded torn crash, the final record is cut in EVERY
+// shard file — the only damage shape that actually loses the batch,
+// since any intact sibling replica replays it; garbage lands in one
+// shard file only, and siblings must carry recovery through.
 func TestCrashRecoveryEquivalence(t *testing.T) {
-	for _, style := range []crashStyle{crashClean, crashTorn, crashGarbage} {
-		for seed := int64(0); seed < 4; seed++ {
-			style, seed := style, seed
-			t.Run(fmt.Sprintf("%s/seed%d", style, seed), func(t *testing.T) {
-				crashRecoveryOnce(t, style, seed)
-			})
+	for _, shards := range []int{1, 4} {
+		for _, style := range []crashStyle{crashClean, crashTorn, crashGarbage} {
+			for seed := int64(0); seed < 4; seed++ {
+				shards, style, seed := shards, style, seed
+				t.Run(fmt.Sprintf("k%d/%s/seed%d", shards, style, seed), func(t *testing.T) {
+					crashRecoveryOnce(t, style, seed, shards)
+				})
+			}
 		}
 	}
 }
@@ -64,13 +73,14 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 type recoveryScript struct {
 	Seed         int64          `json:"seed"`
 	Style        crashStyle     `json:"style"`
+	Shards       int            `json:"shards,omitempty"`
 	CompactEvery int            `json:"compact_every"`
 	InitialCSV   string         `json:"initial_csv"`
 	Batches      []stream.Batch `json:"batches"`
 	CutBytes     int64          `json:"cut_bytes,omitempty"`
 }
 
-func crashRecoveryOnce(t *testing.T, style crashStyle, seed int64) {
+func crashRecoveryOnce(t *testing.T, style crashStyle, seed int64, shards int) {
 	rng := rand.New(rand.NewSource(seed))
 	dir := t.TempDir()
 	// Alternate between aggressive compaction (snapshot churn mid-script)
@@ -79,7 +89,7 @@ func crashRecoveryOnce(t *testing.T, style crashStyle, seed int64) {
 	if seed%2 == 0 {
 		compactEvery = 3
 	}
-	script := &recoveryScript{Seed: seed, Style: style, CompactEvery: compactEvery}
+	script := &recoveryScript{Seed: seed, Style: style, Shards: shards, CompactEvery: compactEvery}
 	defer func() {
 		if t.Failed() {
 			dumpFailure(t, script)
@@ -101,7 +111,7 @@ func crashRecoveryOnce(t *testing.T, style crashStyle, seed int64) {
 	script.InitialCSV = csvBuf.String()
 
 	sys := core.NewSystem(docstore.NewMem())
-	se := sys.NewSession("proj", tbl, core.DefaultParams())
+	se := sys.NewSessionWith("proj", tbl, core.SessionConfig{Params: core.DefaultParams(), Shards: shards})
 	se.UseRules(testRules())
 	ctx := context.Background()
 	if _, err := se.RunDetection(ctx); err != nil {
@@ -114,9 +124,20 @@ func crashRecoveryOnce(t *testing.T, style crashStyle, seed int64) {
 
 	// Apply a random script, recording per-seq ground truth: the table
 	// and violation set after every applied batch (seq 0 = bootstrap).
+	// For sharded sessions all shard WALs carry identical bytes, so
+	// shard 0's file stands in for size tracking and damage offsets.
 	shadowTbl := map[int64]*table.Table{0: tbl.Clone()}
 	vioAt := map[int64][]pfd.Violation{0: se.Violations}
 	walPath := m.walPath(se.ID)
+	var damagePaths []string
+	if shards > 1 {
+		walPath = m.shardWALPath(se.ID, 0)
+		for s := 0; s < shards; s++ {
+			damagePaths = append(damagePaths, m.shardWALPath(se.ID, s))
+		}
+	} else {
+		damagePaths = []string{walPath}
+	}
 	finalSeq := int64(0)
 	var sizeBeforeLast, sizeAfterLast int64
 	steps := 3 + rng.Intn(14)
@@ -139,18 +160,24 @@ func crashRecoveryOnce(t *testing.T, style crashStyle, seed int64) {
 	expectSeq := finalSeq
 	switch style {
 	case crashTorn:
-		// Cut the final record at a random byte. Only possible when the
-		// last applied batch actually left bytes in the WAL (a batch that
-		// triggered compaction emptied it — nothing to tear).
+		// Cut the final record at a random byte — in EVERY replica for a
+		// sharded session, since one intact sibling is enough to keep the
+		// batch. Only possible when the last applied batch actually left
+		// bytes in the WAL (a batch that triggered compaction emptied it
+		// — nothing to tear).
 		if sizeAfterLast > sizeBeforeLast {
 			cut := sizeBeforeLast + 1 + rng.Int63n(sizeAfterLast-sizeBeforeLast-1)
-			if err := os.Truncate(walPath, cut); err != nil {
-				t.Fatal(err)
+			for _, p := range damagePaths {
+				if err := os.Truncate(p, cut); err != nil {
+					t.Fatal(err)
+				}
 			}
 			script.CutBytes = sizeAfterLast - cut
 			expectSeq = finalSeq - 1
 		}
 	case crashGarbage:
+		// Garbage lands in one replica only; a sharded session must
+		// recover the full sequence from the clean siblings.
 		f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,285 @@
+package persist
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/stream"
+)
+
+// newShardedSession builds a K-sharded session with rules installed and
+// detection run, attached to a fresh manager at dir.
+func newShardedSession(t *testing.T, dir string, k int) (*core.Session, *Manager) {
+	t.Helper()
+	m, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(docstore.NewMem())
+	se := sys.NewSessionWith("proj", testTable(), core.SessionConfig{Params: core.DefaultParams(), Shards: k})
+	se.UseRules(testRules())
+	if _, err := se.RunDetection(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	se.SetPersist(m)
+	if err := se.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	return se, m
+}
+
+// shardBatches drives a few batches through the sharded session so every
+// shard WAL holds replicated records.
+func shardBatches(t *testing.T, se *core.Session) {
+	t.Helper()
+	batches := []stream.Batch{
+		{stream.AppendRows([]string{"90001", "SF", "85125", "CA"})},
+		{stream.UpdateCell(0, "city", "NY")},
+		{stream.AppendRows([]string{"85777", "LA", "21112", "NY"}), stream.DeleteRows(1)},
+	}
+	for i, b := range batches {
+		if _, err := se.ApplyDeltas(b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+}
+
+func TestShardedJournalWritesPerShardWALs(t *testing.T) {
+	dir := t.TempDir()
+	se, m := newShardedSession(t, dir, 4)
+	shardBatches(t, se)
+	// Every shard WAL exists and holds the same record sequence.
+	var want string
+	for s := 0; s < 4; s++ {
+		path := m.shardWALPath(se.ID, s)
+		recs, _, tornAt, err := readWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tornAt >= 0 {
+			t.Fatalf("shard %d WAL torn at %d", s, tornAt)
+		}
+		if len(recs) != 3 {
+			t.Fatalf("shard %d WAL has %d records, want 3", s, len(recs))
+		}
+		got := mustJSON(t, recs)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("shard %d WAL diverges from shard 0", s)
+		}
+	}
+	// The base (unsharded) WAL was never written.
+	if _, err := os.Stat(m.walPath(se.ID)); !os.IsNotExist(err) {
+		t.Fatalf("base WAL exists for a sharded session (err=%v)", err)
+	}
+	// One record per batch in the status, not one per shard copy.
+	st, ok := m.Status(se.ID)
+	if !ok || st.WALRecords != 3 {
+		t.Fatalf("status = %+v, want 3 records", st)
+	}
+	m.Close()
+}
+
+func TestShardedCrashRecoveryRoundTrip(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			se, m := newShardedSession(t, dir, k)
+			shardBatches(t, se)
+			wantVio := mustJSON(t, se.Violations)
+			wantRows := se.Table.NumRows()
+			m.Close() // crash: no final checkpoint
+
+			back, m2 := restoreOne(t, dir)
+			defer m2.Close()
+			if back.Table.NumRows() != wantRows {
+				t.Fatalf("restored rows = %d, want %d", back.Table.NumRows(), wantRows)
+			}
+			if got := mustJSON(t, back.Violations); got != wantVio {
+				t.Fatalf("restored violations diverged:\n got %s\nwant %s", got, wantVio)
+			}
+			if back.Shards() != k {
+				t.Fatalf("restored shard count = %d, want %d", back.Shards(), k)
+			}
+			// The restored engine is a live sharded coordinator at the
+			// pre-crash sequence; new deltas keep working.
+			eng, err := back.Stream()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.Seq() != 3 {
+				t.Fatalf("restored seq = %d, want 3", eng.Seq())
+			}
+			if st := back.EngineStats(); st.Kind != "sharded" || st.Sharded == nil || st.Sharded.Shards != k {
+				t.Fatalf("restored engine stats = %+v", st)
+			}
+			if _, err := back.ApplyDeltas(stream.Batch{stream.UpdateCell(0, "state", "FL")}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedRecoveryTornShardWAL tears the tail record of ONE shard's
+// WAL while its siblings stay clean: the batch must still replay (any
+// intact replica suffices), and the torn file must be trimmed back so
+// post-recovery journaling cannot strand records behind the tear.
+func TestShardedRecoveryTornShardWAL(t *testing.T) {
+	dir := t.TempDir()
+	se, m := newShardedSession(t, dir, 4)
+	shardBatches(t, se)
+	wantVio := mustJSON(t, se.Violations)
+	m.Close()
+
+	// Tear the last record of shard 2's WAL mid-payload.
+	torn := filepath.Join(dir, "wal", se.ID+".shard2.wal")
+	fi, err := os.Stat(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(torn, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	back, m2 := restoreOne(t, dir)
+	if got := mustJSON(t, back.Violations); got != wantVio {
+		t.Fatalf("torn sibling lost an acknowledged batch:\n got %s\nwant %s", got, wantVio)
+	}
+	if eng, err := back.Stream(); err != nil || eng.Seq() != 3 {
+		t.Fatalf("restored seq after torn sibling: %v, %v", eng, err)
+	}
+	// The torn file was trimmed to a clean prefix.
+	if recs, _, tornAt, err := readWAL(torn); err != nil || tornAt >= 0 || len(recs) != 2 {
+		t.Fatalf("torn WAL not trimmed: recs=%d tornAt=%d err=%v", len(recs), tornAt, err)
+	}
+	m2.Close()
+}
+
+// TestShardedRecoveryAllWALsTorn tears the FINAL record in every shard
+// WAL — the crash-mid-journal case where the batch was never
+// acknowledged anywhere — and expects recovery to drop exactly that
+// batch.
+func TestShardedRecoveryAllWALsTorn(t *testing.T) {
+	dir := t.TempDir()
+	se, m := newShardedSession(t, dir, 4)
+	shardBatches(t, se)
+	// State after two batches is what recovery should land on.
+	m.Close()
+	for s := 0; s < 4; s++ {
+		path := filepath.Join(dir, "wal", se.ID+fmt.Sprintf(".shard%d.wal", s))
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, m2 := restoreOne(t, dir)
+	defer m2.Close()
+	eng, err := back.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Seq() != 2 {
+		t.Fatalf("seq = %d, want 2 (unacknowledged batch 3 dropped)", eng.Seq())
+	}
+	// The recovered set must equal a fresh full detection of the
+	// recovered table (the invariant, regardless of dropped batches).
+	if _, err := back.RunDetection(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardCountChangeAcrossRestart restores a session journaled at K=4
+// into a system where it replays through its snapshotted K, then
+// checkpoint cleans up every shard WAL.
+func TestShardedCheckpointResetsShardWALs(t *testing.T) {
+	dir := t.TempDir()
+	se, m := newShardedSession(t, dir, 4)
+	shardBatches(t, se)
+	if err := se.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 4; s++ {
+		fi, err := os.Stat(m.shardWALPath(se.ID, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != 0 {
+			t.Fatalf("shard %d WAL not reset (size %d)", s, fi.Size())
+		}
+	}
+	// Journaling continues cleanly after the reset.
+	if _, err := se.ApplyDeltas(stream.Batch{stream.UpdateCell(0, "state", "NV")}); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Status(se.ID)
+	if st.WALRecords != 1 || st.CheckpointSeq != 3 {
+		t.Fatalf("status after checkpoint+1 batch = %+v", st)
+	}
+	m.Close()
+}
+
+func TestShardedDropRemovesShardWALs(t *testing.T) {
+	dir := t.TempDir()
+	se, m := newShardedSession(t, dir, 4)
+	shardBatches(t, se)
+	if err := m.Drop(se.ID); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), se.ID+".") {
+			t.Fatalf("leftover WAL %s after Drop", e.Name())
+		}
+	}
+	m.Close()
+}
+
+// TestShardedJournalFsync exercises the fsync path end to end: sharded
+// journaling with power-loss durability on, then a clean recovery.
+func TestShardedJournalFsync(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(dir, Options{Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := core.NewSystem(docstore.NewMem())
+	se := sys.NewSessionWith("proj", testTable(), core.SessionConfig{Params: core.DefaultParams(), Shards: 2})
+	se.UseRules(testRules())
+	if _, err := se.RunDetection(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	se.SetPersist(m)
+	if err := se.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.ApplyDeltas(stream.Batch{stream.AppendRows([]string{"90001", "SF", "85125", "CA"})}); err != nil {
+		t.Fatal(err)
+	}
+	// JournalSharded with k<=1 must fall through to the base WAL.
+	if err := m.JournalSharded(se.ID+"x", 1, 1, stream.Batch{stream.UpdateCell(0, "city", "LA")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(m.walPath(se.ID + "x")); err != nil {
+		t.Fatalf("k=1 JournalSharded did not write the base WAL: %v", err)
+	}
+	wantVio := mustJSON(t, se.Violations)
+	m.Close()
+	back, m2 := restoreOne(t, dir)
+	defer m2.Close()
+	if got := mustJSON(t, back.Violations); got != wantVio {
+		t.Fatalf("fsync recovery diverged:\n got %s\nwant %s", got, wantVio)
+	}
+}

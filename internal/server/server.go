@@ -27,6 +27,8 @@
 //	POST   /api/v1/sessions/{id}/confirm    confirm rules, re-detect
 //	DELETE /api/v1/sessions/{id}            drop the session
 //	GET    /api/v1/projects                 project names
+//	GET    /api/v1/stats                    server totals + per-session engine/shard stats
+//	GET    /healthz                         liveness/readiness probe (never takes session locks)
 //
 // Detection-dependent reads (the detection summary, violations?since=)
 // and delta writes on a session that has never run detection return a
@@ -44,10 +46,12 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/detect"
@@ -79,11 +83,14 @@ type Server struct {
 	mu        sync.RWMutex // guards sessions and defaultID only
 	sessions  map[string]*sessionHandle
 	defaultID string
+
+	// start anchors the /healthz and /api/v1/stats uptime reports.
+	start time.Time
 }
 
 // New builds a server over a system.
 func New(sys *core.System) *Server {
-	return &Server{sys: sys, sessions: make(map[string]*sessionHandle)}
+	return &Server{sys: sys, sessions: make(map[string]*sessionHandle), start: time.Now()}
 }
 
 // AttachPersist makes the registry durable: every session registered from
@@ -208,6 +215,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/dmv", s.apiDMV)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/confirm", s.apiConfirm)
 	mux.HandleFunc("GET /api/v1/projects", s.apiProjects)
+	mux.HandleFunc("GET /api/v1/stats", s.apiStats)
+	// Liveness/readiness probe for load balancers: cheap, lock-free.
+	mux.HandleFunc("GET /healthz", s.apiHealthz)
 	// Deprecated unversioned aliases onto the default session.
 	mux.HandleFunc("GET /api/profile", deprecated(s.apiProfile))
 	mux.HandleFunc("GET /api/pfds", deprecated(s.apiPFDs))
@@ -436,6 +446,67 @@ func (s *Server) apiProjects(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"projects": s.sys.Projects()})
 }
 
+// apiHealthz is the load-balancer probe: it reports liveness without
+// touching the session registry's per-session locks, so a session stuck
+// in a long pipeline run can never fail the health check.
+func (s *Server) apiHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.sessions)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"uptime_s":  time.Since(s.start).Seconds(),
+		"sessions":  n,
+		"max_procs": runtime.GOMAXPROCS(0),
+	})
+}
+
+// sessionStats is one session's entry in the /api/v1/stats report.
+type sessionStats struct {
+	Session    string           `json:"session"`
+	Table      string           `json:"table"`
+	Rows       int              `json:"rows"`
+	Violations int              `json:"violations"`
+	Detected   bool             `json:"detected"`
+	Engine     core.EngineStats `json:"engine"`
+}
+
+// apiStats reports server totals plus per-session incremental-engine
+// state — including per-shard row/violation/block counts for sharded
+// sessions, so operators can watch hot-shard imbalance. Engines are
+// reported as they are; a session whose engine is not built yet shows
+// kind "none" (stats never force an expensive bootstrap).
+func (s *Server) apiStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	handles := make([]*sessionHandle, 0, len(s.sessions))
+	for _, h := range s.sessions {
+		handles = append(handles, h)
+	}
+	s.mu.RUnlock()
+	out := make([]sessionStats, 0, len(handles))
+	for _, h := range handles {
+		h.mu.RLock()
+		se := h.sess
+		out = append(out, sessionStats{
+			Session:    se.ID,
+			Table:      se.Table.Name(),
+			Rows:       se.Table.NumRows(),
+			Violations: len(se.Violations),
+			Detected:   se.DetectionRan(),
+			Engine:     se.EngineStats(),
+		})
+		h.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return sessionIDBefore(out[i].Session, out[j].Session) })
+	writeJSON(w, map[string]any{
+		"uptime_s":    time.Since(s.start).Seconds(),
+		"sessions":    len(out),
+		"max_procs":   runtime.GOMAXPROCS(0),
+		"num_cpu":     runtime.NumCPU(),
+		"per_session": out,
+	})
+}
+
 // apiCreateSession accepts a CSV body (?project=&name=&coverage=&violations=),
 // runs the pipeline under the request context, and registers the session —
 // the demo's "upload the datasets that need to be processed".
@@ -632,6 +703,8 @@ func (s *Server) apiDetection(w http.ResponseWriter, r *http.Request) {
 		"rules":      len(sess.DetectStats),
 		"violations": len(sess.Violations),
 		"stats":      stats,
+		"shards":     sess.Shards(),
+		"engine":     sess.EngineStats(),
 	})
 }
 

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/docstore"
+)
+
+// getJSON performs a GET and decodes the JSON response.
+func getJSON(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var out map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return rec, out
+}
+
+// newShardedServer builds a server whose sessions run 4-shard incremental
+// engines, with one full-pipeline session uploaded.
+func newShardedServer(t *testing.T) (http.Handler, string) {
+	t.Helper()
+	cfg := core.DefaultSystemConfig()
+	cfg.Shards = 4
+	srv := New(core.NewSystemWith(docstore.NewMem(), cfg))
+	h := srv.Handler()
+	d := datagen.PhoneState(400, 0.01, 31)
+	rec, out := postCSV(t, h, "/api/v1/sessions?name=phones", csvBody(t, d))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	return h, out["session"].(string)
+}
+
+func TestHealthz(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	h := srv.Handler()
+	rec, out := getJSON(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", rec.Code)
+	}
+	if out["status"] != "ok" {
+		t.Fatalf("healthz body = %v", out)
+	}
+	if _, ok := out["uptime_s"].(float64); !ok {
+		t.Fatalf("healthz uptime missing: %v", out)
+	}
+	if out["sessions"].(float64) != 0 {
+		t.Fatalf("healthz sessions = %v", out["sessions"])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	h, id := newShardedServer(t)
+
+	// Before any delta the engine is not built: kind "none", shards 4.
+	rec, out := getJSON(t, h, "/api/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats = %d %s", rec.Code, rec.Body.String())
+	}
+	per := out["per_session"].([]any)
+	if len(per) != 1 {
+		t.Fatalf("per_session = %v", per)
+	}
+	se := per[0].(map[string]any)
+	if se["session"] != id || se["detected"] != true {
+		t.Fatalf("session stats = %v", se)
+	}
+	eng := se["engine"].(map[string]any)
+	if eng["kind"] != "none" || eng["shards"].(float64) != 4 {
+		t.Fatalf("engine stats before deltas = %v", eng)
+	}
+
+	// A delta builds the sharded coordinator; stats now expose per-shard
+	// rows and the replication factor.
+	rec, _ = postJSON(t, h, "/api/v1/sessions/"+id+"/deltas",
+		`{"deltas":[{"op":"append","rows":[["8509990000","GA"]]}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deltas: %d %s", rec.Code, rec.Body.String())
+	}
+	_, out = getJSON(t, h, "/api/v1/stats")
+	eng = out["per_session"].([]any)[0].(map[string]any)["engine"].(map[string]any)
+	if eng["kind"] != "sharded" {
+		t.Fatalf("engine kind after deltas = %v", eng["kind"])
+	}
+	sh := eng["sharded"].(map[string]any)
+	if sh["shards"].(float64) != 4 || sh["seq"].(float64) != 1 {
+		t.Fatalf("sharded stats = %v", sh)
+	}
+	perShard := sh["per_shard"].([]any)
+	if len(perShard) != 4 {
+		t.Fatalf("per_shard entries = %d", len(perShard))
+	}
+	total := 0.0
+	for _, e := range perShard {
+		total += e.(map[string]any)["rows"].(float64)
+	}
+	if repl := sh["replication"].(float64); repl < 1.0 || total != repl*sh["rows"].(float64) {
+		t.Fatalf("replication %v inconsistent with shard rows %v", repl, total)
+	}
+}
+
+// TestDetectionEndpointShardStats asserts the detection summary carries
+// the session's shard count and live engine stats, and that a sharded
+// session's delta/violation flow stays byte-compatible with the
+// single-engine API surface.
+func TestDetectionEndpointShardStats(t *testing.T) {
+	h, id := newShardedServer(t)
+	rec, out := getJSON(t, h, "/api/v1/sessions/"+id+"/detection")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("detection = %d %s", rec.Code, rec.Body.String())
+	}
+	if out["shards"].(float64) != 4 {
+		t.Fatalf("detection shards = %v", out["shards"])
+	}
+	if eng := out["engine"].(map[string]any); eng["shards"].(float64) != 4 {
+		t.Fatalf("detection engine stats = %v", eng)
+	}
+
+	// Violations diff flow through the sharded engine.
+	rec, out = postJSON(t, h, "/api/v1/sessions/"+id+"/deltas",
+		`{"deltas":[{"op":"update","row":0,"column":"state","value":"ZZ"}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deltas: %d %s", rec.Code, rec.Body.String())
+	}
+	if out["seq"].(float64) != 1 {
+		t.Fatalf("diff seq = %v", out["seq"])
+	}
+	rec, out = getJSON(t, h, "/api/v1/sessions/"+id+"/violations?since=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("violations?since: %d %s", rec.Code, rec.Body.String())
+	}
+	if out["seq"].(float64) != 1 {
+		t.Fatalf("since seq = %v", out["seq"])
+	}
+}

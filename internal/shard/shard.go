@@ -1,0 +1,773 @@
+// Package shard scales incremental detection out across K partitions of
+// one table. PFD semantics partition naturally: a variable tableau row
+// only ever compares tuples that share a block key (the constrained
+// segments extracted from the LHS value), and a constant tableau row is
+// evaluated per tuple in isolation — so a table hash-partitioned on block
+// keys can be detected shard by shard with zero cross-shard
+// communication.
+//
+// The Coordinator owns the global table and splits its rows over K
+// shards:
+//
+//   - every row lives on its round-robin *home* shard (global row index
+//     mod K at insertion time), which guarantees each constant tableau
+//     row evaluates it somewhere;
+//   - additionally, a row lives on every shard that *owns* (by consistent
+//     hash, see Owner) one of the block keys its LHS values extract. The
+//     owner of a key therefore holds the key's complete membership, and
+//     each key is evaluated on exactly one shard — the per-shard engines
+//     carry a stream.EngineOptions.KeyFilter restricting them to the keys
+//     they own, so partial replicas of a block never produce pairs.
+//
+// Each shard runs an ordinary stream.Engine over its sub-table; delta
+// batches fan out as per-shard operations (appends route by key and home,
+// updates migrate a row between shards when its block keys move, deletes
+// renumber both the global and the per-shard row spaces). The merged
+// violation set — per-shard sets renumbered from local to global rows,
+// deduplicated, and sorted in the detection engine's total order — is
+// byte-identical to a fresh detect.DetectAllContext over the global table
+// at any K and any parallelism, which the replay-equivalence property
+// tests assert over randomized delta scripts for K ∈ {1,2,4,8}.
+//
+// The one ordering subtlety: the blocking pass pairs each deviating tuple
+// against the *first* tuple of a block's majority group, so which pairs
+// exist depends on member order. Rows that migrate onto a shard append at
+// the end of its local table, making local order diverge from global
+// order; the engines therefore evaluate blocks in global order via
+// stream.EngineOptions.GlobalID, and the coordinator re-canonicalizes
+// pair renderings (tuple order, observed/expected orientation) after
+// renumbering.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/pattern"
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/stream"
+	"github.com/anmat/anmat/internal/table"
+)
+
+// Owner returns the shard owning a block key among k shards: a consistent
+// (jump) hash of the key bytes, so growing K from k to k+1 moves only
+// ~1/(k+1) of the keys.
+func Owner(key string, k int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return jump(h.Sum64(), k)
+}
+
+// jump is Lamping & Veach's jump consistent hash: maps a 64-bit key to a
+// bucket in [0, buckets) with minimal movement as buckets grows.
+func jump(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// ruleMeta caches what the router needs per rule: the LHS column index
+// and the variable tableau rows' constrained patterns.
+type ruleMeta struct {
+	li   int
+	vars []pattern.Constrained
+}
+
+// shardState is one shard: its sub-table, its incremental engine, and the
+// local→global row mapping.
+type shardState struct {
+	t   *table.Table
+	eng *stream.Engine
+	// globalOf maps a local row index to the row's current global index.
+	// It is NOT necessarily monotone: rows migrating onto the shard
+	// append at the local end regardless of their global position.
+	globalOf []int
+}
+
+// rowPlace records where one global row lives.
+type rowPlace struct {
+	// home is the round-robin shard assigned at insertion; it keeps the
+	// row evaluated by constant tableau rows even when it extracts no
+	// block keys.
+	home int
+	// locals maps each hosting shard to the row's local index there
+	// (home included).
+	locals map[int]int
+}
+
+// Coordinator fans one table's delta stream out over K per-shard
+// incremental engines and maintains the merged global violation set. It
+// implements the same incremental-detection surface as stream.Engine
+// (Apply/Replay/Violations/Since/Seq/Stale/SetSink) and is safe for
+// concurrent use; batches serialize on an internal lock.
+type Coordinator struct {
+	mu      sync.Mutex
+	t       *table.Table
+	rules   []*pfd.PFD
+	meta    []ruleMeta
+	k       int
+	version int64 // global table version after our last own mutation
+	// broken marks a coordinator whose translated per-shard operation
+	// failed mid-batch (a bug, not a caller error): the per-shard state
+	// can no longer be trusted, so further batches are refused and
+	// Stale() reports true until the holder rebuilds.
+	broken bool
+
+	shards []*shardState
+	rows   []rowPlace // indexed by global row
+
+	seq int64
+	// vio is the merged, deduplicated global violation set after the last
+	// applied batch (key → globally-renumbered rendering); owners counts
+	// how many shards currently report each key (a pair whose ambiguous
+	// extraction spans keys owned by two shards is reported by both), so
+	// batches that renumber nothing can fold the shards' own diffs
+	// incrementally instead of re-merging every shard's full set.
+	vio    map[string]pfd.Violation
+	owners map[string]int
+	log    *stream.DiffLog
+	sink   func(seq int64, batch stream.Batch) error
+}
+
+// batchResult accumulates what one batch's translated operations did:
+// the per-shard engine diffs (folded into the merged set when possible)
+// and whether any row space was renumbered — a global delete or a
+// cross-shard migration — which invalidates local-coordinate diffs and
+// forces a full re-merge.
+type batchResult struct {
+	mu         sync.Mutex
+	diffs      []shardDiff
+	renumbered bool
+}
+
+type shardDiff struct {
+	shard int
+	diff  *stream.Diff
+}
+
+func (r *batchResult) add(shard int, d *stream.Diff) {
+	r.mu.Lock()
+	r.diffs = append(r.diffs, shardDiff{shard, d})
+	r.mu.Unlock()
+}
+
+// New builds a coordinator with K shards over the table's current
+// contents. Like stream.NewEngine, the bootstrap costs about one full
+// detection pass — but split across the shards, which bootstrap their
+// engines in parallel.
+func New(t *table.Table, rules []*pfd.PFD, k int) (*Coordinator, error) {
+	return NewFrom(t, rules, k, 0)
+}
+
+// NewFrom is New with an explicit starting sequence number (see
+// stream.NewEngineFrom for the cursor-continuity contract).
+func NewFrom(t *table.Table, rules []*pfd.PFD, k int, baseSeq int64) (*Coordinator, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: %d shards (want >= 1)", k)
+	}
+	c := &Coordinator{
+		t:     t,
+		rules: rules,
+		k:     k,
+		seq:   baseSeq,
+		log:   stream.NewDiffLog(0),
+	}
+	for _, p := range rules {
+		li, ok := t.ColIndex(p.LHS)
+		if !ok {
+			return nil, fmt.Errorf("shard %s: no column %q", p.ID(), p.LHS)
+		}
+		if _, ok := t.ColIndex(p.RHS); !ok {
+			return nil, fmt.Errorf("shard %s: no column %q", p.ID(), p.RHS)
+		}
+		m := ruleMeta{li: li}
+		for _, row := range p.Tableau.Rows() {
+			if row.Variable() {
+				m.vars = append(m.vars, row.LHS)
+			}
+		}
+		c.meta = append(c.meta, m)
+	}
+
+	// Route every row to its home shard plus the owners of its block keys.
+	c.shards = make([]*shardState, k)
+	for s := range c.shards {
+		st, err := table.New(t.Name(), t.Columns())
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		c.shards[s] = &shardState{t: st}
+	}
+	c.rows = make([]rowPlace, 0, t.NumRows())
+	for g := 0; g < t.NumRows(); g++ {
+		rec := t.Row(g)
+		place := rowPlace{home: g % k, locals: make(map[int]int, 1)}
+		for s := range c.shardSet(rec, place.home) {
+			ss := c.shards[s]
+			place.locals[s] = ss.t.NumRows()
+			if err := ss.t.Append(rec); err != nil {
+				return nil, fmt.Errorf("shard: %w", err)
+			}
+			ss.globalOf = append(ss.globalOf, g)
+		}
+		c.rows = append(c.rows, place)
+	}
+
+	// Bootstrap the per-shard engines concurrently: this is the full
+	// detection pass, split K ways.
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for s := range c.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ss := c.shards[s]
+			eng, err := stream.NewEngineOpts(ss.t, rules, stream.EngineOptions{
+				LogCap:    1, // the coordinator keeps the Since log; shard logs are unused
+				KeyFilter: func(key string) bool { return Owner(key, k) == s },
+				GlobalID:  func(local int) int { return ss.globalOf[local] },
+			})
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			ss.eng = eng
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+	}
+	c.vio, c.owners = c.merge()
+	c.version = t.Version()
+	return c, nil
+}
+
+// shardSet returns the shards one row must live on given its current cell
+// values: the home shard plus the owner of every block key any rule's
+// variable tableau rows extract from the row's LHS values.
+func (c *Coordinator) shardSet(cells []string, home int) map[int]bool {
+	set := map[int]bool{home: true}
+	for _, m := range c.meta {
+		lv := cells[m.li]
+		for _, q := range m.vars {
+			for _, key := range q.Extract(lv) {
+				set[Owner(key, c.k)] = true
+			}
+		}
+	}
+	return set
+}
+
+// Shards returns the shard count K.
+func (c *Coordinator) Shards() int { return c.k }
+
+// Rules returns the coordinator's rule set (shared slice; do not mutate).
+func (c *Coordinator) Rules() []*pfd.PFD { return c.rules }
+
+// Seq returns the sequence number of the last applied batch.
+func (c *Coordinator) Seq() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+// Stale reports whether the global table was mutated outside the
+// coordinator since its last batch (or a translated shard operation
+// failed, poisoning the per-shard state). A stale coordinator refuses
+// further deltas; rebuild it.
+func (c *Coordinator) Stale() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken || c.t.Version() != c.version
+}
+
+// SetSink installs the write-ahead journal hook, called with the global
+// batch and the sequence number it is about to receive — after
+// validation, before any shard is touched. A sink error aborts the batch
+// with nothing applied anywhere. Replay bypasses it. Pass nil to detach.
+func (c *Coordinator) SetSink(fn func(seq int64, batch stream.Batch) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = fn
+}
+
+// Violations returns the merged global violation set — byte-identical to
+// a fresh full detection over the current global table.
+func (c *Coordinator) Violations() []pfd.Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.violationsLocked()
+}
+
+func (c *Coordinator) violationsLocked() []pfd.Violation {
+	out := make([]pfd.Violation, 0, len(c.vio))
+	for _, v := range c.vio {
+		out = append(out, v)
+	}
+	detect.SortViolations(out)
+	return out
+}
+
+// Since merges the retained per-batch diffs after the cursor into one net
+// global diff, with the same semantics as stream.Engine.Since.
+func (c *Coordinator) Since(seq int64) (*stream.Diff, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.Merge(seq, c.seq, c.t.NumRows(), c.violationsLocked)
+}
+
+// Apply validates the batch against the global table, journals it through
+// the sink (when one is set), fans it out to the owning shards, and
+// returns the merged global violation diff. On a validation or journaling
+// error nothing is applied.
+func (c *Coordinator) Apply(batch stream.Batch) (*stream.Diff, error) {
+	return c.apply(batch, true)
+}
+
+// Replay is Apply without the journal hook — the recovery path, replaying
+// batches read back from the write-ahead log.
+func (c *Coordinator) Replay(batch stream.Batch) (*stream.Diff, error) {
+	return c.apply(batch, false)
+}
+
+func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return nil, fmt.Errorf("shard: coordinator poisoned by an earlier shard failure; rebuild it")
+	}
+	if c.t.Version() != c.version {
+		return nil, fmt.Errorf("shard: table mutated outside the coordinator (version %d, coordinator at %d); rebuild it", c.t.Version(), c.version)
+	}
+	if err := stream.ValidateBatch(c.t, batch); err != nil {
+		return nil, fmt.Errorf("shard: invalid batch: %w", err)
+	}
+	if journal && c.sink != nil {
+		if err := c.sink(c.seq+1, batch); err != nil {
+			return nil, fmt.Errorf("shard: journal batch %d: %w", c.seq+1, err)
+		}
+	}
+	res := &batchResult{}
+	for _, op := range batch {
+		var err error
+		switch op.Kind {
+		case stream.OpAppend:
+			err = c.applyAppend(op.Rows, res)
+		case stream.OpUpdate:
+			err = c.applyUpdate(op.Row, op.Column, op.Value, res)
+		case stream.OpDelete:
+			err = c.applyDelete(op.Drop, res)
+		}
+		if err != nil {
+			// Translated per-shard operations are constructed valid; a
+			// failure means the per-shard state diverged and cannot be
+			// trusted. Poison the coordinator so the holder rebuilds.
+			c.broken = true
+			return nil, fmt.Errorf("shard: %w (coordinator state inconsistent; rebuild it)", err)
+		}
+	}
+	c.version = c.t.Version()
+	c.seq++
+	var diff *stream.Diff
+	if res.renumbered {
+		// Row spaces moved (delete or cross-shard migration): the shards'
+		// diffs mix pre- and post-renumbering coordinates, so rebuild the
+		// merged set from the engines' current state.
+		cur, owners := c.merge()
+		diff = diffSets(c.vio, cur, c.seq, c.t.NumRows())
+		c.vio, c.owners = cur, owners
+	} else {
+		// Nothing renumbered: fold the per-shard diffs the engines
+		// already computed, keeping each batch proportional to what it
+		// touched instead of O(total violations).
+		diff = c.fold(res)
+	}
+	c.log.Append(diff)
+	return diff, nil
+}
+
+// fold applies the shards' own per-batch diffs to the merged set with
+// owner counting: a violation disappears globally only when its last
+// reporting shard drops it. Valid only when no row space renumbered this
+// batch, so every diff's local coordinates resolve through the shard's
+// current local→global map (appends only ever extend it).
+func (c *Coordinator) fold(res *batchResult) *stream.Diff {
+	prior := make(map[string]*pfd.Violation)
+	touch := func(k string) {
+		if _, done := prior[k]; done {
+			return
+		}
+		if v, ok := c.vio[k]; ok {
+			vv := v
+			prior[k] = &vv
+		} else {
+			prior[k] = nil
+		}
+	}
+	for _, sd := range res.diffs {
+		gof := c.shards[sd.shard].globalOf
+		for _, v := range sd.diff.Removed {
+			gv := globalize(v, gof)
+			k := gv.Key()
+			touch(k)
+			if c.owners[k]--; c.owners[k] <= 0 {
+				delete(c.owners, k)
+				delete(c.vio, k)
+			}
+		}
+		for _, v := range sd.diff.Added {
+			gv := globalize(v, gof)
+			k := gv.Key()
+			touch(k)
+			c.owners[k]++
+			c.vio[k] = gv
+		}
+	}
+	out := &stream.Diff{Seq: c.seq, Rows: c.t.NumRows()}
+	for k, pv := range prior {
+		cur, ok := c.vio[k]
+		switch {
+		case pv == nil && ok:
+			out.Added = append(out.Added, cur)
+		case pv != nil && !ok:
+			out.Removed = append(out.Removed, *pv)
+		case pv != nil && ok && !stream.SameRendering(*pv, cur):
+			out.Removed = append(out.Removed, *pv)
+			out.Added = append(out.Added, cur)
+		}
+	}
+	detect.SortViolations(out.Added)
+	detect.SortViolations(out.Removed)
+	return out
+}
+
+// applyAppend appends rows to the global table and routes each to its
+// home shard plus its block-key owners, batching per shard.
+func (c *Coordinator) applyAppend(rows [][]string, res *batchResult) error {
+	pend := make([][][]string, c.k)
+	pendG := make([][]int, c.k)
+	for _, r := range rows {
+		// Normalize like the single engine does at its ingestion boundary,
+		// and route on the normalized values (the ones the shards store).
+		rec := make([]string, len(r))
+		for i, cell := range r {
+			rec[i] = table.NormalizeCell(cell)
+		}
+		g := c.t.NumRows()
+		if err := c.t.Append(rec); err != nil {
+			return err
+		}
+		place := rowPlace{home: g % c.k, locals: make(map[int]int, 1)}
+		for s := range c.shardSet(rec, place.home) {
+			place.locals[s] = len(c.shards[s].globalOf) + len(pend[s])
+			pend[s] = append(pend[s], rec)
+			pendG[s] = append(pendG[s], g)
+		}
+		c.rows = append(c.rows, place)
+	}
+	ops := make(map[int]stream.Batch, c.k)
+	for s := range c.shards {
+		if len(pend[s]) == 0 {
+			continue
+		}
+		// globalOf grows before the engine sees the rows: the engine's
+		// GlobalID hook resolves the new locals during its recompute.
+		c.shards[s].globalOf = append(c.shards[s].globalOf, pendG[s]...)
+		ops[s] = stream.Batch{stream.AppendRows(pend[s]...)}
+	}
+	return c.fanOut(ops, res)
+}
+
+// applyUpdate overwrites one global cell and reconciles the row's shard
+// placement: shards it leaves get a local delete, shards it joins get an
+// append of the full current row, shards it stays on get the cell
+// update. All coordinator bookkeeping lands first — the engines'
+// GlobalID hooks must see the final numbering during their recompute —
+// then the per-shard operations (at most one per shard, the sets are
+// disjoint) fan out concurrently.
+func (c *Coordinator) applyUpdate(g int, column, value string, res *batchResult) error {
+	ci, _ := c.t.ColIndex(column) // validated
+	value = table.NormalizeCell(value)
+	if c.t.Cell(g, ci) == value {
+		return nil
+	}
+	c.t.SetCell(g, ci, value)
+	place := &c.rows[g]
+	newSet := c.shardSet(c.t.Row(g), place.home)
+	ops := make(map[int]stream.Batch)
+
+	for s := range place.locals {
+		if !newSet[s] {
+			ops[s] = stream.Batch{stream.DeleteRows(place.locals[s])}
+		}
+	}
+	for s := range ops { // the leave set: rewrite bookkeeping before any engine runs
+		c.removeFromShard(s, place.locals[s])
+		res.renumbered = true
+	}
+	joined := make(map[int]bool)
+	for s := range newSet {
+		if _, ok := place.locals[s]; ok {
+			continue
+		}
+		ss := c.shards[s]
+		place.locals[s] = ss.t.NumRows()
+		ss.globalOf = append(ss.globalOf, g)
+		joined[s] = true
+		ops[s] = stream.Batch{stream.AppendRows(c.t.Row(g))}
+	}
+	for s, local := range place.locals {
+		if joined[s] {
+			continue // appended with the new value already
+		}
+		ops[s] = stream.Batch{stream.UpdateCell(local, column, value)}
+	}
+	return c.fanOut(ops, res)
+}
+
+// removeFromShard drops one local row from a shard's bookkeeping:
+// rewrites the local→global map and every surviving row's local index,
+// and deletes the removed row's placement entry. The caller pairs it
+// with a DeleteRows engine op addressed at the pre-removal local index.
+func (c *Coordinator) removeFromShard(s, local int) {
+	ss := c.shards[s]
+	ng := make([]int, 0, len(ss.globalOf)-1)
+	for l, g := range ss.globalOf {
+		if l == local {
+			delete(c.rows[g].locals, s)
+			continue
+		}
+		c.rows[g].locals[s] = len(ng)
+		ng = append(ng, g)
+	}
+	ss.globalOf = ng
+}
+
+// applyDelete removes global rows: every hosting shard deletes its local
+// copies, the global space renumbers, and every shard's local→global map
+// is rewritten to the new numbering before the engines recompute.
+func (c *Coordinator) applyDelete(drop []int, res *batchResult) error {
+	res.renumbered = true
+	dropSet := make(map[int]bool, len(drop))
+	for _, g := range drop {
+		dropSet[g] = true
+	}
+	targets := make([]int, 0, len(dropSet))
+	for g := range dropSet {
+		targets = append(targets, g)
+	}
+	sort.Ints(targets)
+
+	// Per-shard local targets, captured before any bookkeeping moves.
+	perShard := make([][]int, c.k)
+	for _, g := range targets {
+		for s, local := range c.rows[g].locals {
+			perShard[s] = append(perShard[s], local)
+		}
+	}
+	remap := remapFor(targets)
+
+	// Rewrite every shard's local→global map: drop deleted rows, shift
+	// surviving locals down, renumber the global values — before the
+	// engines run, so their GlobalID hooks see the final numbering.
+	for s, ss := range c.shards {
+		ng := make([]int, 0, len(ss.globalOf))
+		for _, g := range ss.globalOf {
+			if dropSet[g] {
+				delete(c.rows[g].locals, s)
+				continue
+			}
+			c.rows[g].locals[s] = len(ng)
+			nr, _ := remap(g)
+			ng = append(ng, nr)
+		}
+		ss.globalOf = ng
+	}
+	newRows := make([]rowPlace, 0, len(c.rows)-len(targets))
+	for g := range c.rows {
+		if !dropSet[g] {
+			newRows = append(newRows, c.rows[g])
+		}
+	}
+	c.rows = newRows
+	if _, err := c.t.DeleteRows(targets...); err != nil {
+		return err
+	}
+
+	ops := make(map[int]stream.Batch, c.k)
+	for s := range c.shards {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		sort.Ints(perShard[s])
+		ops[s] = stream.Batch{stream.DeleteRows(perShard[s]...)}
+	}
+	return c.fanOut(ops, res)
+}
+
+// remapFor returns the old→new global row mapping of deleting the sorted
+// target rows (the same mapping full detection's table compaction
+// induces).
+func remapFor(sortedTargets []int) func(int) (int, bool) {
+	targets := append([]int(nil), sortedTargets...)
+	return func(old int) (int, bool) {
+		below := sort.SearchInts(targets, old)
+		if below < len(targets) && targets[below] == old {
+			return 0, false
+		}
+		return old - below, true
+	}
+}
+
+// fanOut applies one translated batch per shard, concurrently — the
+// shards' engines are independent, and the coordinator's bookkeeping for
+// the operation is already in place — collecting each shard's diff into
+// the batch result.
+func (c *Coordinator) fanOut(ops map[int]stream.Batch, res *batchResult) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	errs := make([]error, c.k)
+	var wg sync.WaitGroup
+	for s, b := range ops {
+		wg.Add(1)
+		go func(s int, b stream.Batch) {
+			defer wg.Done()
+			d, err := c.shards[s].eng.Apply(b)
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+			res.add(s, d)
+		}(s, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge collects every shard's maintained violations, renumbers them from
+// local to global rows, and deduplicates by violation key, counting per
+// key how many shards report it (a pair whose ambiguous extraction spans
+// keys owned by two shards is reported by both; the renderings agree
+// because both shards see the same global cells).
+func (c *Coordinator) merge() (map[string]pfd.Violation, map[string]int) {
+	out := make(map[string]pfd.Violation, len(c.vio))
+	owners := make(map[string]int, len(c.vio))
+	for _, ss := range c.shards {
+		for _, v := range ss.eng.Violations() {
+			gv := globalize(v, ss.globalOf)
+			k := gv.Key()
+			out[k] = gv
+			owners[k]++
+		}
+	}
+	return out, owners
+}
+
+// globalize renumbers one shard-local violation into global row space and
+// re-canonicalizes its rendering: cells re-sorted, pair tuples in
+// ascending global order with observed/expected oriented to the larger/
+// smaller tuple — exactly how whole-table detection renders the same
+// violation.
+func globalize(v pfd.Violation, globalOf []int) pfd.Violation {
+	nv := v
+	nv.Cells = make([]table.CellRef, len(v.Cells))
+	for i, cell := range v.Cells {
+		nv.Cells[i] = table.CellRef{Row: globalOf[cell.Row], Column: cell.Column}
+	}
+	table.SortCellRefs(nv.Cells)
+	nv.Tuples = make([]int, len(v.Tuples))
+	for i, tu := range v.Tuples {
+		nv.Tuples[i] = globalOf[tu]
+	}
+	if len(nv.Tuples) == 2 && nv.Tuples[0] > nv.Tuples[1] {
+		nv.Tuples[0], nv.Tuples[1] = nv.Tuples[1], nv.Tuples[0]
+		nv.Observed, nv.Expected = nv.Expected, nv.Observed
+	}
+	return nv
+}
+
+// diffSets renders the net change between two merged violation maps in
+// the engines' violation order.
+func diffSets(prev, cur map[string]pfd.Violation, seq int64, rows int) *stream.Diff {
+	d := &stream.Diff{Seq: seq, Rows: rows}
+	for k, pv := range prev {
+		cv, ok := cur[k]
+		switch {
+		case !ok:
+			d.Removed = append(d.Removed, pv)
+		case !stream.SameRendering(pv, cv):
+			d.Removed = append(d.Removed, pv)
+			d.Added = append(d.Added, cv)
+		}
+	}
+	for k, cv := range cur {
+		if _, ok := prev[k]; !ok {
+			d.Added = append(d.Added, cv)
+		}
+	}
+	detect.SortViolations(d.Added)
+	detect.SortViolations(d.Removed)
+	return d
+}
+
+// ShardStat is one shard's slice of the coordinator's state.
+type ShardStat struct {
+	Shard int `json:"shard"`
+	// Rows is the shard's local row count — home rows plus replicas
+	// hosted for the block keys it owns.
+	Rows int `json:"rows"`
+	// Engine is the shard engine's own maintained-state summary. Its
+	// violation count is pre-merge (local, before global deduplication).
+	Engine stream.Stats `json:"engine"`
+}
+
+// Stats summarizes the coordinator's maintained state: the merged global
+// picture plus one entry per shard, so operators can see hot-shard
+// imbalance under skewed block-key distributions.
+type Stats struct {
+	Shards     int   `json:"shards"`
+	Seq        int64 `json:"seq"`
+	Rows       int   `json:"rows"`
+	Violations int   `json:"violations"`
+	// Replication is the total of per-shard rows over global rows (1.0 =
+	// no row lives on more than one shard).
+	Replication float64     `json:"replication"`
+	PerShard    []ShardStat `json:"per_shard"`
+}
+
+// Stats returns a snapshot of the coordinator's maintained state.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Shards:     c.k,
+		Seq:        c.seq,
+		Rows:       c.t.NumRows(),
+		Violations: len(c.vio),
+	}
+	local := 0
+	for s, ss := range c.shards {
+		local += ss.t.NumRows()
+		st.PerShard = append(st.PerShard, ShardStat{Shard: s, Rows: ss.t.NumRows(), Engine: ss.eng.Stats()})
+	}
+	if st.Rows > 0 {
+		st.Replication = float64(local) / float64(st.Rows)
+	}
+	return st
+}

@@ -1,0 +1,107 @@
+// DiffLog is the bounded per-batch diff history behind sequence cursors.
+// The single-table Engine and the sharded coordinator (internal/shard)
+// both answer "what changed since seq s" by merging the same kind of log,
+// so the retention and merge semantics live here once.
+package stream
+
+import (
+	"fmt"
+
+	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/pfd"
+)
+
+// DiffLog retains the last N applied-batch diffs. It is not synchronized;
+// the owning engine serializes access under its own lock.
+type DiffLog struct {
+	max     int
+	entries []*Diff
+}
+
+// NewDiffLog builds a log retaining at most max diffs (max <= 0 falls
+// back to DefaultLogCap).
+func NewDiffLog(max int) *DiffLog {
+	if max <= 0 {
+		max = DefaultLogCap
+	}
+	return &DiffLog{max: max}
+}
+
+// Append records one applied batch's diff, trimming the oldest entries
+// past the retention cap.
+func (l *DiffLog) Append(d *Diff) {
+	l.entries = append(l.entries, d)
+	if len(l.entries) > l.max {
+		l.entries = append(l.entries[:0:0], l.entries[len(l.entries)-l.max:]...)
+	}
+}
+
+// Len returns the number of retained diffs (the Since horizon).
+func (l *DiffLog) Len() int { return len(l.entries) }
+
+// Merge folds the retained diffs after the cursor into one net diff
+// leading to curSeq: violations both added and removed in the span cancel
+// out, and a violation whose bytes changed appears in both lists. When
+// the cursor predates the retained log the change cannot be expressed as
+// a diff and a full snapshot (via the snapshot callback) is returned with
+// Reset set. A cursor ahead of curSeq is an error.
+func (l *DiffLog) Merge(cursor, curSeq int64, rows int, snapshot func() []pfd.Violation) (*Diff, error) {
+	if cursor > curSeq || cursor < 0 {
+		return nil, fmt.Errorf("stream: cursor %d out of range [0,%d]", cursor, curSeq)
+	}
+	out := &Diff{Seq: curSeq, Rows: rows}
+	if cursor == curSeq {
+		return out, nil
+	}
+	if len(l.entries) == 0 || l.entries[0].Seq > cursor+1 {
+		out.Reset = true
+		out.Added = snapshot()
+		return out, nil
+	}
+	type pend struct {
+		removed, added *pfd.Violation
+	}
+	net := make(map[string]*pend)
+	at := func(k string) *pend {
+		p := net[k]
+		if p == nil {
+			p = &pend{}
+			net[k] = p
+		}
+		return p
+	}
+	for _, dl := range l.entries {
+		if dl.Seq <= cursor {
+			continue
+		}
+		for i := range dl.Removed {
+			v := dl.Removed[i]
+			p := at(v.Key())
+			if p.added != nil {
+				p.added = nil // added then removed within the span: net nothing
+			} else if p.removed == nil {
+				p.removed = &v // keep the earliest removal rendering
+			}
+		}
+		for i := range dl.Added {
+			v := dl.Added[i]
+			at(v.Key()).added = &v
+		}
+	}
+	for _, p := range net {
+		switch {
+		case p.added != nil && p.removed == nil:
+			out.Added = append(out.Added, *p.added)
+		case p.removed != nil && p.added == nil:
+			out.Removed = append(out.Removed, *p.removed)
+		case p.added != nil && p.removed != nil:
+			if !SameRendering(*p.added, *p.removed) {
+				out.Added = append(out.Added, *p.added)
+				out.Removed = append(out.Removed, *p.removed)
+			}
+		}
+	}
+	detect.SortViolations(out.Added)
+	detect.SortViolations(out.Removed)
+	return out, nil
+}

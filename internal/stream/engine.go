@@ -97,14 +97,44 @@ type Engine struct {
 	// column that is some rule's LHS, keyed by column position.
 	cols map[int]*pindex.Index
 
-	log    []*Diff
-	logCap int
+	log *DiffLog
+
+	// keyFilter and globalID are the sharding hooks of EngineOptions.
+	keyFilter func(key string) bool
+	globalID  func(local int) int
 
 	// sink, when set, is the write-ahead journal hook: Apply calls it with
 	// the batch and the sequence number the batch will receive, after
 	// validation but before any mutation. A sink error aborts the batch
 	// untouched. Replay never calls it.
 	sink func(seq int64, batch Batch) error
+}
+
+// EngineOptions tunes NewEngineOpts. The zero value reproduces NewEngine.
+type EngineOptions struct {
+	// BaseSeq is the starting sequence number (see NewEngineFrom).
+	BaseSeq int64
+	// LogCap bounds the retained per-batch diffs (0 = DefaultLogCap).
+	LogCap int
+	// KeyFilter, when set, restricts which variable-row block keys the
+	// engine tracks and evaluates: keys for which it returns false are
+	// never inserted into the posting lists, so their blocks report no
+	// violations. A sharding coordinator gives each shard the filter
+	// "keys this shard owns" — each key is then evaluated on exactly one
+	// shard, over that shard's complete membership. Constant tableau rows
+	// are unaffected. nil tracks every key.
+	KeyFilter func(key string) bool
+	// GlobalID, when set, maps a local row index to its position in an
+	// enclosing global order; block members are evaluated in that order
+	// instead of local row order. The blocking pass pairs each deviating
+	// row against the *first* row of the majority group, so which pairs
+	// are reported depends on member order — a shard whose local order
+	// disagrees with the global one (rows migrate in at the end of the
+	// local table) must evaluate in global order to report exactly the
+	// pairs a whole-table detection would. The mapping is consulted
+	// during Apply for the rows it touches and must reflect the table
+	// state the current operation leads to. nil means local order.
+	GlobalID func(local int) int
 }
 
 // NewEngine bootstraps an engine over the table's current contents. The
@@ -122,13 +152,20 @@ func NewEngine(t *table.Table, rules []*pfd.PFD) (*Engine, error) {
 // fresh (empty) diff log and resolve to a reset snapshot instead of an
 // out-of-range error.
 func NewEngineFrom(t *table.Table, rules []*pfd.PFD, baseSeq int64) (*Engine, error) {
+	return NewEngineOpts(t, rules, EngineOptions{BaseSeq: baseSeq})
+}
+
+// NewEngineOpts is NewEngine with the full option set.
+func NewEngineOpts(t *table.Table, rules []*pfd.PFD, opts EngineOptions) (*Engine, error) {
 	e := &Engine{
-		t:      t,
-		rules:  rules,
-		seq:    baseSeq,
-		vio:    make(map[string]*vioEntry),
-		cols:   make(map[int]*pindex.Index),
-		logCap: DefaultLogCap,
+		t:         t,
+		rules:     rules,
+		seq:       opts.BaseSeq,
+		vio:       make(map[string]*vioEntry),
+		cols:      make(map[int]*pindex.Index),
+		log:       NewDiffLog(opts.LogCap),
+		keyFilter: opts.KeyFilter,
+		globalID:  opts.GlobalID,
 	}
 	for _, p := range rules {
 		li, ok := t.ColIndex(p.LHS)
@@ -180,7 +217,7 @@ func NewEngineFrom(t *table.Table, rules []*pfd.PFD, baseSeq int64) (*Engine, er
 			}
 			touched := make(map[string]bool)
 			for r, lv := range lhs {
-				for _, key := range row.LHS.Extract(lv) {
+				for _, key := range e.extract(row, lv) {
 					rs.blocks[tri].Insert(key, invlist.Posting{TupleID: r, RHS: t.Cell(r, rs.ri)})
 					touched[key] = true
 				}
@@ -254,7 +291,7 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.Unlock()
 	st := Stats{
 		Seq: e.seq, Rows: e.t.NumRows(), Rules: len(e.rules),
-		Violations: len(e.vio), IndexedColumns: len(e.cols), LogLen: len(e.log),
+		Violations: len(e.vio), IndexedColumns: len(e.cols), LogLen: e.log.Len(),
 	}
 	for _, rs := range e.rs {
 		for _, bl := range rs.blocks {
@@ -323,10 +360,7 @@ func (e *Engine) apply(batch Batch, journal bool) (*Diff, error) {
 	}
 	e.seq++
 	diff := d.finalize(e.seq, e.t.NumRows(), e.vio)
-	e.log = append(e.log, diff)
-	if len(e.log) > e.logCap {
-		e.log = append(e.log[:0:0], e.log[len(e.log)-e.logCap:]...)
-	}
+	e.log.Append(diff)
 	return diff, nil
 }
 
@@ -335,68 +369,28 @@ func (e *Engine) apply(batch Batch, journal bool) (*Diff, error) {
 // violation whose bytes changed appears in both lists. When the cursor
 // predates the retained log the change cannot be expressed as a diff and
 // a full snapshot is returned with Reset set. A cursor ahead of the
-// engine is an error.
+// engine is an error. (The merge itself lives in DiffLog, shared with the
+// sharding coordinator.)
 func (e *Engine) Since(seq int64) (*Diff, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if seq > e.seq || seq < 0 {
-		return nil, fmt.Errorf("stream: cursor %d out of range [0,%d]", seq, e.seq)
+	return e.log.Merge(seq, e.seq, e.t.NumRows(), e.violationsLocked)
+}
+
+// extract computes a variable tableau row's block keys for one LHS value,
+// dropping keys the engine's KeyFilter rejects.
+func (e *Engine) extract(row tableau.Row, lv string) []string {
+	keys := row.LHS.Extract(lv)
+	if e.keyFilter == nil {
+		return keys
 	}
-	out := &Diff{Seq: e.seq, Rows: e.t.NumRows()}
-	if seq == e.seq {
-		return out, nil
-	}
-	if len(e.log) == 0 || e.log[0].Seq > seq+1 {
-		out.Reset = true
-		out.Added = e.violationsLocked()
-		return out, nil
-	}
-	type pend struct {
-		removed, added *pfd.Violation
-	}
-	net := make(map[string]*pend)
-	at := func(k string) *pend {
-		p := net[k]
-		if p == nil {
-			p = &pend{}
-			net[k] = p
-		}
-		return p
-	}
-	for _, dl := range e.log {
-		if dl.Seq <= seq {
-			continue
-		}
-		for i := range dl.Removed {
-			v := dl.Removed[i]
-			p := at(v.Key())
-			if p.added != nil {
-				p.added = nil // added then removed within the span: net nothing
-			} else if p.removed == nil {
-				p.removed = &v // keep the earliest removal rendering
-			}
-		}
-		for i := range dl.Added {
-			v := dl.Added[i]
-			at(v.Key()).added = &v
+	kept := keys[:0]
+	for _, k := range keys {
+		if e.keyFilter(k) {
+			kept = append(kept, k)
 		}
 	}
-	for _, p := range net {
-		switch {
-		case p.added != nil && p.removed == nil:
-			out.Added = append(out.Added, *p.added)
-		case p.removed != nil && p.added == nil:
-			out.Removed = append(out.Removed, *p.removed)
-		case p.added != nil && p.removed != nil:
-			if !sameViolation(*p.added, *p.removed) {
-				out.Added = append(out.Added, *p.added)
-				out.Removed = append(out.Removed, *p.removed)
-			}
-		}
-	}
-	detect.SortViolations(out.Added)
-	detect.SortViolations(out.Removed)
-	return out, nil
+	return kept
 }
 
 // ---- delta application ----
@@ -431,7 +425,7 @@ func (e *Engine) applyAppend(rows [][]string, d *batchDiff) {
 					e.recomputeConst(rsi, tri, n, d)
 					continue
 				}
-				for _, key := range row.LHS.Extract(lv) {
+				for _, key := range e.extract(row, lv) {
 					rs.blocks[tri].Insert(key, invlist.Posting{TupleID: n, RHS: e.t.Cell(n, rs.ri)})
 					touched[touchKey{tri, key}] = true
 				}
@@ -473,11 +467,11 @@ func (e *Engine) applyUpdate(rowIdx int, column, value string, d *batchDiff) {
 			}
 			rhsNow := e.t.Cell(rowIdx, rs.ri)
 			touched := make(map[string]bool)
-			for _, key := range row.LHS.Extract(lhsBefore) {
+			for _, key := range e.extract(row, lhsBefore) {
 				rs.blocks[tri].Remove(key, rowIdx)
 				touched[key] = true
 			}
-			for _, key := range row.LHS.Extract(lhsNow) {
+			for _, key := range e.extract(row, lhsNow) {
 				rs.blocks[tri].Insert(key, invlist.Posting{TupleID: rowIdx, RHS: rhsNow})
 				touched[key] = true
 			}
@@ -529,7 +523,7 @@ func (e *Engine) applyDelete(drop []int, d *batchDiff) {
 				continue
 			}
 			for _, r := range targets {
-				for _, key := range row.LHS.Extract(e.t.Cell(r, rs.li)) {
+				for _, key := range e.extract(row, e.t.Cell(r, rs.li)) {
 					rs.blocks[tri].Remove(key, r)
 					affected[varKey{rsi, tri, key}] = true
 				}
@@ -668,7 +662,15 @@ func (e *Engine) recomputeBlock(rsi, tri int, key string, d *batchDiff) {
 	for i, p := range ps {
 		rows[i] = p.TupleID
 	}
-	sort.Ints(rows)
+	// Member order decides which pairs the blocking pass reports (each
+	// deviating row is paired against the first majority-group row), so
+	// evaluate in global order when the engine is one shard of a larger
+	// table — that is the order a whole-table detection would use.
+	if e.globalID != nil {
+		sort.Slice(rows, func(i, j int) bool { return e.globalID(rows[i]) < e.globalID(rows[j]) })
+	} else {
+		sort.Ints(rows)
+	}
 	b := blocking.Block{Key: key, Rows: rows, RHSVals: make([]string, len(rows))}
 	for i, r := range rows {
 		b.RHSVals[i] = e.t.Cell(r, rs.ri)
@@ -753,7 +755,7 @@ func (d *batchDiff) finalize(seq int64, rows int, vio map[string]*vioEntry) *Dif
 		case prior != nil && cur == nil:
 			out.Removed = append(out.Removed, *prior)
 		case prior != nil && cur != nil:
-			if !sameViolation(*prior, cur.v) {
+			if !SameRendering(*prior, cur.v) {
 				out.Removed = append(out.Removed, *prior)
 				out.Added = append(out.Added, cur.v)
 			}
@@ -764,9 +766,10 @@ func (d *batchDiff) finalize(seq int64, rows int, vio map[string]*vioEntry) *Dif
 	return out
 }
 
-// sameViolation reports whether two violations with the same key (same
+// SameRendering reports whether two violations with the same key (same
 // rule, tableau row, and cells) also agree on the value fields, i.e. are
-// byte-identical.
-func sameViolation(a, b pfd.Violation) bool {
+// byte-identical. Exported for the sharding coordinator, which diffs
+// merged violation maps with the same equality.
+func SameRendering(a, b pfd.Violation) bool {
 	return a.Observed == b.Observed && a.Expected == b.Expected && a.Variable == b.Variable
 }

@@ -270,11 +270,10 @@ func TestEngineSince(t *testing.T) {
 
 func TestEngineSinceReset(t *testing.T) {
 	tbl := streamTable()
-	e, err := NewEngine(tbl, streamRules())
+	e, err := NewEngineOpts(tbl, streamRules(), EngineOptions{LogCap: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.logCap = 2
 	for i := 0; i < 5; i++ {
 		if _, err := e.Apply(Batch{AppendRows([]string{"2125550000", "NY", "n"})}); err != nil {
 			t.Fatal(err)

@@ -74,6 +74,14 @@ type Diff struct {
 	Reset bool `json:"reset,omitempty"`
 }
 
+// ValidateBatch checks a batch against a table without applying it — the
+// same validation Engine.Apply performs before mutating anything. The
+// sharding coordinator validates incoming batches against the global
+// table with it before translating them into per-shard operations.
+func ValidateBatch(t *table.Table, batch Batch) error {
+	return validate(t, batch)
+}
+
 // validate checks the whole batch against the table schema and a virtual
 // row count that tracks appends and deletes through the batch, so an
 // invalid batch is rejected before any mutation.
