@@ -17,7 +17,7 @@ SHARDOUT  ?= BENCH_shard.json
 # Table size of the shard bench (read by the benchmark as an env var).
 export SHARD_BENCH_ROWS
 
-.PHONY: all build vet test race bench bench-stream bench-shard fuzz vulncheck
+.PHONY: all build vet test race bench bench-stream bench-shard cluster-e2e fuzz vulncheck
 
 all: vet build test
 
@@ -44,6 +44,13 @@ bench-stream:
 bench-shard:
 	$(GO) run ./cmd/benchjson -out $(SHARDOUT) -pkg ./internal/shard \
 		-bench 'BenchmarkShardDetect|BenchmarkShardApply' $(if $(BENCHTIME),-benchtime $(BENCHTIME))
+
+# Multi-process distributed-mode acceptance: real worker subprocesses on
+# loopback TCP, golden-corpus equivalence at N=1/2/4 plus kill-a-worker
+# failover. ANMAT_E2E_LOGDIR collects per-worker logs (CI uploads them).
+cluster-e2e:
+	$(GO) test -race -v -run 'TestE2E|TestClusterEquivalence|TestFailoverRestoresFromWAL|TestSeqIdempotencyUnderFlakyTransport' \
+		./cmd/anmat-server/ ./internal/cluster/
 
 fuzz:
 	$(GO) test ./internal/table -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s

@@ -173,6 +173,27 @@ func WithShards(k int) Option {
 	}
 }
 
+// WithWorkers runs every session's incremental detection engine in
+// distributed mode: one shard per worker base URL, driven over the
+// /shard/v1 HTTP API with WAL-backed failover (see internal/cluster).
+// Takes precedence over WithShards; the merged violation set stays
+// byte-identical to the single-engine one at any worker count. Spares
+// are standby workers consumed on failover (optional).
+func WithWorkers(workers []string, spares ...string) Option {
+	return func(o *options) error {
+		o.cfg.Workers = append([]string(nil), workers...)
+		o.cfg.ClusterSpares = append([]string(nil), spares...)
+		return nil
+	}
+}
+
+// WithClusterDir sets the directory distributed sessions persist their
+// failover stores under (snapshot + K-way replicated WAL, one
+// subdirectory per session). "" keeps per-session temporary directories.
+func WithClusterDir(dir string) Option {
+	return func(o *options) error { o.cfg.ClusterDir = dir; return nil }
+}
+
 // New builds a System from functional options. With no options the store
 // is memory-only and all parameters take their demo defaults.
 func New(opts ...Option) (*System, error) {

@@ -12,6 +12,18 @@
 // sessions — tables, rules, violation sets, and `violations?since=`
 // sequence cursors included. Add -fsync to survive power loss, not just
 // process crashes.
+//
+// Distributed mode (see internal/cluster):
+//
+//	anmat-server -worker -shard-id 0 -of 3 -addr 127.0.0.1:7001   # shard worker
+//	anmat-server -workers http://127.0.0.1:7001,...               # coordinator
+//
+// A worker serves one shard's engine over the /shard/v1 HTTP API and is
+// driven entirely by a coordinator. A coordinator runs the normal server
+// with every session's incremental engine fanned out over the workers
+// (one shard per worker, byte-identical results), journaling batches to
+// a K-way replicated WAL and failing over to -spares workers when a
+// primary dies.
 package main
 
 import (
@@ -19,17 +31,59 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"github.com/anmat/anmat/internal/cluster"
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/persist"
 	"github.com/anmat/anmat/internal/server"
 	"github.com/anmat/anmat/internal/table"
 )
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// runWorker serves one shard over HTTP until interrupted. The bound
+// address is printed to stdout so harnesses using -addr with port 0 can
+// discover it.
+func runWorker(addr string, shardID, of int) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anmat-server:", err)
+		os.Exit(1)
+	}
+	w := cluster.NewWorker(shardID, of)
+	fmt.Printf("ANMAT worker shard %d/%d listening on %s\n", shardID, of, ln.Addr())
+	httpSrv := &http.Server{Handler: w.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "anmat-server:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -42,7 +96,18 @@ func main() {
 	violations := flag.Float64("violations", core.DefaultParams().AllowedViolations, "allowed violation ratio")
 	parallelism := flag.Int("parallelism", 0, "pipeline workers per session: discovery candidates and detection/repair fan-out (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 1, "incremental-detection shards per session: hash-partition each table on block keys across K independent engines (byte-identical results at any K; per-shard stats on the detection endpoint)")
+	worker := flag.Bool("worker", false, "run as a shard worker: serve the /shard/v1 API on -addr and wait for a coordinator (requires -shard-id and -of)")
+	shardID := flag.Int("shard-id", -1, "with -worker: this worker's shard index in [0, N); -1 accepts any slot")
+	of := flag.Int("of", -1, "with -worker: the topology's total shard count N")
+	workers := flag.String("workers", "", "comma-separated shard worker base URLs: run every session's incremental engine distributed over them (one shard per worker)")
+	spares := flag.String("spares", "", "with -workers: comma-separated standby worker base URLs consumed on failover")
+	clusterData := flag.String("cluster-data", "", "with -workers: directory for per-session failover stores (snapshot + K-way replicated WAL; empty = temp dirs)")
 	flag.Parse()
+
+	if *worker {
+		runWorker(*addr, *shardID, *of)
+		return
+	}
 
 	var store *docstore.Store
 	var err error
@@ -55,6 +120,9 @@ func main() {
 	cfg := core.DefaultSystemConfig()
 	cfg.Parallelism = *parallelism
 	cfg.Shards = *shards
+	cfg.Workers = splitList(*workers)
+	cfg.ClusterSpares = splitList(*spares)
+	cfg.ClusterDir = *clusterData
 	sys := core.NewSystemWith(store, cfg)
 	sys.CreateProject("default")
 	srv := server.New(sys)

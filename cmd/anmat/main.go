@@ -96,6 +96,8 @@ func usage() {
               violations, and ingested rows, and -follow resumes the tail
               -shards K partitions incremental detection across K engines
               (byte-identical results; per-shard WALs under -data)
+              -workers http://...,... runs the shards on remote workers
+              (anmat-server -worker) over the /shard/v1 API
   repair      -in data.csv -out fixed.csv          mine + detect + apply repairs
   report      -in data.csv [-out report.md]        full pipeline as Markdown
   stream      -history clean.csv -in new.csv       mine from history, validate new rows
@@ -110,6 +112,7 @@ type pipelineFlags struct {
 	violations  *float64
 	parallelism *int
 	shards      *int
+	workers     *string
 }
 
 func newPipelineFlags(name string) pipelineFlags {
@@ -122,6 +125,7 @@ func newPipelineFlags(name string) pipelineFlags {
 		violations:  fs.Float64("violations", d.AllowedViolations, "allowed violation ratio"),
 		parallelism: fs.Int("parallelism", 0, "pipeline workers: discovery candidates and detection/repair fan-out (0 = GOMAXPROCS)"),
 		shards:      fs.Int("shards", 1, "incremental-detection shards: hash-partition the table on block keys across K independent engines (results byte-identical at any K; speeds up -follow ingestion on multicore)"),
+		workers:     fs.String("workers", "", "comma-separated shard worker base URLs (anmat-server -worker): run incremental detection distributed over them, one shard per worker (overrides -shards; results byte-identical)"),
 	}
 }
 
@@ -145,6 +149,11 @@ func (p pipelineFlags) system() *core.System {
 	cfg := core.DefaultSystemConfig()
 	cfg.Parallelism = *p.parallelism
 	cfg.Shards = *p.shards
+	for _, w := range strings.Split(*p.workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			cfg.Workers = append(cfg.Workers, w)
+		}
+	}
 	return core.NewSystemWith(docstore.NewMem(), cfg)
 }
 

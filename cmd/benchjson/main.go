@@ -160,6 +160,35 @@ func addSpeedups(benches []Bench) {
 	}
 }
 
+// guardOverwrite refuses to clobber an existing record that was measured
+// on more CPUs than the current machine has. Committed records are
+// typically multi-core measurements; regenerating one inside a throttled
+// 1-CPU container would silently flatten every parallel/sharded speedup
+// into ~1.0x and read as a perf regression. force overrides the guard
+// (still with a warning); an unreadable or absent record never blocks.
+func guardOverwrite(path string, curNumCPU int, force bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev Report
+	if err := json.Unmarshal(raw, &prev); err != nil || prev.NumCPU <= 0 {
+		return nil
+	}
+	if prev.NumCPU <= curNumCPU {
+		return nil
+	}
+	if force {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: warning: overwriting %s (measured on %d CPUs) from a %d-CPU machine (-force)\n",
+			path, prev.NumCPU, curNumCPU)
+		return nil
+	}
+	return fmt.Errorf(
+		"%s was measured on %d CPUs but this machine has %d; parallel speedups would degrade to hardware limits, not code changes (re-run with -force to overwrite anyway)",
+		path, prev.NumCPU, curNumCPU)
+}
+
 func run() error {
 	benchRe := flag.String("bench",
 		"BenchmarkParallelDetection|BenchmarkDetectorIndexReuse|BenchmarkAblation_ConstantDetection|BenchmarkAblation_VariableDetection|BenchmarkFigure5_ViolationListing",
@@ -168,7 +197,12 @@ func run() error {
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = go default)")
 	count := flag.Int("count", 1, "go test -count value")
 	out := flag.String("out", "BENCH_detect.json", "output JSON path")
+	force := flag.Bool("force", false, "overwrite the output record even if it was measured on more CPUs than this machine has")
 	flag.Parse()
+
+	if err := guardOverwrite(*out, runtime.NumCPU(), *force); err != nil {
+		return err
+	}
 
 	args := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem",
 		"-count", strconv.Itoa(*count)}

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -120,5 +123,54 @@ func TestAddSpeedupsVs1Shard(t *testing.T) {
 	}
 	if benches[2].SpeedupVs1Shard != nil || benches[3].SpeedupVs1Shard != nil {
 		t.Error("only /k entries with a /k1 sibling get the metric")
+	}
+}
+
+func TestGuardOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	writeRecord := func(name string, numCPU int) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		raw, err := json.Marshal(Report{NumCPU: numCPU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// A committed 8-CPU record must not be clobbered from a 1-CPU machine.
+	multi := writeRecord("multi.json", 8)
+	if err := guardOverwrite(multi, 1, false); err == nil {
+		t.Error("overwriting an 8-CPU record from a 1-CPU machine was allowed")
+	}
+	// -force overrides the guard.
+	if err := guardOverwrite(multi, 1, true); err != nil {
+		t.Errorf("-force still refused: %v", err)
+	}
+	// Equal or more CPUs is fine.
+	if err := guardOverwrite(multi, 8, false); err != nil {
+		t.Errorf("same-CPU overwrite refused: %v", err)
+	}
+	if err := guardOverwrite(multi, 16, false); err != nil {
+		t.Errorf("more-CPU overwrite refused: %v", err)
+	}
+	// Absent or malformed records never block a fresh run.
+	if err := guardOverwrite(filepath.Join(dir, "missing.json"), 1, false); err != nil {
+		t.Errorf("missing record refused: %v", err)
+	}
+	broken := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(broken, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardOverwrite(broken, 1, false); err != nil {
+		t.Errorf("malformed record refused: %v", err)
+	}
+	// Old records without num_cpu don't block either.
+	legacy := writeRecord("legacy.json", 0)
+	if err := guardOverwrite(legacy, 1, false); err != nil {
+		t.Errorf("legacy record refused: %v", err)
 	}
 }

@@ -1,0 +1,188 @@
+// Package cluster scales sharded detection past one process: the same
+// coordinator/translator machinery as internal/shard, but with each
+// shard's engine living in a worker process reached over the /shard/v1
+// HTTP API, and with a snapshot + K-way replicated write-ahead log
+// backing failover. The cluster Coordinator implements the same
+// incremental-detection surface as stream.Engine and shard.Coordinator
+// (core.Streamer), and its merged violation sets stay byte-identical to
+// single-engine detection at any worker count — the multi-process
+// equivalence tests pin that down over golden corpora and randomized
+// delta scripts, including a worker killed mid-script.
+//
+// Failover path: every batch is journaled to the K-way WAL before any
+// worker sees it. When a worker stops answering (request timeouts, then
+// the bounded retry budget, exhausted), the coordinator rehydrates the
+// dead shard's state — snapshot + merged WAL replayed through a fresh
+// placement translator, taking any intact record when a copy is torn —
+// and pushes it to a spare worker over /restore. The coordinator's own
+// diff log is untouched by the swap, so violations?since= cursors issued
+// before the failure keep resolving exactly.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/shard"
+	"github.com/anmat/anmat/internal/table"
+)
+
+// Options tunes New. The zero value journals to a temporary directory,
+// uses default client timeouts/retry, and has no spare workers (a dead
+// worker then poisons the coordinator, exactly like the in-process
+// sharded engine after an unrecoverable failure).
+type Options struct {
+	// BaseSeq is the starting sequence number (cursor continuity; see
+	// stream.NewEngineFrom).
+	BaseSeq int64
+	// Dir is the failover store directory. "" creates a fresh temporary
+	// directory (removed on Close).
+	Dir string
+	// Fsync makes every WAL append durable against power loss, matching
+	// the session store's -fsync semantics.
+	Fsync bool
+	// Spares are standby worker base URLs used for failover, consumed in
+	// order. A dead primary with no spare left (and no Respawn) poisons
+	// the coordinator.
+	Spares []string
+	// Respawn, when set, is asked for a fresh worker base URL once the
+	// spare list is exhausted — the hook for harnesses that can start
+	// processes (the e2e tests respawn killed workers with it). Return ""
+	// to decline.
+	Respawn func(s int) string
+	// Client tunes every worker call's timeout and retry policy.
+	Client ClientOptions
+}
+
+// Coordinator is the distributed sharded engine: shard.Coordinator
+// routing and merging, RemoteNode transport, WAL-backed failover. It
+// embeds the sharded coordinator, so it satisfies core.Streamer the same
+// way.
+type Coordinator struct {
+	*shard.Coordinator
+	store  *Store
+	ownDir bool // Dir was auto-created; Close removes it
+
+	mu     sync.Mutex
+	spares []string
+	opts   Options
+	rules  []*pfd.PFD
+}
+
+// New builds a coordinator over the table's current contents with one
+// worker per shard: len(workers) fixes K. Each worker is initialized
+// over /init with its boot state (concurrently — this is the bootstrap
+// detection pass, split K ways across processes), and every subsequent
+// batch is WAL-journaled before fan-out.
+func New(t *table.Table, rules []*pfd.PFD, workers []string, opts Options) (*Coordinator, error) {
+	k := len(workers)
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: no workers")
+	}
+	dir, ownDir := opts.Dir, false
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "anmat-cluster-*"); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		ownDir = true
+	}
+	store, err := CreateStore(dir, t, rules, k, opts.BaseSeq, opts.Fsync)
+	if err != nil {
+		if ownDir {
+			_ = os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	c := &Coordinator{
+		store:  store,
+		ownDir: ownDir,
+		spares: append([]string(nil), opts.Spares...),
+		opts:   opts,
+		rules:  rules,
+	}
+	sc, err := shard.NewWith(t, rules, k, shard.Config{
+		BaseSeq: opts.BaseSeq,
+		Journal: store.Append,
+		NewNode: func(s int, boot shard.NodeBoot, rules []*pfd.PFD) (shard.Node, error) {
+			node := NewRemoteNode(workers[s], opts.Client)
+			if err := node.Init(boot, rules, opts.BaseSeq); err != nil {
+				return nil, err
+			}
+			return node, nil
+		},
+		Recover: c.recoverShard,
+	})
+	if err != nil {
+		_ = store.Close()
+		if ownDir {
+			_ = os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	c.Coordinator = sc
+	return c, nil
+}
+
+// recoverShard is the failover hook the sharded coordinator invokes once
+// a worker's retry budget is exhausted: rehydrate the shard's state from
+// snapshot + merged WAL, claim a replacement endpoint, and push the state
+// over /restore. The boot the coordinator hands us (its live translator's
+// view) and the WAL replay must agree; the store is the durable source of
+// truth, so it is what the replacement receives.
+func (c *Coordinator) recoverShard(s int, boot shard.NodeBoot, seq int64) (shard.Node, error) {
+	rboot, rules, rseq, err := c.store.RehydrateBoot(s)
+	if err != nil {
+		return nil, fmt.Errorf("rehydrate: %w", err)
+	}
+	if rseq != seq {
+		return nil, fmt.Errorf("rehydrate: WAL replays to seq %d, coordinator at %d", rseq, seq)
+	}
+	endpoint, err := c.claimSpare(s)
+	if err != nil {
+		return nil, err
+	}
+	node := NewRemoteNode(endpoint, c.opts.Client)
+	if err := node.Restore(rboot, rules, rseq); err != nil {
+		return nil, fmt.Errorf("restore to %s: %w", endpoint, err)
+	}
+	return node, nil
+}
+
+// claimSpare pops the next standby endpoint, falling back to the Respawn
+// hook when the list is empty.
+func (c *Coordinator) claimSpare(s int) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spares) > 0 {
+		endpoint := c.spares[0]
+		c.spares = c.spares[1:]
+		return endpoint, nil
+	}
+	if c.opts.Respawn != nil {
+		if endpoint := c.opts.Respawn(s); endpoint != "" {
+			return endpoint, nil
+		}
+	}
+	return "", fmt.Errorf("no spare worker for shard %d", s)
+}
+
+// Store exposes the failover store (tests inspect the WAL copies).
+func (c *Coordinator) Store() *Store { return c.store }
+
+// Close releases the remote nodes and the failover store (removing its
+// directory when it was auto-created).
+func (c *Coordinator) Close() error {
+	err := c.Coordinator.Close()
+	if serr := c.store.Close(); err == nil {
+		err = serr
+	}
+	if c.ownDir {
+		if rerr := os.RemoveAll(c.store.Dir()); err == nil {
+			err = rerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,71 @@
+// The shard wire protocol, version 1: plain HTTP/JSON under /shard/v1/.
+// A worker is one shard.Node behind a listener — the request and response
+// bodies are the Node interface's types (shard.NodeBatch in, diffs and
+// globalized violations out) plus a boot envelope carrying the rules, so
+// the coordinator's routing, merge, and failover logic stays identical
+// whether a shard runs in-process or across the network.
+//
+//	POST /shard/v1/init        BootRequest        → StateResponse
+//	POST /shard/v1/restore     BootRequest        → StateResponse   (alias: replace state)
+//	POST /shard/v1/apply       shard.NodeBatch    → ApplyResponse   (idempotent by seq)
+//	GET  /shard/v1/violations[?since=S]           → ViolationsResponse
+//	GET  /shard/v1/stats                          → shard.NodeStats
+//	GET  /shard/v1/snapshot                       → BootRequest     (current state, re-bootable)
+//	GET  /healthz                                 → StateResponse
+//
+// Errors are {"error": "..."} with a 4xx/5xx status; 409 marks sequence
+// conflicts (gap or stale replay) and 412 marks calls against an
+// uninitialized worker.
+package cluster
+
+import (
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/shard"
+	"github.com/anmat/anmat/internal/stream"
+)
+
+// APIPrefix is the versioned path prefix of the shard worker API.
+const APIPrefix = "/shard/v1"
+
+// BootRequest initializes (or replaces, via /restore) a worker's shard
+// state: the boot sub-table and mapping, the rule set, and the sequence
+// number the state corresponds to.
+type BootRequest struct {
+	Boot  shard.NodeBoot `json:"boot"`
+	Rules []*pfd.PFD     `json:"rules"`
+	Seq   int64          `json:"seq"`
+}
+
+// StateResponse describes a worker's current state (init/restore reply
+// and health probe body).
+type StateResponse struct {
+	OK    bool  `json:"ok"`
+	Shard int   `json:"shard"`
+	Of    int   `json:"of"`
+	Ready bool  `json:"ready"` // false until the first init lands
+	Seq   int64 `json:"seq"`
+	Rows  int   `json:"rows"`
+}
+
+// ApplyResponse returns one applied batch's globalized per-op diffs
+// (empty unless the batch requested them).
+type ApplyResponse struct {
+	Seq   int64          `json:"seq"`
+	Diffs []*stream.Diff `json:"diffs,omitempty"`
+}
+
+// ViolationsResponse returns the worker's maintained violation set,
+// globalized, at the given sequence number. When the request carried
+// ?since= the Diff field holds the cursor-resolved change instead (a
+// reset snapshot unless the cursor is current — workers retain no diff
+// history; the coordinator owns the merged cursor log).
+type ViolationsResponse struct {
+	Seq        int64           `json:"seq"`
+	Violations []pfd.Violation `json:"violations,omitempty"`
+	Diff       *stream.Diff    `json:"diff,omitempty"`
+}
+
+// errorResponse is the uniform error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}

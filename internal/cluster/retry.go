@@ -1,0 +1,87 @@
+// Bounded retry with exponential backoff: the cluster's one answer to
+// transient transport failure. Every remote call a coordinator makes is
+// idempotent at the worker (batches carry the global sequence number;
+// reads are pure), so retrying a timed-out request is always safe — the
+// only policy question is how long to keep trying before declaring the
+// worker dead and failing over.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Backoff is a bounded retry policy: up to Tries attempts, sleeping
+// Base·2ⁱ between attempt i and i+1, capped at Max per sleep.
+type Backoff struct {
+	Tries int
+	Base  time.Duration
+	Max   time.Duration
+}
+
+// DefaultBackoff returns the coordinator's default worker-call policy:
+// 3 attempts, 50ms → 100ms between them. With the default 5s request
+// timeout a dead worker is declared in well under half a minute.
+func DefaultBackoff() Backoff {
+	return Backoff{Tries: 3, Base: 50 * time.Millisecond, Max: time.Second}
+}
+
+// permanentError wraps an error that must not be retried.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent marks an error as non-retryable: Do returns it immediately
+// (unwrapped) instead of burning the remaining attempts. Use it for
+// responses that prove the worker is alive but the request can never
+// succeed — a validation rejection, a sequence-gap conflict.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// Do runs fn until it succeeds, returns a permanent error, exhausts the
+// attempt budget, or the context ends. The last attempt's error comes
+// back wrapped with the attempt count; a context cancellation mid-wait
+// comes back as the context's error wrapping the last attempt's.
+func (b Backoff) Do(ctx context.Context, fn func() error) error {
+	tries := b.Tries
+	if tries < 1 {
+		tries = 1
+	}
+	delay := b.Base
+	var last error
+	for attempt := 1; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		last = err
+		if attempt >= tries {
+			return fmt.Errorf("after %d attempts: %w", attempt, last)
+		}
+		if delay <= 0 {
+			delay = time.Millisecond
+		}
+		if b.Max > 0 && delay > b.Max {
+			delay = b.Max
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), last)
+		case <-t.C:
+		}
+		delay *= 2
+	}
+}

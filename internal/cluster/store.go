@@ -1,0 +1,197 @@
+// The coordinator's failover store: a snapshot of the global table at
+// coordinator construction plus a K-way replicated write-ahead log of
+// every batch since. Each batch is journaled — before any worker sees
+// it — to K per-shard WAL files (wal.Record encoding, shared with the
+// session durability layer), so losing a worker, or a torn tail in one
+// WAL copy, never loses the batch: recovery merges the copies by
+// sequence number and takes any intact record.
+//
+// Rehydrating a shard is a replay, not a re-route: a row's home shard is
+// its global index mod K *at insertion time*, so current cell values
+// alone cannot reconstruct placement. RehydrateBoot decodes the
+// snapshot, rebuilds a shard.Translator over it, feeds it the merged WAL
+// batches (discarding the translated operations — only the bookkeeping
+// matters), and renders the dead shard's boot state from the result.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/shard"
+	"github.com/anmat/anmat/internal/stream"
+	"github.com/anmat/anmat/internal/table"
+	"github.com/anmat/anmat/internal/wal"
+)
+
+// storeSnapshot is the serialized baseline the WAL replays over.
+type storeSnapshot struct {
+	Seq int64 `json:"seq"`
+	K   int   `json:"k"`
+	// Table is the binary table snapshot (table.EncodeBinaryBytes),
+	// base64 via encoding/json.
+	Table []byte     `json:"table"`
+	Rules []*pfd.PFD `json:"rules"`
+}
+
+// Store is the coordinator's snapshot + K-way WAL directory.
+type Store struct {
+	dir   string
+	k     int
+	fsync bool
+	files []*os.File // open WAL appenders, one per shard copy
+}
+
+const snapName = "cluster.snap"
+
+func walName(s int) string { return fmt.Sprintf("cluster.shard%d.wal", s) }
+
+// CreateStore initializes dir as a fresh failover store: snapshots the
+// table, rules, and base sequence, and truncates the K WAL copies. Any
+// previous store in dir is replaced.
+func CreateStore(dir string, t *table.Table, rules []*pfd.PFD, k int, seq int64, fsync bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster store: %w", err)
+	}
+	data, err := t.EncodeBinaryBytes()
+	if err != nil {
+		return nil, fmt.Errorf("cluster store: snapshot table: %w", err)
+	}
+	blob, err := json.Marshal(storeSnapshot{Seq: seq, K: k, Table: data, Rules: rules})
+	if err != nil {
+		return nil, fmt.Errorf("cluster store: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(dir, snapName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return nil, fmt.Errorf("cluster store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
+		return nil, fmt.Errorf("cluster store: %w", err)
+	}
+	st := &Store{dir: dir, k: k, fsync: fsync}
+	for s := 0; s < k; s++ {
+		f, err := os.OpenFile(filepath.Join(dir, walName(s)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			_ = st.Close()
+			return nil, fmt.Errorf("cluster store: %w", err)
+		}
+		st.files = append(st.files, f)
+	}
+	return st, nil
+}
+
+// Append journals one batch to every WAL copy, write-ahead of any worker
+// seeing it. An error from any copy fails the append — the coordinator
+// must not apply a batch it cannot replay.
+func (st *Store) Append(seq int64, batch stream.Batch) error {
+	rec := wal.Record{Seq: seq, Batch: batch}
+	for s, f := range st.files {
+		if err := wal.Append(f, rec, st.fsync); err != nil {
+			return fmt.Errorf("cluster store copy %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Close releases the WAL file handles.
+func (st *Store) Close() error {
+	var first error
+	for _, f := range st.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	st.files = nil
+	return first
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// load reads the snapshot and the merged WAL timeline: per sequence
+// number, the first intact copy across the K files wins, so one torn or
+// lost copy is survivable as long as a sibling has the record. The
+// returned batches are contiguous from snapshot seq+1; a gap present in
+// every copy truncates the timeline there (batches after an unrecoverable
+// hole could not have been acknowledged against a recovered state).
+func (st *Store) load() (storeSnapshot, []wal.Record, error) {
+	blob, err := os.ReadFile(filepath.Join(st.dir, snapName))
+	if err != nil {
+		return storeSnapshot{}, nil, fmt.Errorf("cluster store: %w", err)
+	}
+	var snap storeSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return storeSnapshot{}, nil, fmt.Errorf("cluster store: decode snapshot: %w", err)
+	}
+	bySeq := make(map[int64]wal.Record)
+	for s := 0; s < snap.K; s++ {
+		recs, _, _, err := wal.Read(filepath.Join(st.dir, walName(s)))
+		if err != nil {
+			// A copy that cannot be read at all (I/O error) is treated like a
+			// fully torn one: siblings carry the records.
+			continue
+		}
+		for _, rec := range recs {
+			if _, ok := bySeq[rec.Seq]; !ok {
+				bySeq[rec.Seq] = rec
+			}
+		}
+	}
+	seqs := make([]int64, 0, len(bySeq))
+	for seq := range bySeq {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	var out []wal.Record
+	next := snap.Seq + 1
+	for _, seq := range seqs {
+		if seq < next {
+			continue // pre-snapshot remnant
+		}
+		if seq != next {
+			break // unrecoverable gap: stop at the clean prefix
+		}
+		out = append(out, bySeq[seq])
+		next++
+	}
+	return snap, out, nil
+}
+
+// RehydrateBoot reconstructs shard s's current boot state by replaying
+// the snapshot plus the merged WAL through a fresh placement translator.
+// It also returns the rule set and the sequence number the state
+// corresponds to.
+func (st *Store) RehydrateBoot(s int) (shard.NodeBoot, []*pfd.PFD, int64, error) {
+	snap, recs, err := st.load()
+	if err != nil {
+		return shard.NodeBoot{}, nil, 0, err
+	}
+	if s < 0 || s >= snap.K {
+		return shard.NodeBoot{}, nil, 0, fmt.Errorf("cluster store: shard %d of %d", s, snap.K)
+	}
+	t, err := table.DecodeBinaryBytes(snap.Table)
+	if err != nil {
+		return shard.NodeBoot{}, nil, 0, fmt.Errorf("cluster store: decode table: %w", err)
+	}
+	tr, err := shard.NewTranslator(t, snap.Rules, snap.K)
+	if err != nil {
+		return shard.NodeBoot{}, nil, 0, fmt.Errorf("cluster store: %w", err)
+	}
+	seq := snap.Seq
+	for _, rec := range recs {
+		// Only the placement bookkeeping matters; the translated per-shard
+		// operations are discarded.
+		if _, _, err := tr.Translate(rec.Batch); err != nil {
+			return shard.NodeBoot{}, nil, 0, fmt.Errorf("cluster store: replay batch %d: %w", rec.Seq, err)
+		}
+		seq = rec.Seq
+	}
+	return tr.Boot(s), snap.Rules, seq, nil
+}

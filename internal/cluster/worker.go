@@ -1,0 +1,254 @@
+// The shard worker: one shard.LocalNode behind the /shard/v1 HTTP API.
+// A worker boots empty and inert; the coordinator pushes its state over
+// /init (or /restore after a failover), then drives it with translated
+// batches. Batches are idempotent by sequence number — the worker caches
+// the last applied batch's response and replays it on redelivery, so a
+// coordinator whose request timed out after the worker applied it can
+// retry blindly without double-applying.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/anmat/anmat/internal/pfd"
+	"github.com/anmat/anmat/internal/shard"
+	"github.com/anmat/anmat/internal/stream"
+)
+
+// Worker serves one shard over HTTP. The zero value is not usable; see
+// NewWorker. All handlers serialize on an internal lock — a worker is
+// driven by a single coordinator, so there is no concurrency to win.
+type Worker struct {
+	mu sync.Mutex
+	// shardID/of pin the worker to one topology slot when >= 0: an init
+	// for a different slot is refused, catching miswired coordinators.
+	shardID, of int
+	node  *shard.LocalNode
+	rules []*pfd.PFD
+	// curShard/curOf record the slot the live node was booted for (equal
+	// to shardID/of when pinned).
+	curShard, curOf int
+	seq             int64
+	// last is the cached response of the batch that advanced the worker
+	// to seq, replayed on idempotent redelivery.
+	last *ApplyResponse
+	logf func(format string, args ...any)
+}
+
+// NewWorker returns a worker pinned to shard shardID of of; pass -1, -1
+// to accept any slot from the first init.
+func NewWorker(shardID, of int) *Worker {
+	return &Worker{shardID: shardID, of: of, logf: log.Printf}
+}
+
+// SetLogf redirects the worker's request log (default log.Printf; nil
+// silences it).
+func (w *Worker) SetLogf(fn func(format string, args ...any)) {
+	if fn == nil {
+		fn = func(string, ...any) {}
+	}
+	w.logf = fn
+}
+
+// Handler returns the worker's HTTP handler: the /shard/v1 API plus the
+// top-level /healthz probe.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(APIPrefix+"/init", w.handleBoot)
+	mux.HandleFunc(APIPrefix+"/restore", w.handleBoot)
+	mux.HandleFunc(APIPrefix+"/apply", w.handleApply)
+	mux.HandleFunc(APIPrefix+"/violations", w.handleViolations)
+	mux.HandleFunc(APIPrefix+"/stats", w.handleStats)
+	mux.HandleFunc(APIPrefix+"/snapshot", w.handleSnapshot)
+	mux.HandleFunc("/healthz", w.handleHealthz)
+	return mux
+}
+
+func writeJSON(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
+	_ = json.NewEncoder(rw).Encode(v)
+}
+
+func writeError(rw http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(rw, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleBoot initializes or replaces the worker's shard state. /init and
+// /restore share semantics — restore exists so failover reads naturally
+// in coordinator code and logs.
+func (w *Worker) handleBoot(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BootRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(rw, http.StatusBadRequest, "decode boot: %v", err)
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.shardID >= 0 && (req.Boot.Shard != w.shardID || req.Boot.Of != w.of) {
+		writeError(rw, http.StatusConflict, "worker pinned to shard %d/%d, boot is for %d/%d",
+			w.shardID, w.of, req.Boot.Shard, req.Boot.Of)
+		return
+	}
+	node, err := shard.NewLocalNode(req.Boot, req.Rules)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, "boot: %v", err)
+		return
+	}
+	w.node, w.rules, w.seq, w.last = node, req.Rules, req.Seq, nil
+	w.curShard, w.curOf = req.Boot.Shard, req.Boot.Of
+	w.logf("worker shard %d/%d: booted %d rows at seq %d (%s)",
+		req.Boot.Shard, req.Boot.Of, len(req.Boot.Rows), req.Seq, r.URL.Path)
+	writeJSON(rw, http.StatusOK, w.stateLocked())
+}
+
+// handleApply applies one translated batch, idempotently by sequence
+// number: redelivery of the last applied batch replays the cached
+// response without touching the engine; anything else out of order is a
+// 409 the coordinator must not retry.
+func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(rw, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var nb shard.NodeBatch
+	if err := json.NewDecoder(r.Body).Decode(&nb); err != nil {
+		writeError(rw, http.StatusBadRequest, "decode batch: %v", err)
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.node == nil {
+		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
+		return
+	}
+	// The coordinator only sends batches that touch this shard, so the
+	// worker's sequence is sparse in the global timeline: any seq above
+	// the current one is the next batch. At or below it is a redelivery —
+	// the last applied batch replays from cache (a retry after a lost
+	// response), anything older is a conflict the client must not retry.
+	switch {
+	case nb.Seq == w.seq && w.last != nil:
+		w.logf("worker shard %d/%d: redelivery of batch %d, replaying cached response", w.curShard, w.curOf, nb.Seq)
+		writeJSON(rw, http.StatusOK, w.last)
+		return
+	case nb.Seq <= w.seq:
+		writeError(rw, http.StatusConflict, "batch seq %d not after worker seq %d", nb.Seq, w.seq)
+		return
+	}
+	diffs, err := w.node.Apply(nb)
+	if err != nil {
+		// The engine refuses invalid batches before mutating, but a failure
+		// here still means this worker's state can no longer be trusted to
+		// match the coordinator's bookkeeping; report and let the
+		// coordinator fail over to a restore.
+		writeError(rw, http.StatusInternalServerError, "apply batch %d: %v", nb.Seq, err)
+		return
+	}
+	w.seq = nb.Seq
+	w.last = &ApplyResponse{Seq: nb.Seq, Diffs: diffs}
+	writeJSON(rw, http.StatusOK, w.last)
+}
+
+// handleViolations returns the maintained set (globalized). With ?since=
+// it answers in cursor form: an empty diff when the cursor is current, a
+// reset snapshot otherwise — workers keep no diff history (the
+// coordinator owns the merged cursor log), so any stale cursor resolves
+// to a full resync, which is always correct.
+func (w *Worker) handleViolations(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.node == nil {
+		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
+		return
+	}
+	vios, err := w.node.Violations()
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, "violations: %v", err)
+		return
+	}
+	resp := ViolationsResponse{Seq: w.seq}
+	if s := r.URL.Query().Get("since"); s != "" {
+		cursor, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, "since: %v", err)
+			return
+		}
+		st, _ := w.node.Stats()
+		d := &stream.Diff{Seq: w.seq, Rows: st.Rows}
+		if cursor != w.seq {
+			d.Reset = true
+			d.Added = vios
+		}
+		resp.Diff = d
+	} else {
+		resp.Violations = vios
+	}
+	writeJSON(rw, http.StatusOK, resp)
+}
+
+func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.node == nil {
+		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
+		return
+	}
+	st, err := w.node.Stats()
+	if err != nil {
+		writeError(rw, http.StatusInternalServerError, "stats: %v", err)
+		return
+	}
+	writeJSON(rw, http.StatusOK, st)
+}
+
+// handleSnapshot dumps the worker's current state as a BootRequest —
+// re-bootable on another worker, and the operator's window into what a
+// shard holds.
+func (w *Worker) handleSnapshot(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.node == nil {
+		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
+		return
+	}
+	t := w.node.Table()
+	boot := shard.NodeBoot{
+		Name:     t.Name(),
+		Columns:  t.Columns(),
+		Rows:     make([][]string, t.NumRows()),
+		GlobalOf: w.node.GlobalOf(),
+		Shard:    w.curShard,
+		Of:       w.curOf,
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		boot.Rows[i] = t.Row(i)
+	}
+	writeJSON(rw, http.StatusOK, BootRequest{Boot: boot, Rules: w.rules, Seq: w.seq})
+}
+
+func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	writeJSON(rw, http.StatusOK, w.stateLocked())
+}
+
+// stateLocked renders the worker's StateResponse; callers hold w.mu.
+func (w *Worker) stateLocked() StateResponse {
+	st := StateResponse{OK: true, Shard: w.shardID, Of: w.of, Seq: w.seq}
+	if w.node != nil {
+		st.Ready = true
+		st.Shard, st.Of = w.curShard, w.curOf
+		st.Rows = w.node.Table().NumRows()
+	}
+	return st
+}

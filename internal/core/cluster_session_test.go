@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/anmat/anmat/internal/cluster"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/stream"
+)
+
+// startClusterWorkers spins up n shard workers on loopback TCP and
+// returns their base URLs.
+func startClusterWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for s := 0; s < n; s++ {
+		w := cluster.NewWorker(s, n)
+		w.SetLogf(t.Logf)
+		srv := httptest.NewServer(w.Handler())
+		t.Cleanup(srv.Close)
+		urls[s] = srv.URL
+	}
+	return urls
+}
+
+// TestDistributedSessionStream drives a session whose incremental engine
+// runs over real HTTP workers and checks the violation set against an
+// in-process twin at every step — the session surface cannot tell the
+// transports apart.
+func TestDistributedSessionStream(t *testing.T) {
+	ctx := context.Background()
+	urls := startClusterWorkers(t, 3)
+	sys := NewSystemWith(docstore.NewMem(), SystemConfig{
+		Params:  DefaultParams(),
+		Workers: urls,
+	})
+	se := sys.NewSession("p", shardTestTable(), DefaultParams())
+	se.UseRules(shardTestRules())
+	twinSys := NewSystem(docstore.NewMem())
+	twin := twinSys.NewSession("p", shardTestTable(), DefaultParams())
+	twin.UseRules(shardTestRules())
+	for _, s := range []*Session{se, twin} {
+		if _, err := s.RunDetection(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mustJSONStr(t, se.Violations) != mustJSONStr(t, twin.Violations) {
+		t.Fatal("distributed detection diverged at baseline")
+	}
+
+	if got := se.Shards(); got != 3 {
+		t.Fatalf("distributed session Shards() = %d, want 3", got)
+	}
+	eng, err := se.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, ok := eng.(*cluster.Coordinator)
+	if !ok {
+		t.Fatalf("distributed session built %T", eng)
+	}
+	defer cc.Close()
+	if st := se.EngineStats(); st.Kind != "cluster" || st.Shards != 3 {
+		t.Fatalf("engine stats = %+v", st)
+	}
+
+	batch := stream.Batch{
+		stream.AppendRows([]string{"8509990000", "TX"}, []string{"2125550000", "NY"}),
+		stream.UpdateCell(1, "state", "FL"),
+	}
+	for _, s := range []*Session{se, twin} {
+		if _, err := s.ApplyDeltas(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mustJSONStr(t, se.Violations) != mustJSONStr(t, twin.Violations) {
+		t.Fatal("distributed deltas diverged")
+	}
+
+	// Per-session override beats the system default worker list.
+	solo := sys.NewSessionWith("p", shardTestTable(), SessionConfig{Workers: urls[:2]})
+	if got := solo.Shards(); got != 2 {
+		t.Fatalf("session worker override Shards() = %d, want 2", got)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 
+	"github.com/anmat/anmat/internal/cluster"
 	"github.com/anmat/anmat/internal/detect"
 	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/dmv"
@@ -61,6 +63,20 @@ type SystemConfig struct {
 	// per-shard engines (see internal/shard); results are byte-identical
 	// at every K. Per-session SessionConfig.Shards overrides it.
 	Shards int
+	// Workers, when non-empty, runs every session's incremental engine in
+	// distributed mode: one shard per worker base URL, driven over the
+	// /shard/v1 HTTP API (see internal/cluster). Takes precedence over
+	// Shards; results stay byte-identical at any worker count.
+	// Per-session SessionConfig.Workers overrides it.
+	Workers []string
+	// ClusterSpares are standby worker base URLs a distributed session
+	// fails over to when a primary stops answering.
+	ClusterSpares []string
+	// ClusterDir is the directory of distributed sessions' failover
+	// stores (snapshot + K-way replicated WAL); each session uses a
+	// subdirectory keyed by its ID. "" keeps per-session temporary
+	// directories.
+	ClusterDir string
 }
 
 // DefaultSystemConfig returns the demo defaults.
@@ -191,6 +207,10 @@ type Session struct {
 	// this session's incremental engine (see SessionConfig.Shards).
 	shards int
 
+	// workers, when non-empty, overrides the system's default worker list
+	// for this session's incremental engine (see SessionConfig.Workers).
+	workers []string
+
 	// str is the session's lazily built incremental detection engine —
 	// a single stream.Engine, or a shard.Coordinator when the session is
 	// sharded (see Session.Stream); strRules snapshots the rule set it
@@ -225,6 +245,11 @@ type SessionConfig struct {
 	// forces a single engine, K > 1 partitions the table across K
 	// per-shard engines with byte-identical results.
 	Shards int
+	// Workers overrides the system default worker list for this session's
+	// incremental detection engine: nil inherits SystemConfig.Workers, a
+	// non-empty list runs one shard per worker over HTTP (internal/cluster)
+	// with byte-identical results.
+	Workers []string
 	// Discovery, when non-nil, overrides the system's base discovery
 	// configuration for this session.
 	Discovery *discovery.Config
@@ -234,13 +259,18 @@ type SessionConfig struct {
 func (s *System) NewSessionWith(project string, t *table.Table, cfg SessionConfig) *Session {
 	se := s.NewSession(project, t, cfg.Params)
 	se.shards = cfg.Shards
+	se.workers = cfg.Workers
 	se.Discovery = cfg.Discovery
 	return se
 }
 
-// Shards resolves the session's effective shard count: the per-session
-// override when set, the system default otherwise, and never below 1.
+// Shards resolves the session's effective shard count: the worker count
+// in distributed mode, else the per-session override when set, else the
+// system default, and never below 1.
 func (se *Session) Shards() int {
+	if w := se.Workers(); len(w) > 0 {
+		return len(w)
+	}
 	k := se.shards
 	if k == 0 {
 		k = se.sys.cfg.Shards
@@ -249,6 +279,16 @@ func (se *Session) Shards() int {
 		k = 1
 	}
 	return k
+}
+
+// Workers resolves the session's effective worker list: the per-session
+// override when set, the system default otherwise. Empty means the
+// engine runs in-process.
+func (se *Session) Workers() []string {
+	if len(se.workers) > 0 {
+		return se.workers
+	}
+	return se.sys.cfg.Workers
 }
 
 // discoveryConfig resolves the effective discovery configuration: the
@@ -515,10 +555,22 @@ type Streamer interface {
 }
 
 // newStreamer builds the session's incremental engine over the given
-// rules at the given base sequence: a shard coordinator when the session
-// is sharded, a single stream engine otherwise. Output is byte-identical
-// either way.
+// rules at the given base sequence: a cluster coordinator when worker
+// endpoints are configured, a shard coordinator when the session is
+// sharded in-process, a single stream engine otherwise. Output is
+// byte-identical in all three modes.
 func (se *Session) newStreamer(rules []*pfd.PFD, base int64) (Streamer, error) {
+	if w := se.Workers(); len(w) > 0 {
+		dir := ""
+		if d := se.sys.cfg.ClusterDir; d != "" {
+			dir = filepath.Join(d, se.ID)
+		}
+		return cluster.New(se.Table, rules, w, cluster.Options{
+			BaseSeq: base,
+			Dir:     dir,
+			Spares:  se.sys.cfg.ClusterSpares,
+		})
+	}
 	if k := se.Shards(); k > 1 {
 		return shard.NewFrom(se.Table, rules, k, base)
 	}
@@ -592,6 +644,9 @@ func (se *Session) EngineStats() EngineStats {
 	case *stream.Engine:
 		st := e.Stats()
 		out.Kind, out.Stream = "stream", &st
+	case *cluster.Coordinator:
+		st := e.Stats()
+		out.Kind, out.Sharded = "cluster", &st
 	case *shard.Coordinator:
 		st := e.Stats()
 		out.Kind, out.Sharded = "sharded", &st

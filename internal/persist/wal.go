@@ -1,108 +1,27 @@
 // Write-ahead log encoding: one append-only file per session, holding the
-// delta batches journaled since the session's last checkpoint. Each
-// record is length-prefixed and checksummed:
-//
-//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
-//
-// with a JSON payload {"seq": N, "batch": [...]}. Reading tolerates a
-// torn tail — a crash mid-append leaves a partial record, which recovery
-// must treat as "this batch never became durable": the reader stops at
-// the first record whose header, length, checksum, or JSON does not parse
-// and reports the clean prefix. Anything after a torn record is
-// unreachable by construction (record boundaries are unrecoverable), so
-// it is discarded with the tear.
+// delta batches journaled since the session's last checkpoint. The record
+// format (length-prefixed, CRC-checksummed JSON with torn-tail-tolerant
+// reading) lives in internal/wal, shared with the cluster coordinator's
+// failover journal; this file keeps the persist-local aliases.
 package persist
 
 import (
-	"encoding/binary"
-	"encoding/json"
-	"fmt"
-	"hash/crc32"
 	"os"
 
-	"github.com/anmat/anmat/internal/stream"
+	"github.com/anmat/anmat/internal/wal"
 )
 
 // walRecord is one journaled delta batch.
-type walRecord struct {
-	Seq   int64        `json:"seq"`
-	Batch stream.Batch `json:"batch"`
-}
-
-// maxWALRecord caps one record's payload (256 MiB) so a corrupt length
-// prefix reads as a torn tail instead of driving a huge allocation.
-const maxWALRecord = 256 << 20
-
-// encodeRecord renders one record as header + payload bytes.
-func encodeRecord(rec walRecord) ([]byte, error) {
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return nil, fmt.Errorf("wal: encode seq %d: %w", rec.Seq, err)
-	}
-	out := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
-	copy(out[8:], payload)
-	return out, nil
-}
+type walRecord = wal.Record
 
 // appendRecord writes one record to the open WAL file in a single write
 // call, optionally fsyncing for power-loss durability.
 func appendRecord(f *os.File, rec walRecord, fsync bool) error {
-	b, err := encodeRecord(rec)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(b); err != nil {
-		return fmt.Errorf("wal %s: append seq %d: %w", f.Name(), rec.Seq, err)
-	}
-	if fsync {
-		if err := f.Sync(); err != nil {
-			return fmt.Errorf("wal %s: fsync seq %d: %w", f.Name(), rec.Seq, err)
-		}
-	}
-	return nil
+	return wal.Append(f, rec, fsync)
 }
 
-// readWAL parses the session WAL at path. A missing file is an empty log.
-// ends[i] is the byte offset just past record i, so callers can truncate
-// the file back to any clean prefix. The returned tornAt is the byte
-// offset of the first undecodable record (-1 when the file parsed
-// cleanly); records before it are returned, bytes from it on are a crash
-// artifact to be cut off — left in place they would strand every record
-// appended after them. Only real I/O failures produce an error.
+// readWAL parses the session WAL at path; see wal.Read for the torn-tail
+// contract.
 func readWAL(path string) (recs []walRecord, ends []int64, tornAt int64, err error) {
-	b, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil, nil, -1, nil
-	}
-	if err != nil {
-		return nil, nil, -1, fmt.Errorf("wal %s: %w", path, err)
-	}
-	off := 0
-	for off < len(b) {
-		if len(b)-off < 8 {
-			return recs, ends, int64(off), nil // torn header
-		}
-		// Decode the length as int64 so a corrupt prefix with the high
-		// bit set cannot wrap negative on 32-bit platforms and slip past
-		// the bounds checks into a panicking slice expression.
-		n := int64(binary.LittleEndian.Uint32(b[off : off+4]))
-		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
-		if n > maxWALRecord || int64(len(b)-off-8) < n {
-			return recs, ends, int64(off), nil // torn or garbage payload length
-		}
-		payload := b[off+8 : off+8+int(n)]
-		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, ends, int64(off), nil // torn or bit-flipped payload
-		}
-		var rec walRecord
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, ends, int64(off), nil // checksummed but undecodable: foreign bytes
-		}
-		recs = append(recs, rec)
-		off += 8 + int(n)
-		ends = append(ends, int64(off))
-	}
-	return recs, ends, -1, nil
+	return wal.Read(path)
 }

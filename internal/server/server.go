@@ -698,14 +698,20 @@ func (s *Server) apiDetection(w http.ResponseWriter, r *http.Request) {
 			DurationMS: float64(st.Duration.Microseconds()) / 1000,
 		})
 	}
-	writeJSON(w, map[string]any{
+	payload := map[string]any{
 		"session":    sess.ID,
 		"rules":      len(sess.DetectStats),
 		"violations": len(sess.Violations),
 		"stats":      stats,
 		"shards":     sess.Shards(),
 		"engine":     sess.EngineStats(),
-	})
+	}
+	if w := sess.Workers(); len(w) > 0 {
+		// Distributed mode: surface the worker topology so operators can
+		// line per-shard stats up with the processes serving them.
+		payload["workers"] = w
+	}
+	writeJSON(w, payload)
 }
 
 // apiViolations pages through the detected violations: ?limit= bounds the

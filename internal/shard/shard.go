@@ -19,23 +19,31 @@
 //     carry a stream.EngineOptions.KeyFilter restricting them to the keys
 //     they own, so partial replicas of a block never produce pairs.
 //
-// Each shard runs an ordinary stream.Engine over its sub-table; delta
-// batches fan out as per-shard operations (appends route by key and home,
-// updates migrate a row between shards when its block keys move, deletes
-// renumber both the global and the per-shard row spaces). The merged
-// violation set — per-shard sets renumbered from local to global rows,
-// deduplicated, and sorted in the detection engine's total order — is
-// byte-identical to a fresh detect.DetectAllContext over the global table
-// at any K and any parallelism, which the replay-equivalence property
-// tests assert over randomized delta scripts for K ∈ {1,2,4,8}.
+// Since PR 6 the coordinator is split in two phases so shards can live
+// behind a network (internal/cluster):
+//
+//   - the Translator turns each global delta batch into per-shard
+//     NodeOps — engine operations plus the local→global mapping
+//     directives that keep every shard's row numbering in lockstep with
+//     the global table (appends route by key and home, updates migrate a
+//     row between shards when its block keys move, deletes renumber both
+//     the global and the per-shard row spaces);
+//   - the translated batches fan out concurrently over the Node
+//     interface (in-process LocalNodes here, HTTP workers in
+//     internal/cluster), and the globalized per-shard results merge —
+//     deduplicated and sorted in the detection engine's total order —
+//     into a set byte-identical to a fresh detect.DetectAllContext over
+//     the global table at any K and any parallelism, which the
+//     replay-equivalence property tests assert over randomized delta
+//     scripts for K ∈ {1,2,4,8}.
 //
 // The one ordering subtlety: the blocking pass pairs each deviating tuple
 // against the *first* tuple of a block's majority group, so which pairs
 // exist depends on member order. Rows that migrate onto a shard append at
 // the end of its local table, making local order diverge from global
 // order; the engines therefore evaluate blocks in global order via
-// stream.EngineOptions.GlobalID, and the coordinator re-canonicalizes
-// pair renderings (tuple order, observed/expected orientation) after
+// stream.EngineOptions.GlobalID, and the nodes re-canonicalize pair
+// renderings (tuple order, observed/expected orientation) after
 // renumbering.
 package shard
 
@@ -80,17 +88,6 @@ type ruleMeta struct {
 	vars []pattern.Constrained
 }
 
-// shardState is one shard: its sub-table, its incremental engine, and the
-// local→global row mapping.
-type shardState struct {
-	t   *table.Table
-	eng *stream.Engine
-	// globalOf maps a local row index to the row's current global index.
-	// It is NOT necessarily monotone: rows migrating onto the shard
-	// append at the local end regardless of their global position.
-	globalOf []int
-}
-
 // rowPlace records where one global row lives.
 type rowPlace struct {
 	// home is the round-robin shard assigned at insertion; it keeps the
@@ -102,83 +99,34 @@ type rowPlace struct {
 	locals map[int]int
 }
 
-// Coordinator fans one table's delta stream out over K per-shard
-// incremental engines and maintains the merged global violation set. It
-// implements the same incremental-detection surface as stream.Engine
-// (Apply/Replay/Violations/Since/Seq/Stale/SetSink) and is safe for
-// concurrent use; batches serialize on an internal lock.
-type Coordinator struct {
-	mu      sync.Mutex
-	t       *table.Table
-	rules   []*pfd.PFD
-	meta    []ruleMeta
-	k       int
-	version int64 // global table version after our last own mutation
-	// broken marks a coordinator whose translated per-shard operation
-	// failed mid-batch (a bug, not a caller error): the per-shard state
-	// can no longer be trusted, so further batches are refused and
-	// Stale() reports true until the holder rebuilds.
-	broken bool
-
-	shards []*shardState
-	rows   []rowPlace // indexed by global row
-
-	seq int64
-	// vio is the merged, deduplicated global violation set after the last
-	// applied batch (key → globally-renumbered rendering); owners counts
-	// how many shards currently report each key (a pair whose ambiguous
-	// extraction spans keys owned by two shards is reported by both), so
-	// batches that renumber nothing can fold the shards' own diffs
-	// incrementally instead of re-merging every shard's full set.
-	vio    map[string]pfd.Violation
-	owners map[string]int
-	log    *stream.DiffLog
-	sink   func(seq int64, batch stream.Batch) error
+// Translator is the routing half of the coordinator: it owns the global
+// table and the placement bookkeeping (which shard hosts which row at
+// which local index) and turns global delta batches into per-shard
+// NodeOps. It holds no engines, so it is also the replay shadow the
+// cluster failover path runs over a snapshot + WAL to reconstruct a lost
+// shard's boot state — placement depends on history (a row's home shard
+// is fixed at insertion time), not just on current cell values.
+type Translator struct {
+	t     *table.Table
+	rules []*pfd.PFD
+	meta  []ruleMeta
+	k     int
+	rows  []rowPlace // indexed by global row
+	// globalOf mirrors each node's local→global mapping. It is NOT
+	// necessarily monotone: rows migrating onto a shard append at the
+	// local end regardless of their global position.
+	globalOf [][]int
 }
 
-// batchResult accumulates what one batch's translated operations did:
-// the per-shard engine diffs (folded into the merged set when possible)
-// and whether any row space was renumbered — a global delete or a
-// cross-shard migration — which invalidates local-coordinate diffs and
-// forces a full re-merge.
-type batchResult struct {
-	mu         sync.Mutex
-	diffs      []shardDiff
-	renumbered bool
-}
-
-type shardDiff struct {
-	shard int
-	diff  *stream.Diff
-}
-
-func (r *batchResult) add(shard int, d *stream.Diff) {
-	r.mu.Lock()
-	r.diffs = append(r.diffs, shardDiff{shard, d})
-	r.mu.Unlock()
-}
-
-// New builds a coordinator with K shards over the table's current
-// contents. Like stream.NewEngine, the bootstrap costs about one full
-// detection pass — but split across the shards, which bootstrap their
-// engines in parallel.
-func New(t *table.Table, rules []*pfd.PFD, k int) (*Coordinator, error) {
-	return NewFrom(t, rules, k, 0)
-}
-
-// NewFrom is New with an explicit starting sequence number (see
-// stream.NewEngineFrom for the cursor-continuity contract).
-func NewFrom(t *table.Table, rules []*pfd.PFD, k int, baseSeq int64) (*Coordinator, error) {
+// NewTranslator routes the table's current rows over k shards and
+// returns the placement bookkeeping. The table is shared, not copied:
+// Translate mutates it exactly like the engine the batches are bound
+// for.
+func NewTranslator(t *table.Table, rules []*pfd.PFD, k int) (*Translator, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("shard: %d shards (want >= 1)", k)
 	}
-	c := &Coordinator{
-		t:     t,
-		rules: rules,
-		k:     k,
-		seq:   baseSeq,
-		log:   stream.NewDiffLog(0),
-	}
+	tr := &Translator{t: t, rules: rules, k: k, globalOf: make([][]int, k)}
 	for _, p := range rules {
 		li, ok := t.ColIndex(p.LHS)
 		if !ok {
@@ -193,79 +141,389 @@ func NewFrom(t *table.Table, rules []*pfd.PFD, k int, baseSeq int64) (*Coordinat
 				m.vars = append(m.vars, row.LHS)
 			}
 		}
-		c.meta = append(c.meta, m)
+		tr.meta = append(tr.meta, m)
 	}
-
-	// Route every row to its home shard plus the owners of its block keys.
-	c.shards = make([]*shardState, k)
-	for s := range c.shards {
-		st, err := table.New(t.Name(), t.Columns())
-		if err != nil {
-			return nil, fmt.Errorf("shard: %w", err)
-		}
-		c.shards[s] = &shardState{t: st}
-	}
-	c.rows = make([]rowPlace, 0, t.NumRows())
+	tr.rows = make([]rowPlace, 0, t.NumRows())
 	for g := 0; g < t.NumRows(); g++ {
 		rec := t.Row(g)
 		place := rowPlace{home: g % k, locals: make(map[int]int, 1)}
-		for s := range c.shardSet(rec, place.home) {
-			ss := c.shards[s]
-			place.locals[s] = ss.t.NumRows()
-			if err := ss.t.Append(rec); err != nil {
-				return nil, fmt.Errorf("shard: %w", err)
-			}
-			ss.globalOf = append(ss.globalOf, g)
+		for s := range tr.shardSet(rec, place.home) {
+			place.locals[s] = len(tr.globalOf[s])
+			tr.globalOf[s] = append(tr.globalOf[s], g)
 		}
-		c.rows = append(c.rows, place)
+		tr.rows = append(tr.rows, place)
 	}
-
-	// Bootstrap the per-shard engines concurrently: this is the full
-	// detection pass, split K ways.
-	errs := make([]error, k)
-	var wg sync.WaitGroup
-	for s := range c.shards {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			ss := c.shards[s]
-			eng, err := stream.NewEngineOpts(ss.t, rules, stream.EngineOptions{
-				LogCap:    1, // the coordinator keeps the Since log; shard logs are unused
-				KeyFilter: func(key string) bool { return Owner(key, k) == s },
-				GlobalID:  func(local int) int { return ss.globalOf[local] },
-			})
-			if err != nil {
-				errs[s] = err
-				return
-			}
-			ss.eng = eng
-		}(s)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("shard: %w", err)
-		}
-	}
-	c.vio, c.owners = c.merge()
-	c.version = t.Version()
-	return c, nil
+	return tr, nil
 }
 
 // shardSet returns the shards one row must live on given its current cell
 // values: the home shard plus the owner of every block key any rule's
 // variable tableau rows extract from the row's LHS values.
-func (c *Coordinator) shardSet(cells []string, home int) map[int]bool {
+func (tr *Translator) shardSet(cells []string, home int) map[int]bool {
 	set := map[int]bool{home: true}
-	for _, m := range c.meta {
+	for _, m := range tr.meta {
 		lv := cells[m.li]
 		for _, q := range m.vars {
 			for _, key := range q.Extract(lv) {
-				set[Owner(key, c.k)] = true
+				set[Owner(key, tr.k)] = true
 			}
 		}
 	}
 	return set
+}
+
+// Boot renders one shard's current boot state — its routed sub-table
+// rows and local→global mapping — from the translator's bookkeeping.
+func (tr *Translator) Boot(s int) NodeBoot {
+	boot := NodeBoot{
+		Name:     tr.t.Name(),
+		Columns:  tr.t.Columns(),
+		Rows:     make([][]string, len(tr.globalOf[s])),
+		GlobalOf: append([]int(nil), tr.globalOf[s]...),
+		Shard:    s,
+		Of:       tr.k,
+	}
+	for l, g := range tr.globalOf[s] {
+		boot.Rows[l] = tr.t.Row(g)
+	}
+	return boot
+}
+
+// Shards returns the shard count K.
+func (tr *Translator) Shards() int { return tr.k }
+
+// Translate applies one validated global batch to the table and the
+// placement bookkeeping, and returns each shard's translated operations
+// (ops[s] empty when the batch never touches shard s) plus whether any
+// row space renumbered — a global delete or a cross-shard migration —
+// which invalidates per-op diffs and forces the coordinator to re-merge.
+// A returned error means the bookkeeping is no longer trustworthy; the
+// holder must discard the translator.
+func (tr *Translator) Translate(batch stream.Batch) ([][]NodeOp, bool, error) {
+	ops := make([][]NodeOp, tr.k)
+	renumbered := false
+	for _, op := range batch {
+		var err error
+		switch op.Kind {
+		case stream.OpAppend:
+			err = tr.translateAppend(op.Rows, ops)
+		case stream.OpUpdate:
+			var moved bool
+			moved, err = tr.translateUpdate(op.Row, op.Column, op.Value, ops)
+			renumbered = renumbered || moved
+		case stream.OpDelete:
+			err = tr.translateDelete(op.Drop, ops)
+			renumbered = true
+		}
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	return ops, renumbered, nil
+}
+
+// translateAppend appends rows to the global table and routes each to its
+// home shard plus its block-key owners, batching per shard.
+func (tr *Translator) translateAppend(rows [][]string, ops [][]NodeOp) error {
+	pend := make([][][]string, tr.k)
+	pendG := make([][]int, tr.k)
+	for _, r := range rows {
+		// Normalize like the single engine does at its ingestion boundary,
+		// and route on the normalized values (the ones the shards store).
+		rec := make([]string, len(r))
+		for i, cell := range r {
+			rec[i] = table.NormalizeCell(cell)
+		}
+		g := tr.t.NumRows()
+		if err := tr.t.Append(rec); err != nil {
+			return err
+		}
+		place := rowPlace{home: g % tr.k, locals: make(map[int]int, 1)}
+		for s := range tr.shardSet(rec, place.home) {
+			place.locals[s] = len(tr.globalOf[s])
+			tr.globalOf[s] = append(tr.globalOf[s], g)
+			pend[s] = append(pend[s], rec)
+			pendG[s] = append(pendG[s], g)
+		}
+		tr.rows = append(tr.rows, place)
+	}
+	for s := range pend {
+		if len(pend[s]) == 0 {
+			continue
+		}
+		op := stream.AppendRows(pend[s]...)
+		ops[s] = append(ops[s], NodeOp{Op: &op, Globals: pendG[s]})
+	}
+	return nil
+}
+
+// translateUpdate overwrites one global cell and reconciles the row's
+// shard placement: shards it leaves get a local delete, shards it joins
+// get an append of the full current row, shards it stays on get the cell
+// update. All bookkeeping lands first — the nodes' mappings must reach
+// the final numbering before their engines recompute — then at most one
+// NodeOp per shard is emitted (the leave/join/stay sets are disjoint).
+// Reports whether the row migrated (local row spaces renumbered).
+func (tr *Translator) translateUpdate(g int, column, value string, ops [][]NodeOp) (bool, error) {
+	ci, _ := tr.t.ColIndex(column) // validated
+	value = table.NormalizeCell(value)
+	if tr.t.Cell(g, ci) == value {
+		return false, nil
+	}
+	tr.t.SetCell(g, ci, value)
+	place := &tr.rows[g]
+	newSet := tr.shardSet(tr.t.Row(g), place.home)
+	perShard := make(map[int]NodeOp)
+
+	for s, local := range place.locals {
+		if !newSet[s] {
+			op := stream.DeleteRows(local)
+			perShard[s] = NodeOp{Op: &op}
+		}
+	}
+	moved := len(perShard) > 0
+	for s := range perShard { // the leave set: rewrite bookkeeping before any engine runs
+		tr.removeFromShard(s, place.locals[s])
+	}
+	joined := make(map[int]bool)
+	for s := range newSet {
+		if _, ok := place.locals[s]; ok {
+			continue
+		}
+		place.locals[s] = len(tr.globalOf[s])
+		tr.globalOf[s] = append(tr.globalOf[s], g)
+		joined[s] = true
+		moved = true
+		op := stream.AppendRows(tr.t.Row(g))
+		perShard[s] = NodeOp{Op: &op, Globals: []int{g}}
+	}
+	for s, local := range place.locals {
+		if joined[s] {
+			continue // appended with the new value already
+		}
+		op := stream.UpdateCell(local, column, value)
+		perShard[s] = NodeOp{Op: &op}
+	}
+	for s, op := range perShard {
+		ops[s] = append(ops[s], op)
+	}
+	return moved, nil
+}
+
+// removeFromShard drops one local row from a shard's bookkeeping:
+// rewrites the local→global mirror and every surviving row's local index,
+// and deletes the removed row's placement entry. The caller pairs it
+// with a DeleteRows node op addressed at the pre-removal local index.
+func (tr *Translator) removeFromShard(s, local int) {
+	ng := make([]int, 0, len(tr.globalOf[s])-1)
+	for l, g := range tr.globalOf[s] {
+		if l == local {
+			delete(tr.rows[g].locals, s)
+			continue
+		}
+		tr.rows[g].locals[s] = len(ng)
+		ng = append(ng, g)
+	}
+	tr.globalOf[s] = ng
+}
+
+// translateDelete removes global rows: every hosting shard deletes its
+// local copies, the global space renumbers, and every hosting shard's
+// mapping is rewritten to the new numbering — shards that lose no local
+// rows still receive a mapping-only renumber directive.
+func (tr *Translator) translateDelete(drop []int, ops [][]NodeOp) error {
+	dropSet := make(map[int]bool, len(drop))
+	for _, g := range drop {
+		dropSet[g] = true
+	}
+	targets := make([]int, 0, len(dropSet))
+	for g := range dropSet {
+		targets = append(targets, g)
+	}
+	sort.Ints(targets)
+
+	// Per-shard local targets, captured before any bookkeeping moves.
+	perShard := make([][]int, tr.k)
+	for _, g := range targets {
+		for s, local := range tr.rows[g].locals {
+			perShard[s] = append(perShard[s], local)
+		}
+	}
+	remap := remapFor(targets)
+
+	// Rewrite every shard's mirror: drop deleted rows, shift surviving
+	// locals down, renumber the global values — the same transformation
+	// the NodeOp directive instructs each node to perform.
+	for s := range tr.globalOf {
+		ng := make([]int, 0, len(tr.globalOf[s]))
+		for _, g := range tr.globalOf[s] {
+			if dropSet[g] {
+				delete(tr.rows[g].locals, s)
+				continue
+			}
+			tr.rows[g].locals[s] = len(ng)
+			nr, _ := remap(g)
+			ng = append(ng, nr)
+		}
+		tr.globalOf[s] = ng
+	}
+	newRows := make([]rowPlace, 0, len(tr.rows)-len(targets))
+	for g := range tr.rows {
+		if !dropSet[g] {
+			newRows = append(newRows, tr.rows[g])
+		}
+	}
+	tr.rows = newRows
+	if _, err := tr.t.DeleteRows(targets...); err != nil {
+		return err
+	}
+
+	for s := 0; s < tr.k; s++ {
+		if len(perShard[s]) > 0 {
+			sort.Ints(perShard[s])
+			op := stream.DeleteRows(perShard[s]...)
+			ops[s] = append(ops[s], NodeOp{Op: &op, Renumber: targets})
+		} else if len(tr.globalOf[s]) > 0 {
+			ops[s] = append(ops[s], NodeOp{Renumber: targets})
+		}
+	}
+	return nil
+}
+
+// RecoverFunc replaces a shard node that stopped responding: it receives
+// the shard index, the shard's current boot state (rendered from the
+// translator, i.e. already reflecting the in-flight batch), and the
+// sequence number the batch advances the coordinator to. Returning a
+// fresh Node resumes the batch; returning an error poisons the
+// coordinator.
+type RecoverFunc func(s int, boot NodeBoot, seq int64) (Node, error)
+
+// Config tunes NewWith. The zero value reproduces New.
+type Config struct {
+	// BaseSeq is the starting sequence number (see stream.NewEngineFrom
+	// for the cursor-continuity contract).
+	BaseSeq int64
+	// NewNode overrides shard node construction — internal/cluster
+	// supplies remote workers here. nil builds in-process LocalNodes.
+	NewNode func(s int, boot NodeBoot, rules []*pfd.PFD) (Node, error)
+	// Recover, when set, is invoked when a node fails mid-batch (after
+	// the transport's own retries); see RecoverFunc. nil poisons the
+	// coordinator on the first node failure.
+	Recover RecoverFunc
+	// Journal, when set, receives every batch — Apply and Replay alike —
+	// after validation (and after the write-ahead sink on Apply), before
+	// translation. It is the coordinator's own failover journal, distinct
+	// from the session-durability sink installed via SetSink.
+	Journal func(seq int64, batch stream.Batch) error
+}
+
+// Coordinator fans one table's delta stream out over K shard nodes and
+// maintains the merged global violation set. It implements the same
+// incremental-detection surface as stream.Engine (Apply/Replay/
+// Violations/Since/Seq/Stale/SetSink) and is safe for concurrent use;
+// batches serialize on an internal lock.
+type Coordinator struct {
+	mu      sync.Mutex
+	t       *table.Table
+	rules   []*pfd.PFD
+	tr      *Translator
+	k       int
+	nodes   []Node
+	version int64 // global table version after our last own mutation
+	// broken marks a coordinator whose translated per-shard operation
+	// failed mid-batch without a recovery path: the per-shard state can
+	// no longer be trusted, so further batches are refused and Stale()
+	// reports true until the holder rebuilds.
+	broken  bool
+	recover RecoverFunc
+	journal func(seq int64, batch stream.Batch) error
+
+	seq int64
+	// vio is the merged, deduplicated global violation set after the last
+	// applied batch (key → globally-renumbered rendering); owners counts
+	// how many shards currently report each key (a pair whose ambiguous
+	// extraction spans keys owned by two shards is reported by both), so
+	// batches that renumber nothing can fold the shards' own diffs
+	// incrementally instead of re-merging every shard's full set.
+	vio    map[string]pfd.Violation
+	owners map[string]int
+	log    *stream.DiffLog
+	sink   func(seq int64, batch stream.Batch) error
+}
+
+// New builds a coordinator with K in-process shards over the table's
+// current contents. Like stream.NewEngine, the bootstrap costs about one
+// full detection pass — but split across the shards, which bootstrap
+// their engines in parallel.
+func New(t *table.Table, rules []*pfd.PFD, k int) (*Coordinator, error) {
+	return NewWith(t, rules, k, Config{})
+}
+
+// NewFrom is New with an explicit starting sequence number (see
+// stream.NewEngineFrom for the cursor-continuity contract).
+func NewFrom(t *table.Table, rules []*pfd.PFD, k int, baseSeq int64) (*Coordinator, error) {
+	return NewWith(t, rules, k, Config{BaseSeq: baseSeq})
+}
+
+// NewWith is New with the full configuration: custom node transports,
+// failover recovery, and the coordinator's own journal hook.
+func NewWith(t *table.Table, rules []*pfd.PFD, k int, cfg Config) (*Coordinator, error) {
+	tr, err := NewTranslator(t, rules, k)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		t:       t,
+		rules:   rules,
+		tr:      tr,
+		k:       k,
+		seq:     cfg.BaseSeq,
+		log:     stream.NewDiffLog(0),
+		recover: cfg.Recover,
+		journal: cfg.Journal,
+	}
+	newNode := cfg.NewNode
+	if newNode == nil {
+		newNode = func(s int, boot NodeBoot, rules []*pfd.PFD) (Node, error) {
+			return NewLocalNode(boot, rules)
+		}
+	}
+
+	// Bootstrap the shard nodes concurrently: this is the full detection
+	// pass, split K ways.
+	c.nodes = make([]Node, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			node, err := newNode(s, tr.Boot(s), rules)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			c.nodes[s] = node
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, n := range c.nodes {
+				if n != nil {
+					_ = n.Close()
+				}
+			}
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+	}
+	vio, owners, err := c.mergeNodes()
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	c.vio, c.owners = vio, owners
+	c.version = t.Version()
+	return c, nil
 }
 
 // Shards returns the shard count K.
@@ -273,6 +531,31 @@ func (c *Coordinator) Shards() int { return c.k }
 
 // Rules returns the coordinator's rule set (shared slice; do not mutate).
 func (c *Coordinator) Rules() []*pfd.PFD { return c.rules }
+
+// Translator exposes the coordinator's routing bookkeeping (the cluster
+// layer boots replacement workers from it).
+func (c *Coordinator) Translator() *Translator { return c.tr }
+
+// Node returns shard s's current node.
+func (c *Coordinator) Node(s int) Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[s]
+}
+
+// Close releases every node's resources (the coordinator itself holds
+// none).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Seq returns the sequence number of the last applied batch.
 func (c *Coordinator) Seq() int64 {
@@ -334,10 +617,18 @@ func (c *Coordinator) Apply(batch stream.Batch) (*stream.Diff, error) {
 	return c.apply(batch, true)
 }
 
-// Replay is Apply without the journal hook — the recovery path, replaying
-// batches read back from the write-ahead log.
+// Replay is Apply without the session-durability sink — the recovery
+// path, replaying batches read back from the write-ahead log. The
+// coordinator's own Journal hook still runs: replayed batches are part of
+// its failover timeline.
 func (c *Coordinator) Replay(batch stream.Batch) (*stream.Diff, error) {
 	return c.apply(batch, false)
+}
+
+// shardDiffs is one shard's globalized per-op diffs for one batch.
+type shardDiffs struct {
+	shard int
+	diffs []*stream.Diff
 }
 
 func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, error) {
@@ -352,56 +643,110 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 	if err := stream.ValidateBatch(c.t, batch); err != nil {
 		return nil, fmt.Errorf("shard: invalid batch: %w", err)
 	}
+	seq := c.seq + 1
 	if journal && c.sink != nil {
-		if err := c.sink(c.seq+1, batch); err != nil {
-			return nil, fmt.Errorf("shard: journal batch %d: %w", c.seq+1, err)
+		if err := c.sink(seq, batch); err != nil {
+			return nil, fmt.Errorf("shard: journal batch %d: %w", seq, err)
 		}
 	}
-	res := &batchResult{}
-	for _, op := range batch {
-		var err error
-		switch op.Kind {
-		case stream.OpAppend:
-			err = c.applyAppend(op.Rows, res)
-		case stream.OpUpdate:
-			err = c.applyUpdate(op.Row, op.Column, op.Value, res)
-		case stream.OpDelete:
-			err = c.applyDelete(op.Drop, res)
+	if c.journal != nil {
+		if err := c.journal(seq, batch); err != nil {
+			return nil, fmt.Errorf("shard: cluster journal batch %d: %w", seq, err)
 		}
-		if err != nil {
-			// Translated per-shard operations are constructed valid; a
-			// failure means the per-shard state diverged and cannot be
-			// trusted. Poison the coordinator so the holder rebuilds.
+	}
+
+	ops, renumbered, err := c.tr.Translate(batch)
+	if err != nil {
+		// Translated per-shard operations are constructed valid; a failure
+		// means the bookkeeping diverged and cannot be trusted. Poison the
+		// coordinator so the holder rebuilds.
+		c.broken = true
+		return nil, fmt.Errorf("shard: %w (coordinator state inconsistent; rebuild it)", err)
+	}
+
+	// Fan the translated batches out concurrently — the shards' engines
+	// are independent, and the bookkeeping is already in place.
+	var (
+		wg      sync.WaitGroup
+		resMu   sync.Mutex
+		results []shardDiffs
+		failed  []int
+		errsBy  = make([]error, c.k)
+	)
+	for s := 0; s < c.k; s++ {
+		if len(ops[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			diffs, err := c.nodes[s].Apply(NodeBatch{Seq: seq, Ops: ops[s], Diffs: !renumbered})
+			resMu.Lock()
+			defer resMu.Unlock()
+			if err != nil {
+				failed = append(failed, s)
+				errsBy[s] = err
+				return
+			}
+			results = append(results, shardDiffs{s, diffs})
+		}(s)
+	}
+	wg.Wait()
+
+	// Failover: replace dead nodes and re-merge. The replacement boots
+	// from the shard's post-batch state (the translator already reflects
+	// the whole batch), so its engine bootstrap lands exactly where a
+	// surviving node's incremental application would have.
+	if len(failed) > 0 {
+		if c.recover == nil {
 			c.broken = true
-			return nil, fmt.Errorf("shard: %w (coordinator state inconsistent; rebuild it)", err)
+			return nil, fmt.Errorf("shard %d: %w (coordinator state inconsistent; rebuild it)", failed[0], errsBy[failed[0]])
 		}
+		sort.Ints(failed)
+		for _, s := range failed {
+			node, rerr := c.recover(s, c.tr.Boot(s), seq)
+			if rerr != nil {
+				c.broken = true
+				return nil, fmt.Errorf("shard %d: %v; recovery failed: %w (coordinator state inconsistent; rebuild it)", s, errsBy[s], rerr)
+			}
+			_ = c.nodes[s].Close()
+			c.nodes[s] = node
+		}
+		renumbered = true // per-op diffs are incomplete; re-merge from the nodes
 	}
+
 	c.version = c.t.Version()
-	c.seq++
+	c.seq = seq
 	var diff *stream.Diff
-	if res.renumbered {
-		// Row spaces moved (delete or cross-shard migration): the shards'
-		// diffs mix pre- and post-renumbering coordinates, so rebuild the
-		// merged set from the engines' current state.
-		cur, owners := c.merge()
+	if renumbered {
+		// Row spaces moved (delete or cross-shard migration) or a node
+		// failed over: the per-op diffs mix pre- and post-renumbering
+		// coordinates (or are missing), so rebuild the merged set from the
+		// nodes' current state.
+		cur, owners, merr := c.mergeNodes()
+		if merr != nil {
+			c.broken = true
+			return nil, fmt.Errorf("shard: re-merge: %w (coordinator state inconsistent; rebuild it)", merr)
+		}
 		diff = diffSets(c.vio, cur, c.seq, c.t.NumRows())
 		c.vio, c.owners = cur, owners
 	} else {
-		// Nothing renumbered: fold the per-shard diffs the engines
-		// already computed, keeping each batch proportional to what it
-		// touched instead of O(total violations).
-		diff = c.fold(res)
+		// Nothing renumbered: fold the per-shard diffs the nodes already
+		// computed, keeping each batch proportional to what it touched
+		// instead of O(total violations).
+		sort.Slice(results, func(i, j int) bool { return results[i].shard < results[j].shard })
+		diff = c.fold(results)
 	}
 	c.log.Append(diff)
 	return diff, nil
 }
 
-// fold applies the shards' own per-batch diffs to the merged set with
-// owner counting: a violation disappears globally only when its last
-// reporting shard drops it. Valid only when no row space renumbered this
-// batch, so every diff's local coordinates resolve through the shard's
-// current local→global map (appends only ever extend it).
-func (c *Coordinator) fold(res *batchResult) *stream.Diff {
+// fold applies the shards' own per-op diffs to the merged set with owner
+// counting: a violation disappears globally only when its last reporting
+// shard drops it. Valid only when no row space renumbered this batch, so
+// every diff's global coordinates are final (appends only ever extend
+// the mappings).
+func (c *Coordinator) fold(results []shardDiffs) *stream.Diff {
 	prior := make(map[string]*pfd.Violation)
 	touch := func(k string) {
 		if _, done := prior[k]; done {
@@ -414,23 +759,22 @@ func (c *Coordinator) fold(res *batchResult) *stream.Diff {
 			prior[k] = nil
 		}
 	}
-	for _, sd := range res.diffs {
-		gof := c.shards[sd.shard].globalOf
-		for _, v := range sd.diff.Removed {
-			gv := globalize(v, gof)
-			k := gv.Key()
-			touch(k)
-			if c.owners[k]--; c.owners[k] <= 0 {
-				delete(c.owners, k)
-				delete(c.vio, k)
+	for _, sd := range results {
+		for _, d := range sd.diffs {
+			for _, gv := range d.Removed {
+				k := gv.Key()
+				touch(k)
+				if c.owners[k]--; c.owners[k] <= 0 {
+					delete(c.owners, k)
+					delete(c.vio, k)
+				}
 			}
-		}
-		for _, v := range sd.diff.Added {
-			gv := globalize(v, gof)
-			k := gv.Key()
-			touch(k)
-			c.owners[k]++
-			c.vio[k] = gv
+			for _, gv := range d.Added {
+				k := gv.Key()
+				touch(k)
+				c.owners[k]++
+				c.vio[k] = gv
+			}
 		}
 	}
 	out := &stream.Diff{Seq: c.seq, Rows: c.t.NumRows()}
@@ -451,255 +795,51 @@ func (c *Coordinator) fold(res *batchResult) *stream.Diff {
 	return out
 }
 
-// applyAppend appends rows to the global table and routes each to its
-// home shard plus its block-key owners, batching per shard.
-func (c *Coordinator) applyAppend(rows [][]string, res *batchResult) error {
-	pend := make([][][]string, c.k)
-	pendG := make([][]int, c.k)
-	for _, r := range rows {
-		// Normalize like the single engine does at its ingestion boundary,
-		// and route on the normalized values (the ones the shards store).
-		rec := make([]string, len(r))
-		for i, cell := range r {
-			rec[i] = table.NormalizeCell(cell)
-		}
-		g := c.t.NumRows()
-		if err := c.t.Append(rec); err != nil {
-			return err
-		}
-		place := rowPlace{home: g % c.k, locals: make(map[int]int, 1)}
-		for s := range c.shardSet(rec, place.home) {
-			place.locals[s] = len(c.shards[s].globalOf) + len(pend[s])
-			pend[s] = append(pend[s], rec)
-			pendG[s] = append(pendG[s], g)
-		}
-		c.rows = append(c.rows, place)
-	}
-	ops := make(map[int]stream.Batch, c.k)
-	for s := range c.shards {
-		if len(pend[s]) == 0 {
-			continue
-		}
-		// globalOf grows before the engine sees the rows: the engine's
-		// GlobalID hook resolves the new locals during its recompute.
-		c.shards[s].globalOf = append(c.shards[s].globalOf, pendG[s]...)
-		ops[s] = stream.Batch{stream.AppendRows(pend[s]...)}
-	}
-	return c.fanOut(ops, res)
-}
-
-// applyUpdate overwrites one global cell and reconciles the row's shard
-// placement: shards it leaves get a local delete, shards it joins get an
-// append of the full current row, shards it stays on get the cell
-// update. All coordinator bookkeeping lands first — the engines'
-// GlobalID hooks must see the final numbering during their recompute —
-// then the per-shard operations (at most one per shard, the sets are
-// disjoint) fan out concurrently.
-func (c *Coordinator) applyUpdate(g int, column, value string, res *batchResult) error {
-	ci, _ := c.t.ColIndex(column) // validated
-	value = table.NormalizeCell(value)
-	if c.t.Cell(g, ci) == value {
-		return nil
-	}
-	c.t.SetCell(g, ci, value)
-	place := &c.rows[g]
-	newSet := c.shardSet(c.t.Row(g), place.home)
-	ops := make(map[int]stream.Batch)
-
-	for s := range place.locals {
-		if !newSet[s] {
-			ops[s] = stream.Batch{stream.DeleteRows(place.locals[s])}
-		}
-	}
-	for s := range ops { // the leave set: rewrite bookkeeping before any engine runs
-		c.removeFromShard(s, place.locals[s])
-		res.renumbered = true
-	}
-	joined := make(map[int]bool)
-	for s := range newSet {
-		if _, ok := place.locals[s]; ok {
-			continue
-		}
-		ss := c.shards[s]
-		place.locals[s] = ss.t.NumRows()
-		ss.globalOf = append(ss.globalOf, g)
-		joined[s] = true
-		ops[s] = stream.Batch{stream.AppendRows(c.t.Row(g))}
-	}
-	for s, local := range place.locals {
-		if joined[s] {
-			continue // appended with the new value already
-		}
-		ops[s] = stream.Batch{stream.UpdateCell(local, column, value)}
-	}
-	return c.fanOut(ops, res)
-}
-
-// removeFromShard drops one local row from a shard's bookkeeping:
-// rewrites the local→global map and every surviving row's local index,
-// and deletes the removed row's placement entry. The caller pairs it
-// with a DeleteRows engine op addressed at the pre-removal local index.
-func (c *Coordinator) removeFromShard(s, local int) {
-	ss := c.shards[s]
-	ng := make([]int, 0, len(ss.globalOf)-1)
-	for l, g := range ss.globalOf {
-		if l == local {
-			delete(c.rows[g].locals, s)
-			continue
-		}
-		c.rows[g].locals[s] = len(ng)
-		ng = append(ng, g)
-	}
-	ss.globalOf = ng
-}
-
-// applyDelete removes global rows: every hosting shard deletes its local
-// copies, the global space renumbers, and every shard's local→global map
-// is rewritten to the new numbering before the engines recompute.
-func (c *Coordinator) applyDelete(drop []int, res *batchResult) error {
-	res.renumbered = true
-	dropSet := make(map[int]bool, len(drop))
-	for _, g := range drop {
-		dropSet[g] = true
-	}
-	targets := make([]int, 0, len(dropSet))
-	for g := range dropSet {
-		targets = append(targets, g)
-	}
-	sort.Ints(targets)
-
-	// Per-shard local targets, captured before any bookkeeping moves.
-	perShard := make([][]int, c.k)
-	for _, g := range targets {
-		for s, local := range c.rows[g].locals {
-			perShard[s] = append(perShard[s], local)
-		}
-	}
-	remap := remapFor(targets)
-
-	// Rewrite every shard's local→global map: drop deleted rows, shift
-	// surviving locals down, renumber the global values — before the
-	// engines run, so their GlobalID hooks see the final numbering.
-	for s, ss := range c.shards {
-		ng := make([]int, 0, len(ss.globalOf))
-		for _, g := range ss.globalOf {
-			if dropSet[g] {
-				delete(c.rows[g].locals, s)
-				continue
-			}
-			c.rows[g].locals[s] = len(ng)
-			nr, _ := remap(g)
-			ng = append(ng, nr)
-		}
-		ss.globalOf = ng
-	}
-	newRows := make([]rowPlace, 0, len(c.rows)-len(targets))
-	for g := range c.rows {
-		if !dropSet[g] {
-			newRows = append(newRows, c.rows[g])
-		}
-	}
-	c.rows = newRows
-	if _, err := c.t.DeleteRows(targets...); err != nil {
-		return err
-	}
-
-	ops := make(map[int]stream.Batch, c.k)
-	for s := range c.shards {
-		if len(perShard[s]) == 0 {
-			continue
-		}
-		sort.Ints(perShard[s])
-		ops[s] = stream.Batch{stream.DeleteRows(perShard[s]...)}
-	}
-	return c.fanOut(ops, res)
-}
-
-// remapFor returns the old→new global row mapping of deleting the sorted
-// target rows (the same mapping full detection's table compaction
-// induces).
-func remapFor(sortedTargets []int) func(int) (int, bool) {
-	targets := append([]int(nil), sortedTargets...)
-	return func(old int) (int, bool) {
-		below := sort.SearchInts(targets, old)
-		if below < len(targets) && targets[below] == old {
-			return 0, false
-		}
-		return old - below, true
-	}
-}
-
-// fanOut applies one translated batch per shard, concurrently — the
-// shards' engines are independent, and the coordinator's bookkeeping for
-// the operation is already in place — collecting each shard's diff into
-// the batch result.
-func (c *Coordinator) fanOut(ops map[int]stream.Batch, res *batchResult) error {
-	if len(ops) == 0 {
-		return nil
-	}
+// mergeNodes collects every node's globalized violations concurrently and
+// deduplicates by violation key, counting per key how many shards report
+// it (a pair whose ambiguous extraction spans keys owned by two shards is
+// reported by both; the renderings agree because both shards see the same
+// global cells). A node that fails the read is recovered once (when a
+// recovery hook is set) and re-read.
+func (c *Coordinator) mergeNodes() (map[string]pfd.Violation, map[string]int, error) {
+	lists := make([][]pfd.Violation, c.k)
 	errs := make([]error, c.k)
 	var wg sync.WaitGroup
-	for s, b := range ops {
+	for s := 0; s < c.k; s++ {
 		wg.Add(1)
-		go func(s int, b stream.Batch) {
+		go func(s int) {
 			defer wg.Done()
-			d, err := c.shards[s].eng.Apply(b)
-			if err != nil {
-				errs[s] = fmt.Errorf("shard %d: %w", s, err)
-				return
-			}
-			res.add(s, d)
-		}(s, b)
+			lists[s], errs[s] = c.nodes[s].Violations()
+		}(s)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for s, err := range errs {
+		if err == nil {
+			continue
+		}
+		if c.recover == nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		node, rerr := c.recover(s, c.tr.Boot(s), c.seq)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("shard %d: %v; recovery failed: %w", s, err, rerr)
+		}
+		_ = c.nodes[s].Close()
+		c.nodes[s] = node
+		if lists[s], err = node.Violations(); err != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 	}
-	return nil
-}
-
-// merge collects every shard's maintained violations, renumbers them from
-// local to global rows, and deduplicates by violation key, counting per
-// key how many shards report it (a pair whose ambiguous extraction spans
-// keys owned by two shards is reported by both; the renderings agree
-// because both shards see the same global cells).
-func (c *Coordinator) merge() (map[string]pfd.Violation, map[string]int) {
 	out := make(map[string]pfd.Violation, len(c.vio))
 	owners := make(map[string]int, len(c.vio))
-	for _, ss := range c.shards {
-		for _, v := range ss.eng.Violations() {
-			gv := globalize(v, ss.globalOf)
+	for _, list := range lists {
+		for _, gv := range list {
 			k := gv.Key()
 			out[k] = gv
 			owners[k]++
 		}
 	}
-	return out, owners
-}
-
-// globalize renumbers one shard-local violation into global row space and
-// re-canonicalizes its rendering: cells re-sorted, pair tuples in
-// ascending global order with observed/expected oriented to the larger/
-// smaller tuple — exactly how whole-table detection renders the same
-// violation.
-func globalize(v pfd.Violation, globalOf []int) pfd.Violation {
-	nv := v
-	nv.Cells = make([]table.CellRef, len(v.Cells))
-	for i, cell := range v.Cells {
-		nv.Cells[i] = table.CellRef{Row: globalOf[cell.Row], Column: cell.Column}
-	}
-	table.SortCellRefs(nv.Cells)
-	nv.Tuples = make([]int, len(v.Tuples))
-	for i, tu := range v.Tuples {
-		nv.Tuples[i] = globalOf[tu]
-	}
-	if len(nv.Tuples) == 2 && nv.Tuples[0] > nv.Tuples[1] {
-		nv.Tuples[0], nv.Tuples[1] = nv.Tuples[1], nv.Tuples[0]
-		nv.Observed, nv.Expected = nv.Expected, nv.Observed
-	}
-	return nv
+	return out, owners, nil
 }
 
 // diffSets renders the net change between two merged violation maps in
@@ -735,6 +875,9 @@ type ShardStat struct {
 	// Engine is the shard engine's own maintained-state summary. Its
 	// violation count is pre-merge (local, before global deduplication).
 	Engine stream.Stats `json:"engine"`
+	// Error reports a node whose stats read failed (an unreachable
+	// worker); Rows/Engine are zero then.
+	Error string `json:"error,omitempty"`
 }
 
 // Stats summarizes the coordinator's maintained state: the merged global
@@ -762,9 +905,14 @@ func (c *Coordinator) Stats() Stats {
 		Violations: len(c.vio),
 	}
 	local := 0
-	for s, ss := range c.shards {
-		local += ss.t.NumRows()
-		st.PerShard = append(st.PerShard, ShardStat{Shard: s, Rows: ss.t.NumRows(), Engine: ss.eng.Stats()})
+	for s, node := range c.nodes {
+		ns, err := node.Stats()
+		if err != nil {
+			st.PerShard = append(st.PerShard, ShardStat{Shard: s, Error: err.Error()})
+			continue
+		}
+		local += ns.Rows
+		st.PerShard = append(st.PerShard, ShardStat{Shard: s, Rows: ns.Rows, Engine: ns.Engine})
 	}
 	if st.Rows > 0 {
 		st.Replication = float64(local) / float64(st.Rows)

@@ -132,7 +132,7 @@ func TestKeyMoveAcrossShards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := fmt.Sprint(c.rows[0].locals)
+	before := fmt.Sprint(c.tr.rows[0].locals)
 	// 850… → 212…: the variable row's key moves from block "850" to "212".
 	if _, err := c.Apply(stream.Batch{stream.UpdateCell(0, "phone", "2120007777")}); err != nil {
 		t.Fatal(err)
@@ -140,10 +140,10 @@ func TestKeyMoveAcrossShards(t *testing.T) {
 	assertMerged(t, c, tbl, rules)
 	owner850, owner212 := Owner("850", 4), Owner("212", 4)
 	if owner850 != owner212 {
-		if _, ok := c.rows[0].locals[owner212]; !ok {
-			t.Errorf("row 0 not hosted on the new key's owner shard %d (placement %v -> %v)", owner212, before, c.rows[0].locals)
+		if _, ok := c.tr.rows[0].locals[owner212]; !ok {
+			t.Errorf("row 0 not hosted on the new key's owner shard %d (placement %v -> %v)", owner212, before, c.tr.rows[0].locals)
 		}
-		if _, ok := c.rows[0].locals[owner850]; ok && owner850 != c.rows[0].home {
+		if _, ok := c.tr.rows[0].locals[owner850]; ok && owner850 != c.tr.rows[0].home {
 			t.Errorf("row 0 still hosted on the old key's owner shard %d", owner850)
 		}
 	}
@@ -172,13 +172,18 @@ func TestDeleteSpanningShards(t *testing.T) {
 			if tbl.NumRows() != 4 {
 				t.Fatalf("global rows = %d", tbl.NumRows())
 			}
-			// Every surviving row's recorded locals must resolve back to it.
-			for g, place := range c.rows {
+			// Every surviving row's recorded locals must resolve back to it —
+			// in the translator's mirror AND on the nodes themselves.
+			for g, place := range c.tr.rows {
 				for s, local := range place.locals {
-					if got := c.shards[s].globalOf[local]; got != g {
+					if got := c.tr.globalOf[s][local]; got != g {
 						t.Fatalf("row %d: shard %d local %d maps to global %d", g, s, local, got)
 					}
-					if mustJSON(t, c.shards[s].t.Row(local)) != mustJSON(t, tbl.Row(g)) {
+					node := c.nodes[s].(*LocalNode)
+					if got := node.GlobalOf()[local]; got != g {
+						t.Fatalf("row %d: shard %d node local %d maps to global %d", g, s, local, got)
+					}
+					if mustJSON(t, node.Table().Row(local)) != mustJSON(t, tbl.Row(g)) {
 						t.Fatalf("row %d: shard %d copy diverged", g, s)
 					}
 				}
