@@ -31,6 +31,13 @@ type ClientOptions struct {
 	// HTTPClient overrides the transport (tests inject flaky ones); nil
 	// uses a private http.Client.
 	HTTPClient *http.Client
+	// Epoch identifies the coordinator this node speaks for: it is sent
+	// in the boot body and in the EpochHeader of every request, and a
+	// worker booted under it refuses batches from any other epoch — the
+	// fence that keeps a stale coordinator from silently mutating state a
+	// newer one owns. cluster.New fills it with a fresh unique value when
+	// empty; set it only to pin a deterministic epoch in tests.
+	Epoch string
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -88,6 +95,9 @@ func (n *RemoteNode) call(method, path string, body, out any) error {
 		if encoded != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		if n.opts.Epoch != "" {
+			req.Header.Set(EpochHeader, n.opts.Epoch)
+		}
 		resp, err := n.opts.HTTPClient.Do(req)
 		if err != nil {
 			return fmt.Errorf("cluster %s%s: %w", n.base, path, err)
@@ -121,13 +131,13 @@ func (n *RemoteNode) call(method, path string, body, out any) error {
 // Init pushes boot state to the worker over /init.
 func (n *RemoteNode) Init(boot shard.NodeBoot, rules []*pfd.PFD, seq int64) error {
 	var st StateResponse
-	return n.call(http.MethodPost, APIPrefix+"/init", BootRequest{Boot: boot, Rules: rules, Seq: seq}, &st)
+	return n.call(http.MethodPost, APIPrefix+"/init", BootRequest{Boot: boot, Rules: rules, Seq: seq, Epoch: n.opts.Epoch}, &st)
 }
 
 // Restore pushes replacement state over /restore (failover semantics).
 func (n *RemoteNode) Restore(boot shard.NodeBoot, rules []*pfd.PFD, seq int64) error {
 	var st StateResponse
-	return n.call(http.MethodPost, APIPrefix+"/restore", BootRequest{Boot: boot, Rules: rules, Seq: seq}, &st)
+	return n.call(http.MethodPost, APIPrefix+"/restore", BootRequest{Boot: boot, Rules: rules, Seq: seq, Epoch: n.opts.Epoch}, &st)
 }
 
 // Healthz probes the worker.

@@ -17,9 +17,20 @@
 // and pushes it to a spare worker over /restore. The coordinator's own
 // diff log is untouched by the swap, so violations?since= cursors issued
 // before the failure keep resolving exactly.
+//
+// A worker holds exactly one shard state, so a worker set belongs to
+// exactly one coordinator at a time: booting a second coordinator over
+// the same workers replaces their state, and the first coordinator is
+// fenced out by epoch (its applies fail with 409 instead of silently
+// corrupting the new owner's shards — see the proto.go epoch-fencing
+// section). Callers that multiplex sessions over one process must give
+// each live coordinator a disjoint worker set; internal/core enforces
+// this with a system-level claim registry.
 package cluster
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"sync"
@@ -40,8 +51,10 @@ type Options struct {
 	// Dir is the failover store directory. "" creates a fresh temporary
 	// directory (removed on Close).
 	Dir string
-	// Fsync makes every WAL append durable against power loss, matching
-	// the session store's -fsync semantics.
+	// Fsync makes the store durable against power loss — every WAL append
+	// is fsynced, and the snapshot file and the store directory's entries
+	// are synced at creation — matching the session store's -fsync
+	// semantics.
 	Fsync bool
 	// Spares are standby worker base URLs used for failover, consumed in
 	// order. A dead primary with no spare left (and no Respawn) poisons
@@ -80,6 +93,13 @@ func New(t *table.Table, rules []*pfd.PFD, workers []string, opts Options) (*Coo
 	k := len(workers)
 	if k < 1 {
 		return nil, fmt.Errorf("cluster: no workers")
+	}
+	if opts.Client.Epoch == "" {
+		// A fresh epoch per coordinator: workers fence requests against it,
+		// so a superseded coordinator (another session booting the same
+		// workers, or this session rebuilding its engine) errors out instead
+		// of silently mutating state it no longer owns.
+		opts.Client.Epoch = newEpoch()
 	}
 	dir, ownDir := opts.Dir, false
 	if dir == "" {
@@ -168,6 +188,21 @@ func (c *Coordinator) claimSpare(s int) (string, error) {
 	}
 	return "", fmt.Errorf("no spare worker for shard %d", s)
 }
+
+// newEpoch returns a fresh coordinator epoch: 8 random bytes, hex.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand practically cannot fail; a fixed marker still fences
+		// better than the empty epoch (which disables the check).
+		return "epoch-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Epoch returns the coordinator's fencing epoch (every worker it boots
+// is claimed under it).
+func (c *Coordinator) Epoch() string { return c.opts.Client.Epoch }
 
 // Store exposes the failover store (tests inspect the WAL copies).
 func (c *Coordinator) Store() *Store { return c.store }

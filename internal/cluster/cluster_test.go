@@ -534,6 +534,127 @@ func TestBackoffDo(t *testing.T) {
 	}
 }
 
+// TestEpochFencing pins the ownership-transfer contract: a worker booted
+// under one coordinator epoch refuses batches and epoch-tagged reads
+// from a superseded epoch, while header-less operator reads keep
+// working.
+func TestEpochFencing(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tbl := testTable(rng, 8)
+	rules := testRules()
+
+	w := NewWorker(0, 1)
+	w.SetLogf(t.Logf)
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	optsA, optsB := fastClient(), fastClient()
+	optsA.Epoch, optsB.Epoch = "epoch-a", "epoch-b"
+	nodeA := NewRemoteNode(srv.URL, optsA)
+	nodeB := NewRemoteNode(srv.URL, optsB)
+
+	trA, err := shard.NewTranslator(tbl, rules, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodeA.Init(trA.Boot(0), rules, 0); err != nil {
+		t.Fatal(err)
+	}
+	batch := stream.Batch{stream.AppendRows(randRow(rng))}
+	ops, _, err := trA.Translate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nodeA.Apply(shard.NodeBatch{Seq: 1, Ops: ops[0]}); err != nil {
+		t.Fatal(err)
+	}
+
+	// B boots the same worker: an ownership transfer that fences A out.
+	trB, err := shard.NewTranslator(tbl.Clone(), rules, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nodeB.Init(trB.Boot(0), rules, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := nodeA.Apply(shard.NodeBatch{Seq: 2}); err == nil {
+		t.Fatal("superseded epoch's apply succeeded")
+	}
+	if _, err := nodeA.Violations(); err == nil {
+		t.Fatal("superseded epoch's read succeeded")
+	}
+	// The live epoch and header-less operator reads still work.
+	if _, err := nodeB.Apply(shard.NodeBatch{Seq: 2}); err != nil {
+		t.Fatalf("live epoch's apply failed: %v", err)
+	}
+	resp, err := http.Get(srv.URL + APIPrefix + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("header-less operator read answered %s", resp.Status)
+	}
+}
+
+// TestWorkerApplyFailurePoisons pins the half-applied-batch defense: an
+// apply that fails mid-batch leaves partially mutated state, so the
+// worker must refuse everything (412, permanent at the client) until a
+// restore re-boots it — a blind retry of the 500 would re-apply the
+// whole batch onto the partial state and could silently corrupt it.
+func TestWorkerApplyFailurePoisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tbl := testTable(rng, 8)
+	rules := testRules()
+
+	w := NewWorker(0, 1)
+	w.SetLogf(t.Logf)
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	node := NewRemoteNode(srv.URL, fastClient())
+
+	tr, err := shard.NewTranslator(tbl, rules, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Init(tr.Boot(0), rules, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Op 0 applies cleanly, op 1 fails: state is now half-mutated.
+	good := stream.AppendRows(randRow(rng))
+	bad := stream.DeleteRows(999)
+	nb := shard.NodeBatch{Seq: 1, Ops: []shard.NodeOp{
+		{Op: &good, Globals: []int{tbl.NumRows()}},
+		{Op: &bad},
+	}}
+	if _, err := node.Apply(nb); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+
+	// Poisoned: even a clean batch (and the redelivery a retrying
+	// coordinator would send) must fail permanently, not re-apply.
+	if _, err := node.Apply(shard.NodeBatch{Seq: 2}); err == nil {
+		t.Fatal("poisoned worker accepted a batch")
+	}
+	st, err := node.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ready {
+		t.Fatal("poisoned worker reports Ready")
+	}
+
+	// A restore (the coordinator's WAL failover path) revives it.
+	if err := node.Restore(tr.Boot(0), rules, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Apply(shard.NodeBatch{Seq: 6}); err != nil {
+		t.Fatalf("restored worker rejected a batch: %v", err)
+	}
+}
+
 // TestWorkerSeqConflicts pins the worker's idempotency contract at the
 // HTTP level: redelivery of the last batch replays the cached response,
 // a gap is a 409 the client treats as permanent, and an uninitialized

@@ -14,8 +14,21 @@
 //	GET  /healthz                                 → StateResponse
 //
 // Errors are {"error": "..."} with a 4xx/5xx status; 409 marks sequence
-// conflicts (gap or stale replay) and 412 marks calls against an
-// uninitialized worker.
+// and epoch conflicts (gap, stale replay, fenced-out coordinator) and
+// 412 marks calls against an uninitialized (or poisoned) worker.
+//
+// # Epoch fencing
+//
+// A worker holds exactly one shard state, so it belongs to exactly one
+// coordinator at a time. Each boot carries the coordinator's epoch (a
+// unique string; see Options.Client.Epoch) and the worker records it;
+// every later request from a RemoteNode repeats the epoch in the
+// X-Anmat-Epoch header. A boot for a new epoch is an ownership transfer
+// — it replaces the state — after which the previous coordinator's
+// applies fail with 409 instead of silently mutating the new owner's
+// state. Applies require a matching header once an epoch is set; reads
+// reject only a *mismatched* header, so header-less operator requests
+// (curl against /stats, /snapshot) still work.
 package cluster
 
 import (
@@ -27,13 +40,19 @@ import (
 // APIPrefix is the versioned path prefix of the shard worker API.
 const APIPrefix = "/shard/v1"
 
+// EpochHeader carries the requesting coordinator's epoch on every
+// RemoteNode call; see the epoch-fencing section of the package comment.
+const EpochHeader = "X-Anmat-Epoch"
+
 // BootRequest initializes (or replaces, via /restore) a worker's shard
-// state: the boot sub-table and mapping, the rule set, and the sequence
-// number the state corresponds to.
+// state: the boot sub-table and mapping, the rule set, the sequence
+// number the state corresponds to, and the booting coordinator's epoch
+// (the worker fences later requests against it).
 type BootRequest struct {
 	Boot  shard.NodeBoot `json:"boot"`
 	Rules []*pfd.PFD     `json:"rules"`
 	Seq   int64          `json:"seq"`
+	Epoch string         `json:"epoch,omitempty"`
 }
 
 // StateResponse describes a worker's current state (init/restore reply

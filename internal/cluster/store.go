@@ -66,11 +66,19 @@ func CreateStore(dir string, t *table.Table, rules []*pfd.PFD, k int, seq int64,
 		return nil, fmt.Errorf("cluster store: encode snapshot: %w", err)
 	}
 	tmp := filepath.Join(dir, snapName+".tmp")
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := writeFileSync(tmp, blob, fsync); err != nil {
 		return nil, fmt.Errorf("cluster store: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
 		return nil, fmt.Errorf("cluster store: %w", err)
+	}
+	if fsync {
+		// Make the rename itself durable: with only the WAL appends synced,
+		// a power loss could leave durable WAL records beside a missing
+		// snapshot, and RehydrateBoot would have nothing to replay over.
+		if err := syncDir(dir); err != nil {
+			return nil, fmt.Errorf("cluster store: %w", err)
+		}
 	}
 	st := &Store{dir: dir, k: k, fsync: fsync}
 	for s := 0; s < k; s++ {
@@ -81,7 +89,50 @@ func CreateStore(dir string, t *table.Table, rules []*pfd.PFD, k int, seq int64,
 		}
 		st.files = append(st.files, f)
 	}
+	if fsync {
+		// The WAL files' directory entries must survive power loss too, or
+		// fsynced appends land in files no recovery can find.
+		if err := syncDir(dir); err != nil {
+			_ = st.Close()
+			return nil, fmt.Errorf("cluster store: %w", err)
+		}
+	}
 	return st, nil
+}
+
+// writeFileSync writes data to path, fsyncing before close when sync is
+// set (an os.WriteFile whose contents are durable before the caller's
+// rename publishes them).
+func writeFileSync(path string, data []byte, sync bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, making its entries (renames, creations)
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 // Append journals one batch to every WAL copy, write-ahead of any worker

@@ -33,7 +33,10 @@ type Worker struct {
 	// curShard/curOf record the slot the live node was booted for (equal
 	// to shardID/of when pinned).
 	curShard, curOf int
-	seq             int64
+	// epoch is the coordinator identity the live state was booted under;
+	// requests fenced against it (see the proto.go epoch-fencing section).
+	epoch string
+	seq   int64
 	// last is the cached response of the batch that advanced the worker
 	// to seq, replayed on idempotent redelivery.
 	last *ApplyResponse
@@ -104,11 +107,31 @@ func (w *Worker) handleBoot(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusBadRequest, "boot: %v", err)
 		return
 	}
+	if w.epoch != "" && req.Epoch != w.epoch {
+		// Ownership transfer: a boot under a new epoch replaces the state
+		// and fences the previous coordinator out (its applies 409 from
+		// here on instead of silently mutating the new owner's state).
+		w.logf("worker shard %d/%d: epoch %q takes over from %q", req.Boot.Shard, req.Boot.Of, req.Epoch, w.epoch)
+	}
 	w.node, w.rules, w.seq, w.last = node, req.Rules, req.Seq, nil
-	w.curShard, w.curOf = req.Boot.Shard, req.Boot.Of
+	w.curShard, w.curOf, w.epoch = req.Boot.Shard, req.Boot.Of, req.Epoch
 	w.logf("worker shard %d/%d: booted %d rows at seq %d (%s)",
 		req.Boot.Shard, req.Boot.Of, len(req.Boot.Rows), req.Seq, r.URL.Path)
 	writeJSON(rw, http.StatusOK, w.stateLocked())
+}
+
+// checkEpochLocked fences a request against the epoch the live state was
+// booted under, writing a 409 (permanent at the client) on conflict.
+// Strict mode — applies, which mutate — also rejects a missing header;
+// lenient mode — reads — lets header-less operator requests through.
+// Callers hold w.mu; reports whether the request may proceed.
+func (w *Worker) checkEpochLocked(rw http.ResponseWriter, r *http.Request, strict bool) bool {
+	got := r.Header.Get(EpochHeader)
+	if w.epoch == "" || got == w.epoch || (got == "" && !strict) {
+		return true
+	}
+	writeError(rw, http.StatusConflict, "worker claimed by epoch %q, request carries %q — its coordinator was superseded", w.epoch, got)
+	return false
 }
 
 // handleApply applies one translated batch, idempotently by sequence
@@ -127,6 +150,9 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if !w.checkEpochLocked(rw, r, true) {
+		return
+	}
 	if w.node == nil {
 		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
 		return
@@ -147,10 +173,15 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 	}
 	diffs, err := w.node.Apply(nb)
 	if err != nil {
-		// The engine refuses invalid batches before mutating, but a failure
-		// here still means this worker's state can no longer be trusted to
-		// match the coordinator's bookkeeping; report and let the
-		// coordinator fail over to a restore.
+		// LocalNode.Apply mutates op by op, so an error on op i leaves ops
+		// 0..i-1 applied — and the 500 below is retryable at the client, so
+		// a blind redelivery would re-apply the whole batch onto that
+		// half-mutated state. Poison the node: every later call answers 412
+		// (permanent) until a /restore re-boots, sending the coordinator
+		// straight to the WAL-backed failover path.
+		w.node, w.last = nil, nil
+		w.logf("worker shard %d/%d: apply batch %d failed, state poisoned pending restore: %v",
+			w.curShard, w.curOf, nb.Seq, err)
 		writeError(rw, http.StatusInternalServerError, "apply batch %d: %v", nb.Seq, err)
 		return
 	}
@@ -167,6 +198,9 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 func (w *Worker) handleViolations(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if !w.checkEpochLocked(rw, r, false) {
+		return
+	}
 	if w.node == nil {
 		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
 		return
@@ -199,6 +233,9 @@ func (w *Worker) handleViolations(rw http.ResponseWriter, r *http.Request) {
 func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if !w.checkEpochLocked(rw, r, false) {
+		return
+	}
 	if w.node == nil {
 		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
 		return
@@ -217,6 +254,9 @@ func (w *Worker) handleStats(rw http.ResponseWriter, r *http.Request) {
 func (w *Worker) handleSnapshot(rw http.ResponseWriter, r *http.Request) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if !w.checkEpochLocked(rw, r, false) {
+		return
+	}
 	if w.node == nil {
 		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
 		return
@@ -233,7 +273,7 @@ func (w *Worker) handleSnapshot(rw http.ResponseWriter, r *http.Request) {
 	for i := 0; i < t.NumRows(); i++ {
 		boot.Rows[i] = t.Row(i)
 	}
-	writeJSON(rw, http.StatusOK, BootRequest{Boot: boot, Rules: w.rules, Seq: w.seq})
+	writeJSON(rw, http.StatusOK, BootRequest{Boot: boot, Rules: w.rules, Seq: w.seq, Epoch: w.epoch})
 }
 
 func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {

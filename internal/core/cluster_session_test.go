@@ -85,3 +85,70 @@ func TestDistributedSessionStream(t *testing.T) {
 		t.Fatalf("session worker override Shards() = %d, want 2", got)
 	}
 }
+
+// TestDistributedSessionWorkerClaims pins the one-session-per-worker-set
+// constraint: the first distributed session claims its endpoints, a
+// second session over any of them is refused (its engine would silently
+// replace the first session's shard state), and the same session may
+// rebuild its engine over its own claim.
+func TestDistributedSessionWorkerClaims(t *testing.T) {
+	urls := startClusterWorkers(t, 2)
+	sys := NewSystemWith(docstore.NewMem(), SystemConfig{
+		Params:  DefaultParams(),
+		Workers: urls,
+	})
+
+	se := sys.NewSession("p", shardTestTable(), DefaultParams())
+	se.UseRules(shardTestRules())
+	if _, err := se.Stream(); err != nil {
+		t.Fatal(err)
+	}
+
+	other := sys.NewSession("p", shardTestTable(), DefaultParams())
+	other.UseRules(shardTestRules())
+	if _, err := other.Stream(); err == nil {
+		t.Fatal("second distributed session built an engine over claimed workers")
+	}
+	// Overlap through a per-session override is refused too.
+	overlap := sys.NewSessionWith("p", shardTestTable(), SessionConfig{Workers: urls[:1]})
+	overlap.UseRules(shardTestRules())
+	if _, err := overlap.Stream(); err == nil {
+		t.Fatal("overlapping worker override built an engine over claimed workers")
+	}
+
+	// The claiming session itself can rebuild (rule change → new engine).
+	se.UseRules(shardTestRules())
+	if _, err := se.Stream(); err != nil {
+		t.Fatalf("claiming session's engine rebuild refused: %v", err)
+	}
+}
+
+// TestClusterSparePoolClaimOnce pins the shared failover pool: each
+// spare endpoint is handed to exactly one session, and a spare that
+// doubles as a claimed primary is skipped.
+func TestClusterSparePoolClaimOnce(t *testing.T) {
+	sys := NewSystemWith(docstore.NewMem(), SystemConfig{
+		ClusterSpares: []string{"http://spare-a", "http://spare-b"},
+	})
+	if got := sys.claimSpare("s1"); got != "http://spare-a" {
+		t.Fatalf("first claim = %q", got)
+	}
+	if got := sys.claimSpare("s2"); got != "http://spare-b" {
+		t.Fatalf("second claim = %q", got)
+	}
+	if got := sys.claimSpare("s3"); got != "" {
+		t.Fatalf("exhausted pool handed out %q", got)
+	}
+
+	// An endpoint listed both as a primary (claimed by s1) and as a spare
+	// must never be handed to another session as a spare.
+	sys2 := NewSystemWith(docstore.NewMem(), SystemConfig{
+		ClusterSpares: []string{"http://dual", "http://free"},
+	})
+	if err := sys2.claimWorkers("s1", []string{"http://dual"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys2.claimSpare("s2"); got != "http://free" {
+		t.Fatalf("spare claim = %q, want the unclaimed endpoint", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"github.com/anmat/anmat/internal/cluster"
@@ -68,9 +69,18 @@ type SystemConfig struct {
 	// /shard/v1 HTTP API (see internal/cluster). Takes precedence over
 	// Shards; results stay byte-identical at any worker count.
 	// Per-session SessionConfig.Workers overrides it.
+	//
+	// A worker holds exactly one shard state, so a worker set serves
+	// exactly one distributed session: the first session to build its
+	// engine claims the endpoints for the system's lifetime, and any
+	// other session configured over a claimed endpoint fails to build its
+	// engine with a clear error. To run several distributed sessions,
+	// give each (via SessionConfig.Workers) a disjoint worker set.
 	Workers []string
-	// ClusterSpares are standby worker base URLs a distributed session
-	// fails over to when a primary stops answering.
+	// ClusterSpares are standby worker base URLs distributed sessions
+	// fail over to when a primary stops answering. They form one shared
+	// system-level pool with claim-once semantics: a spare consumed by
+	// one session's failover is never handed to another.
 	ClusterSpares []string
 	// ClusterDir is the directory of distributed sessions' failover
 	// stores (snapshot + K-way replicated WAL); each session uses a
@@ -89,6 +99,19 @@ type System struct {
 	store *docstore.Store
 	cfg   SystemConfig
 	seq   atomic.Int64 // session ID sequence
+
+	// cmu guards the cluster endpoint bookkeeping below.
+	cmu sync.Mutex
+	// workerClaims maps each claimed worker endpoint to the session
+	// holding it. A worker carries exactly one shard state, so two
+	// sessions sharing an endpoint would silently clobber each other;
+	// claims are taken when a distributed session builds its engine and
+	// last for the system's lifetime.
+	workerClaims map[string]string
+	// clusterSpares is the shared failover pool seeded from
+	// SystemConfig.ClusterSpares; each endpoint is handed out at most
+	// once across all sessions.
+	clusterSpares []string
 }
 
 // NewSystem builds a system over the store with default configuration
@@ -106,7 +129,50 @@ func NewSystemWith(store *docstore.Store, cfg SystemConfig) *System {
 	}
 	// Params are taken verbatim — zero values are a legitimate request
 	// for no coverage floor / zero tolerated violations.
-	return &System{store: store, cfg: cfg}
+	return &System{
+		store:         store,
+		cfg:           cfg,
+		workerClaims:  make(map[string]string),
+		clusterSpares: append([]string(nil), cfg.ClusterSpares...),
+	}
+}
+
+// claimWorkers reserves the worker endpoints for one session, erroring
+// when any is already held by another: a worker holds exactly one shard
+// state, so sharing it across sessions would silently replace the first
+// session's state (see SystemConfig.Workers). Re-claiming by the same
+// session (an engine rebuild) is a no-op.
+func (s *System) claimWorkers(sessionID string, endpoints []string) error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	for _, ep := range endpoints {
+		if owner, ok := s.workerClaims[ep]; ok && owner != sessionID {
+			return fmt.Errorf("worker %s already serves session %s's shards; distributed sessions need disjoint worker sets", ep, owner)
+		}
+	}
+	for _, ep := range endpoints {
+		s.workerClaims[ep] = sessionID
+	}
+	return nil
+}
+
+// claimSpare hands one standby endpoint from the shared failover pool to
+// the session, or "" when none is left. Each spare is claimed at most
+// once across all sessions, so two failing-over sessions can never
+// restore conflicting shard states onto the same endpoint.
+func (s *System) claimSpare(sessionID string) string {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	for len(s.clusterSpares) > 0 {
+		ep := s.clusterSpares[0]
+		s.clusterSpares = s.clusterSpares[1:]
+		if owner, ok := s.workerClaims[ep]; ok && owner != sessionID {
+			continue // listed both as a primary and a spare; already taken
+		}
+		s.workerClaims[ep] = sessionID
+		return ep
+	}
+	return ""
 }
 
 // Store exposes the underlying document store.
@@ -561,6 +627,12 @@ type Streamer interface {
 // byte-identical in all three modes.
 func (se *Session) newStreamer(rules []*pfd.PFD, base int64) (Streamer, error) {
 	if w := se.Workers(); len(w) > 0 {
+		// A worker set serves one session: claim the endpoints (for the
+		// system's lifetime) so a second distributed session cannot boot
+		// over them and clobber this one's shard state.
+		if err := se.sys.claimWorkers(se.ID, w); err != nil {
+			return nil, err
+		}
 		dir := ""
 		if d := se.sys.cfg.ClusterDir; d != "" {
 			dir = filepath.Join(d, se.ID)
@@ -568,7 +640,10 @@ func (se *Session) newStreamer(rules []*pfd.PFD, base int64) (Streamer, error) {
 		return cluster.New(se.Table, rules, w, cluster.Options{
 			BaseSeq: base,
 			Dir:     dir,
-			Spares:  se.sys.cfg.ClusterSpares,
+			// Spares come from the system's shared claim-once pool rather
+			// than a per-coordinator copy, so two failing-over sessions can
+			// never restore conflicting states onto the same spare.
+			Respawn: func(int) string { return se.sys.claimSpare(se.ID) },
 		})
 	}
 	if k := se.Shards(); k > 1 {
