@@ -8,6 +8,11 @@
 // any custom metrics per benchmark. Benchmarks named with a /p<N> suffix
 // (the parallel-detection family) additionally get a speedup_vs_p1
 // field: ns/op of the /p1 sibling divided by their own ns/op.
+//
+// Benchmarks with a rows<N> name segment also record allocs/row
+// (allocs/op divided by N), and the run fails if that figure regresses
+// more than 10% against the committed record — same override semantics
+// as the multi-core overwrite guard (-force).
 package main
 
 import (
@@ -160,6 +165,88 @@ func addSpeedups(benches []Bench) {
 	}
 }
 
+// rowsVariant matches the /rows<N> name segment of the table-scaled
+// benchmark families (e.g. BenchmarkShardDetect/rows1000000/k1).
+var rowsVariant = regexp.MustCompile(`rows(\d+)`)
+
+// addPerRowMetrics derives an allocs/row metric for every benchmark that
+// both encodes its table size in a rows<N> name segment and was run with
+// -benchmem. Unlike allocs/op, allocs/row is comparable across records
+// taken at different row counts, which is what the regression gate needs:
+// CI smoke runs shrink the table via SHARD_BENCH_ROWS but must still be
+// judged against the committed full-size record.
+func addPerRowMetrics(benches []Bench) {
+	for i := range benches {
+		m := rowsVariant.FindStringSubmatch(benches[i].Name)
+		if m == nil || benches[i].AllocsPerOp == nil {
+			continue
+		}
+		n, err := strconv.ParseFloat(m[1], 64)
+		if err != nil || n <= 0 {
+			continue
+		}
+		if benches[i].Metrics == nil {
+			benches[i].Metrics = make(map[string]float64)
+		}
+		benches[i].Metrics["allocs/row"] = *benches[i].AllocsPerOp / n
+	}
+}
+
+// allocSlack is the tolerated allocs/row growth vs the committed record
+// before guardAllocRegression fails the run.
+const allocSlack = 1.10
+
+// guardAllocRegression compares this run's allocs/row figures against the
+// committed record at path and fails if any benchmark regressed by more
+// than allocSlack. Benchmarks are matched with the rows<N> segment
+// normalized away, so a 100k-row smoke run is still judged against a
+// 1M-row record. Guard semantics mirror guardOverwrite: an absent or
+// unreadable record (or one without the metric) never blocks, and -force
+// downgrades the failure to a warning.
+func guardAllocRegression(path string, benches []Bench, force bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev Report
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return nil
+	}
+	prevPerRow := make(map[string]float64)
+	for _, b := range prev.Benchmarks {
+		if v, ok := b.Metrics["allocs/row"]; ok && v > 0 {
+			prevPerRow[rowsVariant.ReplaceAllString(b.Name, "rowsN")] = v
+		}
+	}
+	var regressed []string
+	for _, b := range benches {
+		v, ok := b.Metrics["allocs/row"]
+		if !ok {
+			continue
+		}
+		pv, ok := prevPerRow[rowsVariant.ReplaceAllString(b.Name, "rowsN")]
+		if !ok {
+			continue
+		}
+		if v > pv*allocSlack {
+			regressed = append(regressed, fmt.Sprintf(
+				"%s: %.3f allocs/row vs %.3f committed (+%.0f%%)",
+				b.Name, v, pv, (v/pv-1)*100))
+		}
+	}
+	if len(regressed) == 0 {
+		return nil
+	}
+	msg := strings.Join(regressed, "\n  ")
+	if force {
+		fmt.Fprintf(os.Stderr, "benchjson: warning: allocs/row regression vs %s (-force):\n  %s\n", path, msg)
+		return nil
+	}
+	return fmt.Errorf(
+		"allocs/row regressed more than %d%% vs the committed record %s:\n  %s\n(re-run with -force to overwrite anyway)",
+		int(allocSlack*100)-100, path, msg)
+}
+
 // guardOverwrite refuses to clobber an existing record that was measured
 // on more CPUs than the current machine has. Committed records are
 // typically multi-core measurements; regenerating one inside a throttled
@@ -224,6 +311,13 @@ func run() error {
 	// tracks best-case steady state.
 	benches = keepFastest(benches)
 	addSpeedups(benches)
+	addPerRowMetrics(benches)
+	// The alloc gate runs before the record is replaced: a hot-path change
+	// that reintroduces per-row allocations fails the bench instead of
+	// silently rewriting the baseline it is judged against.
+	if err := guardAllocRegression(*out, benches, *force); err != nil {
+		return err
+	}
 
 	rep := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -252,6 +346,9 @@ func run() error {
 		}
 		if bb.SpeedupVs1Shard != nil {
 			fmt.Printf("  %-40s %12.0f ns/op  speedup vs 1 shard: %.2fx\n", bb.Name, bb.NsPerOp, *bb.SpeedupVs1Shard)
+		}
+		if v, ok := bb.Metrics["allocs/row"]; ok {
+			fmt.Printf("  %-40s %12.3f allocs/row\n", bb.Name, v)
 		}
 	}
 	return nil

@@ -126,6 +126,77 @@ func TestAddSpeedupsVs1Shard(t *testing.T) {
 	}
 }
 
+func TestAddPerRowMetrics(t *testing.T) {
+	benches := []Bench{
+		{Name: "BenchmarkShardDetect/rows100000/k1", AllocsPerOp: ptr(46000)},
+		{Name: "BenchmarkShardDetect/rows100000/k1"}, // no -benchmem data
+		{Name: "BenchmarkShardApply/batch100", AllocsPerOp: ptr(500)}, // no rows segment
+	}
+	addPerRowMetrics(benches)
+	if got := benches[0].Metrics["allocs/row"]; math.Abs(got-0.46) > 1e-9 {
+		t.Errorf("allocs/row = %v, want 0.46", got)
+	}
+	if benches[1].Metrics != nil {
+		t.Errorf("benchmark without allocs/op got metrics %v", benches[1].Metrics)
+	}
+	if _, ok := benches[2].Metrics["allocs/row"]; ok {
+		t.Error("benchmark without a rows<N> segment got an allocs/row metric")
+	}
+}
+
+func TestGuardAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	record := filepath.Join(dir, "bench.json")
+	prev := Report{Benchmarks: []Bench{
+		{Name: "BenchmarkShardDetect/rows1000000/k1", Metrics: map[string]float64{"allocs/row": 1.0}},
+	}}
+	raw, err := json.Marshal(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(record, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bench := func(perRow float64) []Bench {
+		// Different row count than the record: matching must normalize
+		// the rows<N> segment away.
+		return []Bench{{
+			Name:    "BenchmarkShardDetect/rows100000/k1",
+			Metrics: map[string]float64{"allocs/row": perRow},
+		}}
+	}
+
+	// Within 10% slack passes; beyond it fails; -force downgrades to a warning.
+	if err := guardAllocRegression(record, bench(1.05), false); err != nil {
+		t.Errorf("5%% growth refused: %v", err)
+	}
+	if err := guardAllocRegression(record, bench(1.5), false); err == nil {
+		t.Error("50% allocs/row regression was allowed")
+	}
+	if err := guardAllocRegression(record, bench(1.5), true); err != nil {
+		t.Errorf("-force still refused: %v", err)
+	}
+	// Improvements obviously pass.
+	if err := guardAllocRegression(record, bench(0.2), false); err != nil {
+		t.Errorf("improvement refused: %v", err)
+	}
+	// Unmatched benchmarks, absent records, and malformed records never block.
+	unmatched := []Bench{{Name: "BenchmarkOther/rows500000", Metrics: map[string]float64{"allocs/row": 99}}}
+	if err := guardAllocRegression(record, unmatched, false); err != nil {
+		t.Errorf("unmatched benchmark refused: %v", err)
+	}
+	if err := guardAllocRegression(filepath.Join(dir, "missing.json"), bench(1.5), false); err != nil {
+		t.Errorf("missing record refused: %v", err)
+	}
+	broken := filepath.Join(dir, "broken.json")
+	if err := os.WriteFile(broken, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := guardAllocRegression(broken, bench(1.5), false); err != nil {
+		t.Errorf("malformed record refused: %v", err)
+	}
+}
+
 func TestGuardOverwrite(t *testing.T) {
 	dir := t.TempDir()
 	writeRecord := func(name string, numCPU int) string {

@@ -30,9 +30,9 @@ import (
 	"sync"
 	"time"
 
-	"github.com/anmat/anmat/internal/blocking"
+	"github.com/anmat/anmat/internal/intern"
+	"github.com/anmat/anmat/internal/pattern"
 	"github.com/anmat/anmat/internal/pfd"
-	"github.com/anmat/anmat/internal/pindex"
 	"github.com/anmat/anmat/internal/table"
 	"github.com/anmat/anmat/internal/tableau"
 )
@@ -49,86 +49,112 @@ type Options struct {
 	AllPairs bool
 }
 
-// indexEntry is one singleflight slot of the column-index cache: the
-// first goroutine to need the column builds it inside the Once, any
-// concurrent callers for the same column block on that Once, and callers
-// for other columns proceed independently.
-type indexEntry struct {
-	once sync.Once
-	ix   *pindex.Index
-	err  error
-}
-
-// Detector evaluates PFDs against one table, caching per-column indexes.
-// It is safe for concurrent use by multiple goroutines.
+// Detector evaluates PFDs against one table. The hot path runs over the
+// table's dictionary-coded column views (table.InternedColumn): pattern
+// automata run once per *distinct* value — over a column's dictionary,
+// not its rows — and the per-row loops compare uint32 dictionary IDs
+// instead of strings. Per-(column, pattern) passes are cached behind
+// singleflight slots, so the Detector is safe for concurrent use by any
+// number of goroutines.
 type Detector struct {
 	t       *table.Table
 	opts    Options
 	version int64 // table.Version() at build time; see Stale
 
-	mu      sync.Mutex // guards the two cache maps (not their entries)
-	indexes map[string]*indexEntry
-	columns map[int]*columnEntry
+	mu       sync.Mutex // guards the two cache maps (not their entries)
+	verdicts map[matchKey]*matchEntry
+	extracts map[matchKey]*extractEntry
 }
 
-// columnEntry caches one column's value slice (singleflight, like
-// indexEntry) so concurrent variable-row tasks do not each copy the
-// column out of the table. The cached slice is never mutated.
-type columnEntry struct {
+// matchKey identifies one (column, pattern) pass.
+type matchKey struct {
+	col int
+	pat string // pattern.Pattern.Key() / pattern.Constrained.Key()
+}
+
+// matchEntry caches one (column, embedded pattern) match pass: the DFA
+// verdict for every dictionary ID of the column. The first goroutine to
+// need the pass builds it inside the Once; concurrent callers for the
+// same key block on that Once, callers for other keys proceed
+// independently.
+type matchEntry struct {
 	once sync.Once
-	vals []string
+	verd []bool // indexed by dictionary ID
+}
+
+// extractEntry caches one (column, constrained pattern) extraction pass:
+// the block keys of every dictionary ID (nil for values the pattern does
+// not match). Shared by variable-row detection and repair suggestion.
+type extractEntry struct {
+	once sync.Once
+	keys [][]string // indexed by dictionary ID
 }
 
 // New builds a detector for the table.
 func New(t *table.Table, opts Options) *Detector {
 	return &Detector{
-		t:       t,
-		opts:    opts,
-		version: t.Version(),
-		indexes: make(map[string]*indexEntry),
-		columns: make(map[int]*columnEntry),
+		t:        t,
+		opts:     opts,
+		version:  t.Version(),
+		verdicts: make(map[matchKey]*matchEntry),
+		extracts: make(map[matchKey]*extractEntry),
 	}
 }
 
 // Stale reports whether the table has been mutated since the detector
-// was built, invalidating its cached indexes. Callers holding a detector
+// was built, invalidating its cached passes. Callers holding a detector
 // across table mutations (e.g. a session re-detecting after applying
 // repairs) should rebuild when Stale returns true.
 func (d *Detector) Stale() bool { return d.t.Version() != d.version }
 
-// index returns (building on demand, exactly once even under concurrent
-// calls) the pattern index of a column.
-func (d *Detector) index(col string) (*pindex.Index, error) {
+// column returns the dictionary-coded view of the column at index i.
+func (d *Detector) column(i int) *table.Interned { return d.t.InternedColumn(i) }
+
+// matchVerdicts returns (building on demand, exactly once even under
+// concurrent calls) the per-dictionary-ID match verdicts of running emb
+// over column col.
+func (d *Detector) matchVerdicts(col int, emb pattern.Pattern) []bool {
+	k := matchKey{col: col, pat: emb.Key()}
 	d.mu.Lock()
-	e := d.indexes[col]
+	e := d.verdicts[k]
 	if e == nil {
-		e = &indexEntry{}
-		d.indexes[col] = e
+		e = &matchEntry{}
+		d.verdicts[k] = e
 	}
 	d.mu.Unlock()
 	e.once.Do(func() {
-		vals, err := d.t.Column(col)
-		if err != nil {
-			e.err = err
-			return
+		vals := d.column(col).Dict.Values()
+		verd := make([]bool, len(vals))
+		for id, v := range vals {
+			verd[id] = emb.MatchesDFA(v)
 		}
-		e.ix = pindex.Build(vals)
+		e.verd = verd
 	})
-	return e.ix, e.err
+	return e.verd
 }
 
-// column returns the cached value slice of the column at index i. Callers
-// must not mutate it.
-func (d *Detector) column(i int) []string {
+// extractKeys returns (singleflight, like matchVerdicts) the block keys q
+// extracts from every dictionary ID of column col.
+func (d *Detector) extractKeys(col int, q pattern.Constrained) [][]string {
+	k := matchKey{col: col, pat: q.Key()}
 	d.mu.Lock()
-	e := d.columns[i]
+	e := d.extracts[k]
 	if e == nil {
-		e = &columnEntry{}
-		d.columns[i] = e
+		e = &extractEntry{}
+		d.extracts[k] = e
 	}
 	d.mu.Unlock()
-	e.once.Do(func() { e.vals = d.t.ColumnByIndex(i) })
-	return e.vals
+	e.once.Do(func() {
+		vals := d.column(col).Dict.Values()
+		keys := make([][]string, len(vals))
+		for id, v := range vals {
+			if ks := q.Extract(v); len(ks) > 0 {
+				keys[id] = ks
+			}
+		}
+		e.keys = keys
+	})
+	return e.keys
 }
 
 // cols resolves the LHS/RHS column positions of a PFD.
@@ -200,6 +226,11 @@ type RuleStats struct {
 	Rows       int           `json:"rows"`
 	Violations int           `json:"violations"`
 	Duration   time.Duration `json:"duration_ns"`
+	// DroppedAlternatives counts repair suggestions from this rule that
+	// were discarded because another rule won the same cell with a
+	// *different* suggested value (see RepairsAllStats). Zero outside
+	// repair derivation.
+	DroppedAlternatives int `json:"dropped_alternatives,omitempty"`
 }
 
 // Result pairs the merged violations of a DetectAllContext run with
@@ -334,75 +365,188 @@ func (d *Detector) DetectAllContext(ctx context.Context, ps []*pfd.PFD, parallel
 
 func (d *Detector) detectConstant(p *pfd.PFD, row tableau.Row, li, ri int) ([]pfd.Violation, error) {
 	emb := row.LHS.Embedded()
-	if !d.opts.DisableIndex {
-		ix, err := d.index(p.LHS)
-		if err != nil {
-			return nil, err
-		}
-		match := ix.Match(emb)
-		out := make([]pfd.Violation, 0, len(match))
-		for _, r := range match {
-			if rv := d.t.Cell(r, ri); rv != row.RHS {
-				out = append(out, pfd.ConstantViolation(p, row, r, d.t.Cell(r, li), rv))
+	liv, riv := d.column(li), d.column(ri)
+	if d.opts.DisableIndex {
+		// Ablation: match every row individually, no dictionary memo.
+		var out []pfd.Violation
+		for r, id := range liv.IDs {
+			lv := liv.Dict.Value(id)
+			if !emb.MatchesDFA(lv) {
+				continue
+			}
+			if rv := riv.Value(r); rv != row.RHS {
+				out = append(out, pfd.ConstantViolation(p, row, r, lv, rv))
 			}
 		}
 		return out, nil
 	}
+	verd := d.matchVerdicts(li, emb)
+	// The RHS constant compares as a dictionary ID: absent from the
+	// dictionary means no row holds it, so every matching row violates.
+	constID, haveConst := riv.Dict.Lookup(row.RHS)
 	var out []pfd.Violation
-	for r := 0; r < d.t.NumRows(); r++ {
-		lv := d.t.Cell(r, li)
-		if !emb.MatchesDFA(lv) {
+	for r, id := range liv.IDs {
+		if !verd[id] {
 			continue
 		}
-		if rv := d.t.Cell(r, ri); rv != row.RHS {
-			out = append(out, pfd.ConstantViolation(p, row, r, lv, rv))
+		if rid := riv.IDs[r]; !haveConst || rid != constID {
+			out = append(out, pfd.ConstantViolation(p, row, r, liv.Dict.Value(id), riv.Dict.Value(rid)))
 		}
 	}
 	return out, nil
 }
 
 func (d *Detector) detectVariable(p *pfd.PFD, row tableau.Row, li, ri int) ([]pfd.Violation, error) {
-	lhs := d.column(li)
-	rhs := d.column(ri)
-	var out []pfd.Violation
+	liv, riv := d.column(li), d.column(ri)
 	if d.opts.DisableBlocking {
 		// Quadratic reference: restrict to rows matching the embedded
 		// pattern first (the paper's index optimization applies here too
 		// unless the index is also disabled).
-		cand := make([]int, 0)
 		emb := row.LHS.Embedded()
+		var cand []int
 		if !d.opts.DisableIndex {
-			ix, err := d.index(p.LHS)
-			if err != nil {
-				return nil, err
+			verd := d.matchVerdicts(li, emb)
+			for r, id := range liv.IDs {
+				if verd[id] {
+					cand = append(cand, r)
+				}
 			}
-			cand = ix.Match(emb)
 		} else {
-			for r := range lhs {
-				if emb.MatchesDFA(lhs[r]) {
+			for r, id := range liv.IDs {
+				if emb.MatchesDFA(liv.Dict.Value(id)) {
 					cand = append(cand, r)
 				}
 			}
 		}
+		var out []pfd.Violation
 		for a := 0; a < len(cand); a++ {
 			for b := a + 1; b < len(cand); b++ {
 				i, j := cand[a], cand[b]
-				if rhs[i] == rhs[j] {
+				if riv.IDs[i] == riv.IDs[j] {
 					continue
 				}
-				if row.LHS.EquivalentUnder(lhs[i], lhs[j]) {
-					out = append(out, pfd.VariableViolation(p, row, i, j, rhs[i], rhs[j]))
+				if row.LHS.EquivalentUnder(liv.Value(i), liv.Value(j)) {
+					out = append(out, pfd.VariableViolation(p, row, i, j, riv.Value(i), riv.Value(j)))
 				}
 			}
 		}
 		return out, nil
 	}
-	for _, b := range blocking.Blocks(row.LHS, lhs, rhs) {
-		for _, c := range b.Conflicts(!d.opts.AllPairs) {
-			out = append(out, pfd.VariableViolation(p, row, c.I, c.J, c.RHSI, c.RHSJ))
-		}
+	var out []pfd.Violation
+	for _, b := range d.blocks(li, ri, row.LHS) {
+		out = b.appendConflicts(out, p, row, riv.Dict, !d.opts.AllPairs)
 	}
 	return out, nil
+}
+
+// iblock is one blocking bucket over the interned columns: the rows
+// sharing one constrained key, with their RHS dictionary IDs. Conflict
+// checks compare IDs; strings are decoded only when a violation is
+// rendered.
+type iblock struct {
+	key  string
+	rows []int    // ascending (built in row order)
+	rhs  []uint32 // parallel to rows
+}
+
+// blocks partitions the rows matching q into buckets by constrained key,
+// sorted by key. Extraction runs once per distinct LHS value through the
+// extraction cache, no matter how many rows repeat the value.
+func (d *Detector) blocks(li, ri int, q pattern.Constrained) []iblock {
+	liv, riv := d.column(li), d.column(ri)
+	keys := d.extractKeys(li, q)
+	m := make(map[string]*iblock)
+	for r, id := range liv.IDs {
+		for _, k := range keys[id] {
+			b := m[k]
+			if b == nil {
+				b = &iblock{key: k}
+				m[k] = b
+			}
+			b.rows = append(b.rows, r)
+			b.rhs = append(b.rhs, riv.IDs[r])
+		}
+	}
+	out := make([]iblock, 0, len(m))
+	for _, b := range m {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// rhsGroup is one RHS-agreement class inside a block.
+type rhsGroup struct {
+	val  string
+	rows []int // ascending
+}
+
+// rhsGroups splits a block by RHS value, sorted by value — the order the
+// blocking reference iterates conflict groups in. Grouping compares
+// dictionary IDs; each distinct ID decodes to its string once.
+func (b *iblock) rhsGroups(dict *intern.Dict) []rhsGroup {
+	idx := make(map[uint32]int, 2)
+	var groups []rhsGroup
+	for k, r := range b.rows {
+		id := b.rhs[k]
+		gi, ok := idx[id]
+		if !ok {
+			gi = len(groups)
+			idx[id] = gi
+			groups = append(groups, rhsGroup{val: dict.Value(id)})
+		}
+		groups[gi].rows = append(groups[gi].rows, r)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].val < groups[j].val })
+	return groups
+}
+
+// majorityGroup returns the index of the largest group; ties break to the
+// lexicographically smallest value (the groups arrive value-sorted).
+func majorityGroup(groups []rhsGroup) int {
+	best := 0
+	for i := 1; i < len(groups); i++ {
+		if len(groups[i].rows) > len(groups[best].rows) {
+			best = i
+		}
+	}
+	return best
+}
+
+// appendConflicts renders the block's disagreeing pairs. With firstOnly
+// set each row outside the majority RHS group pairs once against the
+// majority group's first row (the likely-clean witness), keeping the
+// output linear in the number of erroneous cells; otherwise the full
+// cross product is produced (the reference semantics the equivalence
+// tests compare against).
+func (b *iblock) appendConflicts(out []pfd.Violation, p *pfd.PFD, row tableau.Row, dict *intern.Dict, firstOnly bool) []pfd.Violation {
+	groups := b.rhsGroups(dict)
+	if len(groups) < 2 {
+		return out
+	}
+	if firstOnly {
+		mi := majorityGroup(groups)
+		rep, maj := groups[mi].rows[0], groups[mi].val
+		for gi := range groups {
+			if gi == mi {
+				continue
+			}
+			for _, r := range groups[gi].rows {
+				out = append(out, pfd.VariableViolation(p, row, rep, r, maj, groups[gi].val))
+			}
+		}
+		return out
+	}
+	for a := 0; a < len(groups); a++ {
+		for c := a + 1; c < len(groups); c++ {
+			for _, ri := range groups[a].rows {
+				for _, rj := range groups[c].rows {
+					out = append(out, pfd.VariableViolation(p, row, ri, rj, groups[a].val, groups[c].val))
+				}
+			}
+		}
+	}
+	return out
 }
 
 // dedupe removes duplicate violations (a pair found through two blocks, a
@@ -423,20 +567,54 @@ func dedupe(vs []pfd.Violation) []pfd.Violation {
 }
 
 // SortViolations sorts violations into the engine's one total order:
-// first cell, then violation key. Every detection path — sequential,
-// parallel, and the incremental maintenance engine — renders through this
-// order, so any two engines that agree on the violation *set* produce
-// byte-identical output.
+// cell-less violations first (ordered by key among themselves), then
+// cell-bearing violations by first cell, ties broken by key. Every
+// detection path — sequential, parallel, and the incremental maintenance
+// engine — renders through this order, so any two engines that agree on
+// the violation *set* produce byte-identical output.
+//
+// The cell-less tier matters for the order to be a *strict weak* order:
+// an earlier comparator fell through to the key whenever either side had
+// no cells, which is inconsistent with the cell comparison (a cell-less
+// violation could sort between two cell-bearing ones that compare by
+// cell), and an inconsistent comparator makes sort output depend on the
+// input permutation.
 func SortViolations(vs []pfd.Violation) {
-	sort.SliceStable(vs, func(i, j int) bool {
-		a, b := vs[i], vs[j]
-		if len(a.Cells) > 0 && len(b.Cells) > 0 && a.Cells[0] != b.Cells[0] {
-			return a.Cells[0].Less(b.Cells[0])
-		}
-		// The violation key is a total order; using it keeps the output
-		// identical across detection engines.
-		return a.Key() < b.Key()
-	})
+	if len(vs) < 2 {
+		return
+	}
+	// Keys are needed O(n log n) times; render each once.
+	keys := make([]string, len(vs))
+	for i := range vs {
+		keys[i] = vs[i].Key()
+	}
+	sort.Stable(&violationSort{vs: vs, keys: keys})
+}
+
+type violationSort struct {
+	vs   []pfd.Violation
+	keys []string
+}
+
+func (s *violationSort) Len() int { return len(s.vs) }
+
+func (s *violationSort) Swap(i, j int) {
+	s.vs[i], s.vs[j] = s.vs[j], s.vs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func (s *violationSort) Less(i, j int) bool {
+	a, b := &s.vs[i], &s.vs[j]
+	aCells, bCells := len(a.Cells) > 0, len(b.Cells) > 0
+	if aCells != bCells {
+		return !aCells // cell-less violations form their own leading tier
+	}
+	if aCells && a.Cells[0] != b.Cells[0] {
+		return a.Cells[0].Less(b.Cells[0])
+	}
+	// The violation key is a total order; using it keeps the output
+	// identical across detection engines.
+	return s.keys[i] < s.keys[j]
 }
 
 // Repair is a suggested fix for one cell.
@@ -483,26 +661,31 @@ func (d *Detector) Repairs(p *pfd.PFD) ([]Repair, error) {
 			}
 			continue
 		}
-		lhs := d.column(li)
-		rhs := d.column(ri)
-		for _, b := range blocking.Blocks(row.LHS, lhs, rhs) {
-			maj, n := b.MajorityRHS()
-			if n == len(b.Rows) {
+		dict := d.column(ri).Dict
+		for _, b := range d.blocks(li, ri, row.LHS) {
+			groups := b.rhsGroups(dict)
+			if len(groups) < 2 {
 				continue // no disagreement
 			}
-			conf := float64(n) / float64(len(b.Rows))
-			for k, r := range b.Rows {
-				if b.RHSVals[k] == maj || seen[r] {
+			mi := majorityGroup(groups)
+			conf := float64(len(groups[mi].rows)) / float64(len(b.rows))
+			for gi := range groups {
+				if gi == mi {
 					continue
 				}
-				seen[r] = true
-				out = append(out, Repair{
-					Cell:       table.CellRef{Row: r, Column: p.RHS},
-					Current:    b.RHSVals[k],
-					Suggested:  maj,
-					Rule:       row.String(),
-					Confidence: conf,
-				})
+				for _, r := range groups[gi].rows {
+					if seen[r] {
+						continue
+					}
+					seen[r] = true
+					out = append(out, Repair{
+						Cell:       table.CellRef{Row: r, Column: p.RHS},
+						Current:    groups[gi].val,
+						Suggested:  groups[mi].val,
+						Rule:       row.String(),
+						Confidence: conf,
+					})
+				}
 			}
 		}
 	}
@@ -510,13 +693,25 @@ func (d *Detector) Repairs(p *pfd.PFD) ([]Repair, error) {
 	return out, nil
 }
 
-// RepairsAllContext derives repair suggestions for several PFDs with a
-// worker pool that fans out per rule (0 = GOMAXPROCS workers). Cells
-// suggested by more than one rule keep the earliest rule's suggestion —
-// the same first-rule-wins order as iterating Repairs sequentially — and
-// the merged list is sorted by cell, so output is identical at every
-// parallelism level. Cancelling ctx stops the pool between rules.
+// RepairsAllContext derives repair suggestions for several PFDs; it is
+// RepairsAllStats without the per-rule stats.
 func (d *Detector) RepairsAllContext(ctx context.Context, ps []*pfd.PFD, parallelism int) ([]Repair, error) {
+	out, _, err := d.RepairsAllStats(ctx, ps, parallelism)
+	return out, err
+}
+
+// RepairsAllStats derives repair suggestions for several PFDs with a
+// worker pool that fans out per rule (0 = GOMAXPROCS workers). When more
+// than one rule suggests a repair for the same cell, the winner is picked
+// deterministically — lowest rule index, ties broken by the
+// lexicographically smallest suggested value — and every losing
+// suggestion that proposed a *different* value is counted in its rule's
+// DroppedAlternatives stat instead of being dropped silently. Cells are
+// compared structurally (row plus column name), never through a rendered
+// string a hostile column name could collide. The merged list is sorted
+// by cell, so output is identical at every parallelism level. Cancelling
+// ctx stops the pool between rules.
+func (d *Detector) RepairsAllStats(ctx context.Context, ps []*pfd.PFD, parallelism int) ([]Repair, []RuleStats, error) {
 	type ruleResult struct {
 		rs  []Repair
 		err error
@@ -531,29 +726,51 @@ func (d *Detector) RepairsAllContext(ctx context.Context, ps []*pfd.PFD, paralle
 		results[i] = ruleResult{rs: rs, err: err}
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("repairs cancelled: %w", err)
+		return nil, nil, fmt.Errorf("repairs cancelled: %w", err)
 	}
 
 	total := 0
 	for i := range results {
 		if err := results[i].err; err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		total += len(results[i].rs)
 	}
+	stats := make([]RuleStats, len(ps))
+	for i, p := range ps {
+		stats[i] = RuleStats{PFDID: p.ID(), Rows: p.Tableau.Len()}
+	}
+	type winner struct {
+		at   int // index into out
+		rule int
+	}
 	out := make([]Repair, 0, total)
-	seen := make(map[string]bool, total)
+	byCell := make(map[table.CellRef]winner, total)
 	for i := range results {
 		for _, r := range results[i].rs {
-			k := r.Cell.String()
-			if !seen[k] {
-				seen[k] = true
+			w, taken := byCell[r.Cell]
+			if !taken {
+				byCell[r.Cell] = winner{at: len(out), rule: i}
 				out = append(out, r)
+				continue
+			}
+			cur := &out[w.at]
+			// Rules are visited in ascending index order, so the holder
+			// normally wins outright; the value tie-break only fires when
+			// the same rule appears twice in ps.
+			if i < w.rule || (i == w.rule && r.Suggested < cur.Suggested) {
+				if r.Suggested != cur.Suggested {
+					stats[w.rule].DroppedAlternatives++
+				}
+				*cur = r
+				byCell[r.Cell] = winner{at: w.at, rule: i}
+			} else if r.Suggested != cur.Suggested {
+				stats[i].DroppedAlternatives++
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Cell.Less(out[j].Cell) })
-	return out, nil
+	return out, stats, nil
 }
 
 // RepairToFixpoint alternates detection and repair until no suggestions

@@ -3,7 +3,9 @@ package pattern
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Segment is one piece of a constrained pattern: a sub-pattern that is
@@ -150,47 +152,126 @@ func (q Constrained) Matches(s string) bool {
 }
 
 // Extract computes s(Q): the set of constrained-key strings obtainable by
-// matching s against the segment sequence. Each key is the concatenation
-// of the substrings matched by the constrained segments, joined with a
-// unit separator so that segment boundaries remain unambiguous. The result
-// is sorted and de-duplicated; it is empty iff s does not match Q̄.
+// matching s against the segment sequence. The result is sorted and
+// de-duplicated; it is empty iff s does not match Q̄.
+//
+// Key encoding: with exactly one constrained segment the key IS the
+// matched substring (injective trivially, and zero-copy — it aliases s).
+// With two or more constrained segments each part is length-prefixed
+// ("<decimal len>:<part>" concatenated), so a part containing any
+// would-be separator byte cannot alias a different split — the old
+// unit-separator join collapsed e.g. ("x\x1fy","z") and ("x","y\x1fz")
+// into one key. All keys of one pattern share an arity, so the two
+// encodings never mix within a pattern's key space.
 func (q Constrained) Extract(s string) []string {
-	keysSet := map[string]bool{}
-	var rec func(i int, off int, key []string)
-	memoFail := map[[2]int]bool{}
-	rec = func(i, off int, key []string) {
-		if i == len(q.segs) {
+	return q.AppendExtract(nil, s)
+}
+
+// extScratch is the reusable state of one AppendExtract call. Buffers are
+// pooled so the steady-state extraction of a cell allocates nothing.
+type extScratch struct {
+	lens  [][]int  // per-depth prefix-length buffers
+	parts []string // stack of constrained-part substrings
+	keys  []string // keys found so far this call
+	buf   []byte   // length-prefixed key assembly
+	fail  []bool   // (segment, offset) failure memo, width len(s)+1
+}
+
+var extPool = sync.Pool{New: func() any { return new(extScratch) }}
+
+// AppendExtract is Extract appending into dst; the keys appended by one
+// call are sorted and de-duplicated among themselves.
+func (q Constrained) AppendExtract(dst []string, s string) []string {
+	segs := q.segs
+	if len(segs) == 0 {
+		return dst
+	}
+	minLen := 0
+	for _, sg := range segs {
+		minLen += sg.Pat.MinLen()
+	}
+	if len(s) < minLen {
+		return dst
+	}
+	sc := extPool.Get().(*extScratch)
+	for len(sc.lens) < len(segs) {
+		sc.lens = append(sc.lens, nil)
+	}
+	failW := len(s) + 1
+	if need := len(segs) * failW; cap(sc.fail) < need {
+		sc.fail = make([]bool, need)
+	} else {
+		sc.fail = sc.fail[:need]
+		clear(sc.fail)
+	}
+	sc.parts = sc.parts[:0]
+	sc.keys = sc.keys[:0]
+
+	var rec func(i, off int)
+	rec = func(i, off int) {
+		if i == len(segs) {
 			if off == len(s) {
-				keysSet[strings.Join(key, "\x1f")] = true
+				sc.keys = append(sc.keys, renderKey(sc))
 			}
 			return
 		}
-		if memoFail[[2]int{i, off}] {
+		if sc.fail[i*failW+off] {
 			return
 		}
-		before := len(keysSet)
-		lens := q.segs[i].Pat.MatchPrefixLengths(s[off:])
+		before := len(sc.keys)
+		sc.lens[i] = segs[i].Pat.AppendMatchPrefixLengths(sc.lens[i][:0], s[off:])
+		lens := sc.lens[i]
 		for _, l := range lens {
-			if q.segs[i].Constrained {
-				rec(i+1, off+l, append(key, s[off:off+l]))
+			if segs[i].Constrained {
+				sc.parts = append(sc.parts, s[off:off+l])
+				rec(i+1, off+l)
+				sc.parts = sc.parts[:len(sc.parts)-1]
 			} else {
-				rec(i+1, off+l, key)
+				rec(i+1, off+l)
 			}
 		}
-		if len(keysSet) == before {
+		if len(sc.keys) == before {
 			// No completion from (i, off); memoize only when the key so
 			// far cannot influence the failure, which is always true
 			// because segment matching depends only on (i, off).
-			memoFail[[2]int{i, off}] = true
+			sc.fail[i*failW+off] = true
 		}
 	}
-	rec(0, 0, nil)
-	keys := make([]string, 0, len(keysSet))
-	for k := range keysSet {
-		keys = append(keys, k)
+	rec(0, 0)
+
+	switch len(sc.keys) {
+	case 0:
+	case 1:
+		dst = append(dst, sc.keys[0])
+	default:
+		sort.Strings(sc.keys)
+		prev := ""
+		for i, k := range sc.keys {
+			if i == 0 || k != prev {
+				dst = append(dst, k)
+			}
+			prev = k
+		}
 	}
-	sort.Strings(keys)
-	return keys
+	extPool.Put(sc)
+	return dst
+}
+
+// renderKey builds the key for the current parts stack. A single part is
+// returned as-is (a substring of the input); multiple parts are
+// length-prefixed so distinct splits cannot collide.
+func renderKey(sc *extScratch) string {
+	if len(sc.parts) == 1 {
+		return sc.parts[0]
+	}
+	b := sc.buf[:0]
+	for _, p := range sc.parts {
+		b = strconv.AppendInt(b, int64(len(p)), 10)
+		b = append(b, ':')
+		b = append(b, p...)
+	}
+	sc.buf = b
+	return string(b)
 }
 
 // EquivalentUnder reports s ≡Q s': both strings match the embedded pattern

@@ -105,10 +105,16 @@ func (d *dfa) build(cur, sym int, r rune) int {
 	return id + 1
 }
 
-var dfaCache sync.Map // pattern key -> *dfa
+var dfaCache sync.Map // pattern key -> *dfa (meta-less patterns only)
 
-// compiledDFA returns the cached lazy DFA for p.
+// compiledDFA returns the cached lazy DFA for p. Patterns built through
+// the package constructors memoize the DFA in their meta block; the
+// keyed map is only the fallback for zero-value patterns.
 func compiledDFA(p Pattern) *dfa {
+	if p.meta != nil {
+		p.meta.dfaOnce.Do(func() { p.meta.dfa = newDFA(p, compiled(p)) })
+		return p.meta.dfa
+	}
 	k := p.Key()
 	if v, ok := dfaCache.Load(k); ok {
 		return v.(*dfa)

@@ -1,0 +1,31 @@
+package pattern
+
+import "testing"
+
+// TestExtractKeysNoSeparatorCollision pins the injectivity of multi-
+// segment block keys. Under the old "join segments with \x1f" encoding,
+// the values "x\x1fyz" and "xy\x1fz" both admitted a split whose joined
+// key read x·SEP·y·SEP·z — ("x\x1fy","z") and ("x","y\x1fz") — so two
+// values that are NOT ≡Q-equivalent shared a block and produced a
+// spurious pair violation. The length-prefixed key keeps the full
+// segment tuple recoverable, so only genuinely equivalent values meet.
+func TestExtractKeysNoSeparatorCollision(t *testing.T) {
+	q := MustParseConstrained(`<\A+><\A+>`)
+	a, b := "x\x1fyz", "xy\x1fz"
+	if q.EquivalentUnder(a, b) {
+		t.Fatalf("test premise broken: %q and %q are equivalent under %s", a, b, q)
+	}
+	keysA, keysB := q.Extract(a), q.Extract(b)
+	if len(keysA) == 0 || len(keysB) == 0 {
+		t.Fatalf("test premise broken: extraction empty (%d, %d keys)", len(keysA), len(keysB))
+	}
+	seen := make(map[string]bool, len(keysA))
+	for _, k := range keysA {
+		seen[k] = true
+	}
+	for _, k := range keysB {
+		if seen[k] {
+			t.Fatalf("non-equivalent values %q and %q share block key %q", a, b, k)
+		}
+	}
+}

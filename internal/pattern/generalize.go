@@ -35,7 +35,7 @@ func Generalize(s string, lvl Level) Pattern {
 		for _, r := range s {
 			toks = append(toks, ClassTok(gentree.ClassOf(r)))
 		}
-		return Pattern{toks: toks}
+		return mk(toks)
 	case LevelClassRun:
 		return classRuns(s, false)
 	case LevelClassRunOpen:
@@ -68,7 +68,7 @@ func classRuns(s string, open bool) Pattern {
 		}
 		i = j
 	}
-	return Pattern{toks: toks}
+	return mk(toks)
 }
 
 // Signature returns the LevelClassRun pattern string for s. Discovery and
@@ -117,7 +117,7 @@ func LCGStrings(a, b string) Pattern {
 				toks = append(toks, ClassTok(gentree.LCGRunes(ra[i], rb[i])))
 			}
 		}
-		return compactSameClassRuns(Pattern{toks: toks})
+		return compactSameClassRuns(mk(toks))
 	}
 	// Unequal lengths: fall back to merging the open signatures.
 	pa, pb := classRuns(a, true), classRuns(b, true)
@@ -149,7 +149,7 @@ func compactSameClassRuns(p Pattern) Pattern {
 		}
 		i = j
 	}
-	return Pattern{toks: toks}
+	return mk(toks)
 }
 
 // mergeOpen merges two open-run signatures. If they have the same number
@@ -170,7 +170,7 @@ func mergeOpen(a, b Pattern) Pattern {
 		}
 		toks = append(toks, ClassTok(c).WithQuant(q))
 	}
-	return Pattern{toks: toks}
+	return mk(toks)
 }
 
 func classOfToken(t Token) gentree.Class {
@@ -217,7 +217,7 @@ func lcgPatternString(acc Pattern, v string) Pattern {
 				}
 			}
 		}
-		return compactSameClassRuns(Pattern{toks: toks})
+		return compactSameClassRuns(mk(toks))
 	}
 	return mergeOpen(openOf(acc), classRuns(v, true))
 }
@@ -264,5 +264,5 @@ func openOf(p Pattern) Pattern {
 		}
 		i = j
 	}
-	return Pattern{toks: toks}
+	return mk(toks)
 }

@@ -5,15 +5,17 @@ import (
 	"unicode/utf8"
 )
 
-// matcher caches the compiled NFA for a pattern. Compilation is cheap but
-// matching is called per cell during detection, so the cache matters.
-type matcher struct {
-	a *nfa
-}
-
+// nfaCache backs compilation for patterns without a meta block (zero
+// values, hand-rolled struct literals in tests). Patterns built through
+// the package constructors memoize their automaton in the meta block and
+// never touch this map after the first call.
 var nfaCache sync.Map // string (pattern key) -> *nfa
 
 func compiled(p Pattern) *nfa {
+	if p.meta != nil {
+		p.meta.nfaOnce.Do(func() { p.meta.nfa = compile(p) })
+		return p.meta.nfa
+	}
 	k := p.Key()
 	if v, ok := nfaCache.Load(k); ok {
 		return v.(*nfa)
@@ -26,10 +28,13 @@ func compiled(p Pattern) *nfa {
 // Matches reports whether s matches (satisfies) the pattern: s 7→ P in the
 // paper's notation.
 func (p Pattern) Matches(s string) bool {
-	a := compiled(p)
 	// Cheap length pre-check.
 	if len(s) < p.MinLen() {
 		return false
+	}
+	a := compiled(p)
+	if a.small {
+		return a.matchSmall(s)
 	}
 	cur := a.start()
 	next := newStateSet(a.n)
@@ -47,12 +52,20 @@ func (p Pattern) Matches(s string) bool {
 // that s[:l] matches the pattern and l splits s at a rune boundary. It is
 // used by the constrained-pattern matcher to enumerate segment splits.
 func (p Pattern) MatchPrefixLengths(s string) []int {
+	return p.AppendMatchPrefixLengths(nil, s)
+}
+
+// AppendMatchPrefixLengths is MatchPrefixLengths appending into dst, so a
+// caller scanning many values can reuse one buffer across calls.
+func (p Pattern) AppendMatchPrefixLengths(dst []int, s string) []int {
 	a := compiled(p)
-	var out []int
+	if a.small {
+		return a.appendPrefixLensSmall(dst, s)
+	}
 	cur := a.start()
 	next := newStateSet(a.n)
 	if a.accepts(cur) {
-		out = append(out, 0)
+		dst = append(dst, 0)
 	}
 	// Decode explicitly rather than re-encoding range runes: an invalid
 	// byte decodes to U+FFFD but consumes one byte, and the reported
@@ -61,13 +74,13 @@ func (p Pattern) MatchPrefixLengths(s string) []int {
 		r, size := utf8.DecodeRuneInString(s[off:])
 		a.stepInto(cur, r, next)
 		if next.empty() {
-			return out
+			return dst
 		}
 		cur, next = next, cur
 		off += size
 		if a.accepts(cur) {
-			out = append(out, off)
+			dst = append(dst, off)
 		}
 	}
-	return out
+	return dst
 }

@@ -1,6 +1,9 @@
 package pattern
 
 import (
+	"math/bits"
+	"unicode/utf8"
+
 	"github.com/anmat/anmat/internal/gentree"
 )
 
@@ -13,6 +16,15 @@ type nfa struct {
 	edges  [][]edge // edges[s] = labeled transitions out of s
 	eps    [][]int  // eps[s] = epsilon transitions out of s
 	accept int
+
+	// Small-automaton fast path: when every state fits in one machine
+	// word (n <= 64, true for every pattern the generalizer or parser
+	// produces on realistic cells), state sets are plain uint64 masks and
+	// epsClo[s] is the precomputed epsilon closure of {s} (including s).
+	// The matching loops then run with zero heap allocation.
+	small   bool
+	epsClo  []uint64
+	accMask uint64
 }
 
 type edge struct {
@@ -75,7 +87,78 @@ func compile(p Pattern) *nfa {
 		}
 	}
 	a.accept = cur
+	a.finishSmall()
 	return a
+}
+
+// finishSmall precomputes the word-sized closure table when the automaton
+// fits in 64 states. Epsilon edges only point forward (Star creates
+// cur -> nxt with nxt > cur), so a single reverse pass computes the
+// transitive closures.
+func (a *nfa) finishSmall() {
+	if a.n > 64 {
+		return
+	}
+	a.small = true
+	a.epsClo = make([]uint64, a.n)
+	for i := a.n - 1; i >= 0; i-- {
+		m := uint64(1) << uint(i)
+		for _, to := range a.eps[i] {
+			m |= a.epsClo[to]
+		}
+		a.epsClo[i] = m
+	}
+	a.accMask = 1 << uint(a.accept)
+}
+
+// stepSmall advances a word-sized state set over r. OR-ing the closure of
+// each edge target is exactly add-then-epsilon-close, because the
+// closures are transitive.
+func (a *nfa) stepSmall(cur uint64, r rune) uint64 {
+	var next uint64
+	for rem := cur; rem != 0; rem &= rem - 1 {
+		i := bits.TrailingZeros64(rem)
+		for _, e := range a.edges[i] {
+			if e.matches(r) {
+				next |= a.epsClo[e.to]
+			}
+		}
+	}
+	return next
+}
+
+// matchSmall is Matches over the word-sized path: zero heap allocation.
+func (a *nfa) matchSmall(s string) bool {
+	cur := a.epsClo[0]
+	for _, r := range s {
+		cur = a.stepSmall(cur, r)
+		if cur == 0 {
+			return false
+		}
+	}
+	return cur&a.accMask != 0
+}
+
+// appendPrefixLensSmall appends to dst every byte length l such that s[:l]
+// matches, walking the word-sized path without heap allocation (beyond
+// growth of dst itself).
+func (a *nfa) appendPrefixLensSmall(dst []int, s string) []int {
+	cur := a.epsClo[0]
+	if cur&a.accMask != 0 {
+		dst = append(dst, 0)
+	}
+	for off := 0; off < len(s); {
+		r, size := utf8.DecodeRuneInString(s[off:])
+		cur = a.stepSmall(cur, r)
+		if cur == 0 {
+			return dst
+		}
+		off += size
+		if cur&a.accMask != 0 {
+			dst = append(dst, off)
+		}
+	}
+	return dst
 }
 
 // stateSet is a bit set over NFA states.

@@ -23,7 +23,7 @@ func (p Pattern) Normalize() Pattern {
 		next, changed := normalizeOnce(toks)
 		toks = next
 		if !changed {
-			return Pattern{toks: toks}
+			return mk(toks)
 		}
 	}
 }

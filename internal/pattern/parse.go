@@ -57,7 +57,7 @@ func Parse(s string) (Pattern, error) {
 		}
 		toks = append(toks, tok)
 	}
-	return Pattern{toks: toks}, nil
+	return mk(toks), nil
 }
 
 // MustParse is Parse that panics on error; intended for constants in tests

@@ -9,6 +9,7 @@ package pattern
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/anmat/anmat/internal/gentree"
 )
@@ -116,15 +117,46 @@ func escapeLit(r rune) string {
 
 // Pattern is a sequence of tokens: the pattern P of the paper. The zero
 // value is the empty pattern, which matches only the empty string ε.
+//
+// Every pattern built through the package constructors carries a meta
+// pointer that memoizes the rendered key and the compiled automata, so
+// the matching hot path never re-renders or re-compiles per call. The
+// tokens stay the source of truth: meta is derived state shared by all
+// copies of the value and never participates in equality.
 type Pattern struct {
 	toks []Token
+	meta *patMeta
+}
+
+// patMeta memoizes per-pattern derived state. It is attached once at
+// construction and shared (by pointer) across all copies of the Pattern
+// value, so a tableau row matched against a million cells compiles its
+// automaton exactly once and never re-renders its key.
+type patMeta struct {
+	keyOnce sync.Once
+	key     string
+
+	minOnce sync.Once
+	minLen  int
+
+	nfaOnce sync.Once
+	nfa     *nfa
+
+	dfaOnce sync.Once
+	dfa     *dfa
+}
+
+// mk wraps a token slice as a Pattern with a fresh meta block. The slice
+// is owned by the pattern after the call.
+func mk(toks []Token) Pattern {
+	return Pattern{toks: toks, meta: &patMeta{}}
 }
 
 // New builds a pattern from tokens.
 func New(toks ...Token) Pattern {
 	cp := make([]Token, len(toks))
 	copy(cp, toks)
-	return Pattern{toks: cp}
+	return mk(cp)
 }
 
 // Tokens returns a copy of the pattern's tokens.
@@ -142,6 +174,14 @@ func (p Pattern) IsEmpty() bool { return len(p.toks) == 0 }
 
 // MinLen returns the minimum length of a string matching the pattern.
 func (p Pattern) MinLen() int {
+	if p.meta == nil {
+		return p.minLen()
+	}
+	p.meta.minOnce.Do(func() { p.meta.minLen = p.minLen() })
+	return p.meta.minLen
+}
+
+func (p Pattern) minLen() int {
 	n := 0
 	for _, t := range p.toks {
 		n += t.MinLen()
@@ -183,14 +223,22 @@ func (p Pattern) Equal(q Pattern) bool {
 }
 
 // Key returns a string usable as a map key identifying the pattern.
-func (p Pattern) Key() string { return p.String() }
+// The rendering is memoized, so repeated Key calls on the same pattern
+// value (or copies of it) are allocation-free after the first.
+func (p Pattern) Key() string {
+	if p.meta == nil {
+		return p.String()
+	}
+	p.meta.keyOnce.Do(func() { p.meta.key = p.String() })
+	return p.meta.key
+}
 
 // Concat returns the concatenation of p followed by q.
 func (p Pattern) Concat(q Pattern) Pattern {
 	toks := make([]Token, 0, len(p.toks)+len(q.toks))
 	toks = append(toks, p.toks...)
 	toks = append(toks, q.toks...)
-	return Pattern{toks: toks}
+	return mk(toks)
 }
 
 // Specificity scores how specific a pattern is; higher is more specific.
@@ -247,5 +295,5 @@ func Literal(s string) Pattern {
 	for _, r := range s {
 		toks = append(toks, LitTok(r))
 	}
-	return Pattern{toks: toks}
+	return mk(toks)
 }

@@ -1,0 +1,51 @@
+package pfd
+
+import (
+	"testing"
+
+	"github.com/anmat/anmat/internal/table"
+)
+
+// TestViolationKeyInjective drives the structural key with adversarial
+// identities that a separator-joined or naively concatenated encoding
+// would collide: component content shifting across field boundaries,
+// digit-leading column names bleeding into cell row numbers, and column
+// names embedding the encoding's own control bytes.
+func TestViolationKeyInjective(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Violation
+	}{
+		{
+			name: "field boundary shift",
+			a:    Violation{PFDID: "a", Row: "b\x00c"},
+			b:    Violation{PFDID: "a\x00b", Row: "c"},
+		},
+		{
+			name: "separator byte in rule rendering",
+			a:    Violation{PFDID: "p", Row: "x\x1fy"},
+			b:    Violation{PFDID: "p\x1fx", Row: "y"},
+		},
+		{
+			name: "digit-leading column vs longer row number",
+			a:    Violation{PFDID: "p", Row: "r", Cells: []table.CellRef{{Row: 2, Column: "2x"}}},
+			b:    Violation{PFDID: "p", Row: "r", Cells: []table.CellRef{{Row: 22, Column: "x"}}},
+		},
+		{
+			name: "one column forging a cell boundary",
+			a:    Violation{PFDID: "p", Row: "r", Cells: []table.CellRef{{Row: 1, Column: "a"}, {Row: 2, Column: "b"}}},
+			b:    Violation{PFDID: "p", Row: "r", Cells: []table.CellRef{{Row: 1, Column: "a\x00\x002:b"}}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ka, kb := tc.a.Key(), tc.b.Key()
+			if ka == kb {
+				t.Fatalf("distinct violations share key %q", ka)
+			}
+			if tc.a.Key() != ka || tc.b.Key() != kb {
+				t.Fatalf("key not deterministic")
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ package pfd
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"github.com/anmat/anmat/internal/pattern"
 	"github.com/anmat/anmat/internal/table"
@@ -67,14 +68,42 @@ type Violation struct {
 	Variable bool `json:"variable"`
 }
 
-// Key returns a canonical identity for de-duplicating violations.
+// Key returns a canonical identity for de-duplicating violations: an
+// injective structural encoding of (PFDID, Row, Cells). Each
+// variable-length component is NUL-escaped and NUL-terminated (see
+// appendComponent) and each cell row's digits are closed with ':', so the
+// encoding decodes unambiguously left to right — no choice of rule IDs,
+// pattern renderings, or column names (including ones embedding separator
+// bytes) can make two distinct identities collide, which a plain
+// separator join cannot guarantee. Unlike a length-prefixed encoding,
+// component escaping also preserves the bytewise order of the components
+// themselves, so key-ordered output sorts the way the rendered fields
+// read.
 func (v Violation) Key() string {
-	b, _ := json.Marshal(struct {
-		P string
-		R string
-		C []table.CellRef
-	}{v.PFDID, v.Row, v.Cells})
+	b := make([]byte, 0, 16+len(v.PFDID)+len(v.Row)+16*len(v.Cells))
+	b = appendComponent(b, v.PFDID)
+	b = appendComponent(b, v.Row)
+	for _, c := range v.Cells {
+		b = strconv.AppendInt(b, int64(c.Row), 10)
+		b = append(b, ':') // closes the digit run: column names may start with digits
+		b = appendComponent(b, c.Column)
+	}
 	return string(b)
+}
+
+// appendComponent appends s with NUL escaped (0x00 → 0x00 0x01) followed
+// by a 0x00 0x00 terminator. A decoder scans to the first unescaped NUL,
+// so adjacent components never bleed into each other, and the escaped
+// form compares bytewise in the same order as s itself.
+func appendComponent(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			b = append(b, 0, 1)
+		} else {
+			b = append(b, s[i])
+		}
+	}
+	return append(b, 0, 0)
 }
 
 // SatisfiedBy checks every tuple (and, for variable rows, every matching

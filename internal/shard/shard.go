@@ -49,7 +49,6 @@ package shard
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -60,13 +59,23 @@ import (
 	"github.com/anmat/anmat/internal/table"
 )
 
+// fnv64a constants (hash/fnv), inlined so hashing a key allocates
+// neither the hasher nor a byte-slice copy of the string.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Owner returns the shard owning a block key among k shards: a consistent
-// (jump) hash of the key bytes, so growing K from k to k+1 moves only
-// ~1/(k+1) of the keys.
+// (jump) hash of the FNV-64a of the key bytes, so growing K from k to
+// k+1 moves only ~1/(k+1) of the keys.
 func Owner(key string, k int) int {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	return jump(h.Sum64(), k)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return jump(h, k)
 }
 
 // jump is Lamping & Veach's jump consistent hash: maps a 64-bit key to a
@@ -88,15 +97,51 @@ type ruleMeta struct {
 	vars []pattern.Constrained
 }
 
+// localRef records that a row lives on one shard at one local index.
+type localRef struct {
+	shard int32
+	local int32
+}
+
 // rowPlace records where one global row lives.
 type rowPlace struct {
 	// home is the round-robin shard assigned at insertion; it keeps the
 	// row evaluated by constant tableau rows even when it extracts no
 	// block keys.
-	home int
-	// locals maps each hosting shard to the row's local index there
-	// (home included).
-	locals map[int]int
+	home int32
+	// locals lists each hosting shard and the row's local index there
+	// (home included). A row hosts on very few shards — home plus the
+	// owners of its block keys — so a linear-scanned slice beats the
+	// per-row map it replaced by an allocation per row.
+	locals []localRef
+}
+
+func (p *rowPlace) local(s int) (int, bool) {
+	for _, lr := range p.locals {
+		if int(lr.shard) == s {
+			return int(lr.local), true
+		}
+	}
+	return 0, false
+}
+
+func (p *rowPlace) setLocal(s, l int) {
+	for i := range p.locals {
+		if int(p.locals[i].shard) == s {
+			p.locals[i].local = int32(l)
+			return
+		}
+	}
+	p.locals = append(p.locals, localRef{shard: int32(s), local: int32(l)})
+}
+
+func (p *rowPlace) deleteLocal(s int) {
+	for i := range p.locals {
+		if int(p.locals[i].shard) == s {
+			p.locals = append(p.locals[:i], p.locals[i+1:]...)
+			return
+		}
+	}
 }
 
 // Translator is the routing half of the coordinator: it owns the global
@@ -116,6 +161,13 @@ type Translator struct {
 	// necessarily monotone: rows migrating onto a shard append at the
 	// local end regardless of their global position.
 	globalOf [][]int
+	// keyBuf/shardBuf are reusable routing scratch for shardsOf. The
+	// translator is single-writer — construction is sequential and the
+	// coordinator serializes Translate under its lock — so plain fields
+	// are safe. Boot deliberately avoids them: it runs concurrently
+	// across shards during bootstrap.
+	keyBuf   []string
+	shardBuf []int32
 }
 
 // NewTranslator routes the table's current rows over k shards and
@@ -143,33 +195,52 @@ func NewTranslator(t *table.Table, rules []*pfd.PFD, k int) (*Translator, error)
 		}
 		tr.meta = append(tr.meta, m)
 	}
-	tr.rows = make([]rowPlace, 0, t.NumRows())
+	tr.rows = make([]rowPlace, t.NumRows())
+	// One slab backs the initial placement entries: most rows host on
+	// exactly one shard (their home), and per-row slices would cost an
+	// allocation each. Rows that later grow their placement reallocate
+	// out of the slab individually; the cap clip below keeps them from
+	// clobbering their neighbours when they do.
+	slab := make([]localRef, 0, t.NumRows())
 	for g := 0; g < t.NumRows(); g++ {
-		rec := t.Row(g)
-		place := rowPlace{home: g % k, locals: make(map[int]int, 1)}
-		for s := range tr.shardSet(rec, place.home) {
-			place.locals[s] = len(tr.globalOf[s])
+		home := int32(g % k)
+		tr.shardBuf = tr.shardsOf(g, home, tr.shardBuf)
+		off := len(slab)
+		for _, s := range tr.shardBuf {
+			slab = append(slab, localRef{shard: s, local: int32(len(tr.globalOf[s]))})
 			tr.globalOf[s] = append(tr.globalOf[s], g)
 		}
-		tr.rows = append(tr.rows, place)
+		tr.rows[g] = rowPlace{home: home, locals: slab[off:len(slab):len(slab)]}
 	}
 	return tr, nil
 }
 
-// shardSet returns the shards one row must live on given its current cell
-// values: the home shard plus the owner of every block key any rule's
-// variable tableau rows extract from the row's LHS values.
-func (tr *Translator) shardSet(cells []string, home int) map[int]bool {
-	set := map[int]bool{home: true}
+// shardsOf resets dst to the shards global row g must live on given its
+// current cell values: the home shard plus the owner of every block key
+// any rule's variable tableau rows extract from the row's LHS values,
+// deduplicated. Uses the translator's routing scratch.
+func (tr *Translator) shardsOf(g int, home int32, dst []int32) []int32 {
+	dst = append(dst[:0], home)
 	for _, m := range tr.meta {
-		lv := cells[m.li]
+		lv := tr.t.Cell(g, m.li)
 		for _, q := range m.vars {
-			for _, key := range q.Extract(lv) {
-				set[Owner(key, tr.k)] = true
+			tr.keyBuf = q.AppendExtract(tr.keyBuf[:0], lv)
+			for _, key := range tr.keyBuf {
+				s := int32(Owner(key, tr.k))
+				seen := false
+				for _, have := range dst {
+					if have == s {
+						seen = true
+						break
+					}
+				}
+				if !seen {
+					dst = append(dst, s)
+				}
 			}
 		}
 	}
-	return set
+	return dst
 }
 
 // Boot renders one shard's current boot state — its routed sub-table
@@ -183,8 +254,19 @@ func (tr *Translator) Boot(s int) NodeBoot {
 		Shard:    s,
 		Of:       tr.k,
 	}
+	// Render all rows into one backing slab instead of one allocation
+	// per row. The boot is freshly built and handed to the node, which
+	// may adopt it (see NodeBoot.Rows); nothing else aliases the slab.
+	// No translator scratch here: Boot runs concurrently across shards
+	// during coordinator bootstrap.
+	width := len(boot.Columns)
+	cells := make([]string, len(boot.Rows)*width)
 	for l, g := range tr.globalOf[s] {
-		boot.Rows[l] = tr.t.Row(g)
+		row := cells[l*width : (l+1)*width : (l+1)*width]
+		for c := 0; c < width; c++ {
+			row[c] = tr.t.Cell(g, c)
+		}
+		boot.Rows[l] = row
 	}
 	return boot
 }
@@ -238,9 +320,11 @@ func (tr *Translator) translateAppend(rows [][]string, ops [][]NodeOp) error {
 		if err := tr.t.Append(rec); err != nil {
 			return err
 		}
-		place := rowPlace{home: g % tr.k, locals: make(map[int]int, 1)}
-		for s := range tr.shardSet(rec, place.home) {
-			place.locals[s] = len(tr.globalOf[s])
+		place := rowPlace{home: int32(g % tr.k)}
+		tr.shardBuf = tr.shardsOf(g, place.home, tr.shardBuf)
+		for _, s32 := range tr.shardBuf {
+			s := int(s32)
+			place.locals = append(place.locals, localRef{shard: s32, local: int32(len(tr.globalOf[s]))})
 			tr.globalOf[s] = append(tr.globalOf[s], g)
 			pend[s] = append(pend[s], rec)
 			pendG[s] = append(pendG[s], g)
@@ -272,37 +356,49 @@ func (tr *Translator) translateUpdate(g int, column, value string, ops [][]NodeO
 	}
 	tr.t.SetCell(g, ci, value)
 	place := &tr.rows[g]
-	newSet := tr.shardSet(tr.t.Row(g), place.home)
+	tr.shardBuf = tr.shardsOf(g, place.home, tr.shardBuf)
+	newSet := tr.shardBuf
+	inNew := func(s int32) bool {
+		for _, have := range newSet {
+			if have == s {
+				return true
+			}
+		}
+		return false
+	}
 	perShard := make(map[int]NodeOp)
 
-	for s, local := range place.locals {
-		if !newSet[s] {
-			op := stream.DeleteRows(local)
-			perShard[s] = NodeOp{Op: &op}
-		}
-	}
-	moved := len(perShard) > 0
-	for s := range perShard { // the leave set: rewrite bookkeeping before any engine runs
-		tr.removeFromShard(s, place.locals[s])
-	}
-	joined := make(map[int]bool)
-	for s := range newSet {
-		if _, ok := place.locals[s]; ok {
+	// The leave set: shards hosting the row that the new value routes
+	// away from get a local delete addressed at the pre-removal index,
+	// and the bookkeeping is rewritten before any engine runs. Each
+	// removal drops the current locals entry, so the index does not
+	// advance on removal.
+	moved := false
+	for i := 0; i < len(place.locals); {
+		lr := place.locals[i]
+		if inNew(lr.shard) {
+			i++
 			continue
 		}
-		place.locals[s] = len(tr.globalOf[s])
+		op := stream.DeleteRows(int(lr.local))
+		perShard[int(lr.shard)] = NodeOp{Op: &op}
+		tr.removeFromShard(int(lr.shard), int(lr.local))
+		moved = true
+	}
+	// After the removals, place.locals is exactly the stay set: stays
+	// get the cell update, new shards get an append of the full row.
+	for _, s32 := range newSet {
+		s := int(s32)
+		if local, ok := place.local(s); ok {
+			op := stream.UpdateCell(local, column, value)
+			perShard[s] = NodeOp{Op: &op}
+			continue
+		}
+		place.setLocal(s, len(tr.globalOf[s]))
 		tr.globalOf[s] = append(tr.globalOf[s], g)
-		joined[s] = true
 		moved = true
 		op := stream.AppendRows(tr.t.Row(g))
 		perShard[s] = NodeOp{Op: &op, Globals: []int{g}}
-	}
-	for s, local := range place.locals {
-		if joined[s] {
-			continue // appended with the new value already
-		}
-		op := stream.UpdateCell(local, column, value)
-		perShard[s] = NodeOp{Op: &op}
 	}
 	for s, op := range perShard {
 		ops[s] = append(ops[s], op)
@@ -315,16 +411,16 @@ func (tr *Translator) translateUpdate(g int, column, value string, ops [][]NodeO
 // and deletes the removed row's placement entry. The caller pairs it
 // with a DeleteRows node op addressed at the pre-removal local index.
 func (tr *Translator) removeFromShard(s, local int) {
-	ng := make([]int, 0, len(tr.globalOf[s])-1)
-	for l, g := range tr.globalOf[s] {
-		if l == local {
-			delete(tr.rows[g].locals, s)
-			continue
-		}
-		tr.rows[g].locals[s] = len(ng)
-		ng = append(ng, g)
+	og := tr.globalOf[s]
+	tr.rows[og[local]].deleteLocal(s)
+	// Rows before the removed index keep their local positions; only the
+	// tail shifts down, in place.
+	for l := local + 1; l < len(og); l++ {
+		g := og[l]
+		tr.rows[g].setLocal(s, l-1)
+		og[l-1] = g
 	}
-	tr.globalOf[s] = ng
+	tr.globalOf[s] = og[:len(og)-1]
 }
 
 // translateDelete removes global rows: every hosting shard deletes its
@@ -345,8 +441,8 @@ func (tr *Translator) translateDelete(drop []int, ops [][]NodeOp) error {
 	// Per-shard local targets, captured before any bookkeeping moves.
 	perShard := make([][]int, tr.k)
 	for _, g := range targets {
-		for s, local := range tr.rows[g].locals {
-			perShard[s] = append(perShard[s], local)
+		for _, lr := range tr.rows[g].locals {
+			perShard[lr.shard] = append(perShard[lr.shard], int(lr.local))
 		}
 	}
 	remap := remapFor(targets)
@@ -358,10 +454,10 @@ func (tr *Translator) translateDelete(drop []int, ops [][]NodeOp) error {
 		ng := make([]int, 0, len(tr.globalOf[s]))
 		for _, g := range tr.globalOf[s] {
 			if dropSet[g] {
-				delete(tr.rows[g].locals, s)
+				tr.rows[g].deleteLocal(s)
 				continue
 			}
-			tr.rows[g].locals[s] = len(ng)
+			tr.rows[g].setLocal(s, len(ng))
 			nr, _ := remap(g)
 			ng = append(ng, nr)
 		}

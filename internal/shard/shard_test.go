@@ -140,10 +140,10 @@ func TestKeyMoveAcrossShards(t *testing.T) {
 	assertMerged(t, c, tbl, rules)
 	owner850, owner212 := Owner("850", 4), Owner("212", 4)
 	if owner850 != owner212 {
-		if _, ok := c.tr.rows[0].locals[owner212]; !ok {
+		if _, ok := c.tr.rows[0].local(owner212); !ok {
 			t.Errorf("row 0 not hosted on the new key's owner shard %d (placement %v -> %v)", owner212, before, c.tr.rows[0].locals)
 		}
-		if _, ok := c.tr.rows[0].locals[owner850]; ok && owner850 != c.tr.rows[0].home {
+		if _, ok := c.tr.rows[0].local(owner850); ok && owner850 != int(c.tr.rows[0].home) {
 			t.Errorf("row 0 still hosted on the old key's owner shard %d", owner850)
 		}
 	}
@@ -175,7 +175,8 @@ func TestDeleteSpanningShards(t *testing.T) {
 			// Every surviving row's recorded locals must resolve back to it —
 			// in the translator's mirror AND on the nodes themselves.
 			for g, place := range c.tr.rows {
-				for s, local := range place.locals {
+				for _, lr := range place.locals {
+					s, local := int(lr.shard), int(lr.local)
 					if got := c.tr.globalOf[s][local]; got != g {
 						t.Fatalf("row %d: shard %d local %d maps to global %d", g, s, local, got)
 					}

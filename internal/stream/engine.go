@@ -4,7 +4,7 @@
 //
 // An Engine is built once over a table and a fixed set of PFDs. Batched
 // deltas (AppendRows, UpdateCell, DeleteRows) flow through Apply, which
-// updates the table, the per-column pattern indexes (pindex), the
+// updates the table, its dictionary-coded column views (intern), the
 // per-tableau-row block posting lists (invlist), and the materialized
 // violation set — recomputing only the constant-row tuples and
 // variable-row pattern groups a delta touches. The maintained invariant,
@@ -41,10 +41,10 @@ import (
 
 	"github.com/anmat/anmat/internal/blocking"
 	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/intern"
 	"github.com/anmat/anmat/internal/invlist"
 	"github.com/anmat/anmat/internal/pattern"
 	"github.com/anmat/anmat/internal/pfd"
-	"github.com/anmat/anmat/internal/pindex"
 	"github.com/anmat/anmat/internal/table"
 	"github.com/anmat/anmat/internal/tableau"
 )
@@ -81,6 +81,11 @@ type ruleState struct {
 	// vioOf maps, per variable row, a block key to the keys of the
 	// violations that block currently owes.
 	vioOf []map[string][]string
+	// verd memoizes, per constant row, the embedded pattern's verdict per
+	// interned LHS dictionary ID: the DFA runs once over the column's
+	// distinct values, not once per cell. IDs are never renumbered (see
+	// intern), so the memo survives every delta.
+	verd []*intern.Verdicts
 }
 
 // Engine maintains the violation set of a rule set over a mutating table.
@@ -93,9 +98,19 @@ type Engine struct {
 	seq int64
 	rs  []*ruleState
 	vio map[string]*vioEntry
-	// cols are the incrementally maintained pattern indexes of every
-	// column that is some rule's LHS, keyed by column position.
-	cols map[int]*pindex.Index
+	// icols are the dictionary-coded views of every column some rule
+	// reads (LHS and RHS), keyed by column position. The table maintains
+	// them through every delta; detection compares interned IDs.
+	icols map[int]*table.Interned
+
+	// extBuf/extBuf2 are extraction scratch buffers reused across rows;
+	// two exist because applyUpdate needs before- and after-keys live at
+	// once. Apply batches serialize on mu, so engine-owned scratch is
+	// safe.
+	extBuf, extBuf2 []string
+	// touched is the per-batch-op scratch set of (tableau row, block key)
+	// sources to re-evaluate, reused across ops.
+	touched map[touchKey]bool
 
 	log *DiffLog
 
@@ -162,7 +177,8 @@ func NewEngineOpts(t *table.Table, rules []*pfd.PFD, opts EngineOptions) (*Engin
 		rules:     rules,
 		seq:       opts.BaseSeq,
 		vio:       make(map[string]*vioEntry),
-		cols:      make(map[int]*pindex.Index),
+		icols:     make(map[int]*table.Interned),
+		touched:   make(map[touchKey]bool),
 		log:       NewDiffLog(opts.LogCap),
 		keyFilter: opts.KeyFilter,
 		globalID:  opts.GlobalID,
@@ -183,6 +199,7 @@ func NewEngineOpts(t *table.Table, rules []*pfd.PFD, opts EngineOptions) (*Engin
 			consts: make([]map[int]string, len(rows)),
 			blocks: make([]*invlist.List, len(rows)),
 			vioOf:  make([]map[string][]string, len(rows)),
+			verd:   make([]*intern.Verdicts, len(rows)),
 		}
 		for tri, row := range rows {
 			rs.emb[tri] = row.LHS.Embedded()
@@ -191,34 +208,52 @@ func NewEngineOpts(t *table.Table, rules []*pfd.PFD, opts EngineOptions) (*Engin
 				rs.vioOf[tri] = make(map[string][]string)
 			} else {
 				rs.consts[tri] = make(map[int]string)
+				rs.verd[tri] = &intern.Verdicts{}
 			}
 		}
 		e.rs = append(e.rs, rs)
-		if _, ok := e.cols[li]; !ok {
-			e.cols[li] = pindex.Build(t.ColumnByIndex(li))
+		if _, ok := e.icols[li]; !ok {
+			e.icols[li] = t.InternedColumn(li)
+		}
+		if _, ok := e.icols[ri]; !ok {
+			e.icols[ri] = t.InternedColumn(ri)
 		}
 	}
 
-	// Bootstrap the maintained state. Constant rows probe the pattern
-	// index (the same index full detection uses); variable rows extract
-	// block keys per tuple and then evaluate each block once.
+	// Bootstrap the maintained state over the coded columns. Constant
+	// rows run the compiled DFA once per distinct LHS value (memoized per
+	// dictionary ID) and compare RHS IDs against the interned constant;
+	// variable rows extract block keys per tuple into a reused scratch
+	// buffer and then evaluate each block once.
 	d := newBatchDiff()
 	for rsi, rs := range e.rs {
-		lhs := t.ColumnByIndex(rs.li)
+		liv, riv := e.icols[rs.li], e.icols[rs.ri]
 		for tri, row := range rs.rows {
 			if !row.Variable() {
-				for _, r := range e.cols[rs.li].Match(rs.emb[tri]) {
-					if rv := t.Cell(r, rs.ri); rv != row.RHS {
-						v := pfd.ConstantViolation(rs.p, row, r, lhs[r], rv)
+				constID, haveConst := riv.Dict.Lookup(row.RHS)
+				emb := rs.emb[tri]
+				verd := rs.verd[tri]
+				for r, id := range liv.IDs {
+					match, known := verd.Known(id)
+					if !known {
+						match = emb.MatchesDFA(liv.Dict.Value(id))
+						verd.Set(id, match)
+					}
+					if !match {
+						continue
+					}
+					if rid := riv.IDs[r]; !haveConst || rid != constID {
+						v := pfd.ConstantViolation(rs.p, row, r, liv.Dict.Value(id), riv.Dict.Value(rid))
 						rs.consts[tri][r] = e.ref(v, d)
 					}
 				}
 				continue
 			}
 			touched := make(map[string]bool)
-			for r, lv := range lhs {
-				for _, key := range e.extract(row, lv) {
-					rs.blocks[tri].Insert(key, invlist.Posting{TupleID: r, RHS: t.Cell(r, rs.ri)})
+			for r, id := range liv.IDs {
+				e.extBuf = e.extractInto(e.extBuf[:0], row, liv.Dict.Value(id))
+				for _, key := range e.extBuf {
+					rs.blocks[tri].Insert(key, invlist.Posting{TupleID: r, RHS: riv.Value(r)})
 					touched[key] = true
 				}
 			}
@@ -227,6 +262,7 @@ func NewEngineOpts(t *table.Table, rules []*pfd.PFD, opts EngineOptions) (*Engin
 			}
 		}
 	}
+	d.release()
 	e.version = t.Version()
 	return e, nil
 }
@@ -278,8 +314,8 @@ type Stats struct {
 	// Blocks is the total number of tracked pattern groups across all
 	// variable tableau rows.
 	Blocks int `json:"blocks"`
-	// IndexedColumns is the number of incrementally maintained per-column
-	// pattern indexes.
+	// IndexedColumns is the number of dictionary-coded column views the
+	// engine maintains (every LHS and RHS column of the rule set).
 	IndexedColumns int `json:"indexed_columns"`
 	// LogLen is the number of retained per-batch diffs (Since horizon).
 	LogLen int `json:"log_len"`
@@ -291,7 +327,7 @@ func (e *Engine) Stats() Stats {
 	defer e.mu.Unlock()
 	st := Stats{
 		Seq: e.seq, Rows: e.t.NumRows(), Rules: len(e.rules),
-		Violations: len(e.vio), IndexedColumns: len(e.cols), LogLen: e.log.Len(),
+		Violations: len(e.vio), IndexedColumns: len(e.icols), LogLen: e.log.Len(),
 	}
 	for _, rs := range e.rs {
 		for _, bl := range rs.blocks {
@@ -360,6 +396,7 @@ func (e *Engine) apply(batch Batch, journal bool) (*Diff, error) {
 	}
 	e.seq++
 	diff := d.finalize(e.seq, e.t.NumRows(), e.vio)
+	d.release()
 	e.log.Append(diff)
 	return diff, nil
 }
@@ -377,15 +414,17 @@ func (e *Engine) Since(seq int64) (*Diff, error) {
 	return e.log.Merge(seq, e.seq, e.t.NumRows(), e.violationsLocked)
 }
 
-// extract computes a variable tableau row's block keys for one LHS value,
-// dropping keys the engine's KeyFilter rejects.
-func (e *Engine) extract(row tableau.Row, lv string) []string {
-	keys := row.LHS.Extract(lv)
+// extractInto appends a variable tableau row's block keys for one LHS
+// value to dst, dropping keys the engine's KeyFilter rejects. Callers
+// pass an engine-owned scratch buffer (ops serialize on mu).
+func (e *Engine) extractInto(dst []string, row tableau.Row, lv string) []string {
+	start := len(dst)
+	dst = row.LHS.AppendExtract(dst, lv)
 	if e.keyFilter == nil {
-		return keys
+		return dst
 	}
-	kept := keys[:0]
-	for _, k := range keys {
+	kept := dst[:start]
+	for _, k := range dst[start:] {
 		if e.keyFilter(k) {
 			kept = append(kept, k)
 		}
@@ -394,6 +433,12 @@ func (e *Engine) extract(row tableau.Row, lv string) []string {
 }
 
 // ---- delta application ----
+
+// touchKey names one (tableau row, block key) source to re-evaluate.
+type touchKey struct {
+	tri int
+	key string
+}
 
 func (e *Engine) applyAppend(rows [][]string, d *batchDiff) {
 	start := e.t.NumRows()
@@ -407,17 +452,8 @@ func (e *Engine) applyAppend(rows [][]string, d *batchDiff) {
 		}
 		_ = e.t.Append(rec)
 	}
-	for ci, ix := range e.cols {
-		for n := start; n < e.t.NumRows(); n++ {
-			ix.Insert(n, e.t.Cell(n, ci))
-		}
-	}
 	for rsi, rs := range e.rs {
-		type touchKey struct {
-			tri int
-			key string
-		}
-		touched := make(map[touchKey]bool)
+		clear(e.touched)
 		for n := start; n < e.t.NumRows(); n++ {
 			lv := e.t.Cell(n, rs.li)
 			for tri, row := range rs.rows {
@@ -425,13 +461,14 @@ func (e *Engine) applyAppend(rows [][]string, d *batchDiff) {
 					e.recomputeConst(rsi, tri, n, d)
 					continue
 				}
-				for _, key := range e.extract(row, lv) {
+				e.extBuf = e.extractInto(e.extBuf[:0], row, lv)
+				for _, key := range e.extBuf {
 					rs.blocks[tri].Insert(key, invlist.Posting{TupleID: n, RHS: e.t.Cell(n, rs.ri)})
-					touched[touchKey{tri, key}] = true
+					e.touched[touchKey{tri, key}] = true
 				}
 			}
 		}
-		for tk := range touched {
+		for tk := range e.touched {
 			e.recomputeBlock(rsi, tk.tri, tk.key, d)
 		}
 	}
@@ -445,9 +482,6 @@ func (e *Engine) applyUpdate(rowIdx int, column, value string, d *batchDiff) {
 		return
 	}
 	e.t.SetCell(rowIdx, ci, value)
-	if ix := e.cols[ci]; ix != nil {
-		ix.Update(rowIdx, old, value)
-	}
 	for rsi, rs := range e.rs {
 		if rs.li != ci && rs.ri != ci {
 			continue
@@ -467,11 +501,13 @@ func (e *Engine) applyUpdate(rowIdx int, column, value string, d *batchDiff) {
 			}
 			rhsNow := e.t.Cell(rowIdx, rs.ri)
 			touched := make(map[string]bool)
-			for _, key := range e.extract(row, lhsBefore) {
+			e.extBuf = e.extractInto(e.extBuf[:0], row, lhsBefore)
+			for _, key := range e.extBuf {
 				rs.blocks[tri].Remove(key, rowIdx)
 				touched[key] = true
 			}
-			for _, key := range e.extract(row, lhsNow) {
+			e.extBuf2 = e.extractInto(e.extBuf2[:0], row, lhsNow)
+			for _, key := range e.extBuf2 {
 				rs.blocks[tri].Insert(key, invlist.Posting{TupleID: rowIdx, RHS: rhsNow})
 				touched[key] = true
 			}
@@ -523,7 +559,8 @@ func (e *Engine) applyDelete(drop []int, d *batchDiff) {
 				continue
 			}
 			for _, r := range targets {
-				for _, key := range e.extract(row, e.t.Cell(r, rs.li)) {
+				e.extBuf = e.extractInto(e.extBuf[:0], row, e.t.Cell(r, rs.li))
+				for _, key := range e.extBuf {
 					rs.blocks[tri].Remove(key, r)
 					affected[varKey{rsi, tri, key}] = true
 				}
@@ -538,18 +575,11 @@ func (e *Engine) applyDelete(drop []int, d *batchDiff) {
 		delete(rs.vioOf[vk.tri], vk.key)
 	}
 
-	// Remove the rows from the column indexes, compact the table, and
-	// renumber everything that survived.
-	for ci, ix := range e.cols {
-		for _, r := range targets {
-			ix.Remove(r, e.t.Cell(r, ci))
-		}
-	}
+	// Compact the table (which compacts the coded column views in step)
+	// and renumber everything that survived. Dictionary IDs are never
+	// renumbered, so the per-ID verdict memos stay valid.
 	_, _ = e.t.DeleteRows(targets...) // validated in-range
 	remap := remapFor(targets)
-	for _, ix := range e.cols {
-		ix.Renumber(remap)
-	}
 	keyMap := make(map[string]string, len(e.vio))
 	newVio := make(map[string]*vioEntry, len(e.vio))
 	for k, ent := range e.vio {
@@ -634,12 +664,20 @@ func (e *Engine) recomputeConst(rsi, tri, tuple int, d *batchDiff) {
 		e.unref(key, d)
 		delete(rs.consts[tri], tuple)
 	}
-	lv := e.t.Cell(tuple, rs.li)
-	if !rs.emb[tri].MatchesDFA(lv) {
+	liv, riv := e.icols[rs.li], e.icols[rs.ri]
+	id := liv.IDs[tuple]
+	verd := rs.verd[tri]
+	match, known := verd.Known(id)
+	if !known {
+		match = rs.emb[tri].MatchesDFA(liv.Dict.Value(id))
+		verd.Set(id, match)
+	}
+	if !match {
 		return
 	}
-	if rv := e.t.Cell(tuple, rs.ri); rv != row.RHS {
-		v := pfd.ConstantViolation(rs.p, row, tuple, lv, rv)
+	constID, haveConst := riv.Dict.Lookup(row.RHS)
+	if rid := riv.IDs[tuple]; !haveConst || rid != constID {
+		v := pfd.ConstantViolation(rs.p, row, tuple, liv.Dict.Value(id), riv.Dict.Value(rid))
 		rs.consts[tri][tuple] = e.ref(v, d)
 	}
 }
@@ -727,7 +765,21 @@ type batchDiff struct {
 	prior map[string]*pfd.Violation
 }
 
-func newBatchDiff() *batchDiff { return &batchDiff{prior: make(map[string]*pfd.Violation)} }
+// diffPool recycles batchDiff scratch across Apply calls: the prior map
+// retains its buckets, so steady-state single-row batches stop paying a
+// map allocation per delta.
+var diffPool = sync.Pool{
+	New: func() any { return &batchDiff{prior: make(map[string]*pfd.Violation)} },
+}
+
+func newBatchDiff() *batchDiff { return diffPool.Get().(*batchDiff) }
+
+// release clears the scratch and returns it to the pool. The finalized
+// Diff copies every violation it reports, so nothing aliases the map.
+func (d *batchDiff) release() {
+	clear(d.prior)
+	diffPool.Put(d)
+}
 
 // touch records the batch-start state of a key the first time the key is
 // modified within the batch.

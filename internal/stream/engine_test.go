@@ -303,7 +303,9 @@ func TestEngineStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := e.Stats()
-	if st.Rows != 5 || st.Rules != 1 || st.IndexedColumns != 1 {
+	// IndexedColumns counts dictionary-coded views: the rule's LHS and
+	// RHS columns.
+	if st.Rows != 5 || st.Rules != 1 || st.IndexedColumns != 2 {
 		t.Errorf("stats = %+v", st)
 	}
 	if st.Blocks == 0 {

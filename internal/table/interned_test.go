@@ -1,0 +1,71 @@
+package table
+
+import "testing"
+
+// check verifies the coded view agrees with the string column cell by
+// cell — the single invariant everything else rests on.
+func check(t *testing.T, tab *Table, col int) {
+	t.Helper()
+	iv := tab.InternedColumn(col)
+	if len(iv.IDs) != tab.NumRows() {
+		t.Fatalf("interned column %d has %d ids, table has %d rows", col, len(iv.IDs), tab.NumRows())
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		if got, want := iv.Value(r), tab.Cell(r, col); got != want {
+			t.Fatalf("row %d col %d: interned %q, table %q", r, col, got, want)
+		}
+	}
+}
+
+func TestInternedColumnMaintenance(t *testing.T) {
+	tab := MustFromRows("t", []string{"a", "b"}, [][]string{
+		{"x", "1"}, {"y", "2"}, {"x", "3"}, {"z", "1"},
+	})
+	iv := tab.InternedColumn(0)
+	if same := tab.InternedColumn(0); same != iv {
+		t.Fatalf("InternedColumn not cached")
+	}
+	if iv.IDs[0] != iv.IDs[2] {
+		t.Fatalf("equal cells coded differently")
+	}
+	check(t, tab, 0)
+	check(t, tab, 1)
+
+	// Append maintains materialized views.
+	tab.MustAppend("y", "9")
+	check(t, tab, 0)
+	check(t, tab, 1)
+
+	// SetCell re-codes the touched cell only.
+	tab.SetCell(1, 0, "w")
+	check(t, tab, 0)
+
+	// DeleteRows compacts positions but keeps IDs valid: the surviving
+	// duplicate of "x" must still decode through the old dictionary ID.
+	xID := iv.IDs[0]
+	if _, err := tab.DeleteRows(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	check(t, tab, 0)
+	check(t, tab, 1)
+	if iv.IDs[1] != xID { // rows now: w, x, y
+		t.Fatalf("delete-compaction renumbered a surviving ID: %d != %d", iv.IDs[1], xID)
+	}
+	if got, want := iv.Dict.Value(xID), "x"; got != want {
+		t.Fatalf("dictionary entry invalidated by delete: %q", got)
+	}
+}
+
+func TestFromRowsOwned(t *testing.T) {
+	rows := [][]string{{"a", "b"}, {"c", "d"}}
+	tab, err := FromRowsOwned("t", []string{"x", "y"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 2 || tab.Cell(1, 1) != "d" {
+		t.Fatalf("owned rows not adopted")
+	}
+	if _, err := FromRowsOwned("t", []string{"x", "y"}, [][]string{{"only"}}); err == nil {
+		t.Fatalf("arity mismatch accepted")
+	}
+}

@@ -10,6 +10,9 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+
+	"github.com/anmat/anmat/internal/intern"
 )
 
 // Table is a relation instance: an ordered list of column names and rows
@@ -22,7 +25,30 @@ type Table struct {
 	// version counts mutations (SetCell, Append, Derive) so index caches
 	// built over the table can detect staleness. See Version.
 	version int64
+
+	// interned holds the dictionary-coded views of columns that some
+	// consumer asked for via InternedColumn. Views are built lazily and
+	// then maintained incrementally by every mutation, so the detection
+	// hot path reads stable coded columns instead of re-scanning strings.
+	// internedMu guards the lazy build; mutations follow the same
+	// phase discipline as Version (mutate and detect separately).
+	internedMu sync.Mutex
+	interned   map[int]*Interned
 }
+
+// Interned is one column's dictionary-coded view: IDs[r] is the dense
+// dictionary ID of the cell at (r, column). Two cells of the column are
+// equal iff their IDs are equal. The view is owned by the table and
+// maintained under Append/SetCell/DeleteRows; deleting rows compacts IDs
+// in row order but never renumbers the dictionary, so per-ID caches
+// (DFA verdicts, extraction memos) survive deletes.
+type Interned struct {
+	Dict *intern.Dict
+	IDs  []uint32
+}
+
+// Value returns the cell string for row r through the coded view.
+func (iv *Interned) Value(r int) string { return iv.Dict.Value(iv.IDs[r]) }
 
 // New creates an empty table with the given column names.
 func New(name string, columns []string) (*Table, error) {
@@ -83,6 +109,9 @@ func (t *Table) Append(row []string) error {
 	cp := make([]string, len(row))
 	copy(cp, row)
 	t.rows = append(t.rows, cp)
+	for ci, iv := range t.interned {
+		iv.IDs = append(iv.IDs, iv.Dict.Intern(cp[ci]))
+	}
 	t.version++
 	return nil
 }
@@ -110,7 +139,31 @@ func (t *Table) CellByName(row int, col string) (string, error) {
 // repair engine and by error injection in the data generators.
 func (t *Table) SetCell(row, col int, v string) {
 	t.rows[row][col] = v
+	if iv, ok := t.interned[col]; ok {
+		iv.IDs[row] = iv.Dict.Intern(v)
+	}
 	t.version++
+}
+
+// InternedColumn returns the dictionary-coded view of the column at
+// index i, building it on first request and maintaining it through every
+// subsequent mutation. The returned view is shared: callers must treat
+// it as read-only and follow the table's mutate/detect phase discipline.
+func (t *Table) InternedColumn(i int) *Interned {
+	t.internedMu.Lock()
+	defer t.internedMu.Unlock()
+	if iv, ok := t.interned[i]; ok {
+		return iv
+	}
+	iv := &Interned{Dict: intern.NewDict(), IDs: make([]uint32, len(t.rows))}
+	for r := range t.rows {
+		iv.IDs[r] = iv.Dict.Intern(t.rows[r][i])
+	}
+	if t.interned == nil {
+		t.interned = make(map[int]*Interned)
+	}
+	t.interned[i] = iv
+	return iv
 }
 
 // Version returns the mutation count of the table. Index caches record
@@ -144,6 +197,17 @@ func (t *Table) DeleteRows(rows ...int) (int, error) {
 		t.rows[i] = nil
 	}
 	t.rows = kept
+	// Compact the coded views the same way: surviving rows keep their
+	// IDs (dictionaries are never renumbered), only row positions shift.
+	for _, iv := range t.interned {
+		keptIDs := iv.IDs[:0]
+		for i, id := range iv.IDs {
+			if !drop[i] {
+				keptIDs = append(keptIDs, id)
+			}
+		}
+		iv.IDs = keptIDs
+	}
 	t.version++
 	return removed, nil
 }
@@ -381,6 +445,25 @@ func FromRows(name string, columns []string, rows [][]string) (*Table, error) {
 			return nil, err
 		}
 	}
+	return t, nil
+}
+
+// FromRowsOwned builds a table that takes ownership of rows without
+// copying them: the caller must not retain or mutate rows (or any row
+// slice) after the call. It exists for boot paths that render fresh row
+// slices per shard — FromRows would immediately copy each one again.
+func FromRowsOwned(name string, columns []string, rows [][]string) (*Table, error) {
+	t, err := New(name, columns)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if len(r) != len(t.columns) {
+			return nil, fmt.Errorf("table %q: row %d has %d cells, want %d", name, i, len(r), len(t.columns))
+		}
+	}
+	t.rows = rows
+	t.version = int64(len(rows))
 	return t, nil
 }
 
