@@ -5,9 +5,10 @@
 # violation maintenance vs full re-detection at delta batch sizes
 # 1/10/100 (speedup_vs_full) — see README "Streaming ingestion".
 # `make bench-shard` writes BENCH_shard.json: full sharded detection over
-# a ≥1M-row datagen table at K=1/2/4/8 (rows/sec, speedup_vs_1shard) —
-# see README "Sharding". SHARD_BENCH_ROWS scales the table for quick
-# local runs.
+# a ≥1M-row datagen table at K=1/2/4/8 (rows/sec, speedup_vs_1shard,
+# plus detect_p50_ms/detect_p95_ms read from the obs span histogram the
+# per-shard engine bootstraps feed) — see README "Sharding".
+# SHARD_BENCH_ROWS scales the table for quick local runs.
 
 GO        ?= go
 BENCHTIME ?=

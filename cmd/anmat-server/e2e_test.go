@@ -20,14 +20,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	anmat "github.com/anmat/anmat"
+	"github.com/anmat/anmat/internal/obs"
 )
 
 func TestMain(m *testing.M) {
@@ -218,6 +222,96 @@ func TestE2EGoldenCorpusAcrossProcesses(t *testing.T) {
 	}
 }
 
+// scrapeProm fetches one /metrics endpoint over HTTP and parses the
+// exposition strictly — so every e2e scrape doubles as a format check.
+func scrapeProm(t *testing.T, url string) ([]obs.Sample, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	samples, _, err := obs.ParseText(string(body))
+	if err != nil {
+		t.Fatalf("scrape %s: exposition does not parse: %v", url, err)
+	}
+	return samples, string(body)
+}
+
+// dumpProm writes one scraped exposition into the e2e log dir, where CI
+// uploads it as a metrics-snapshot artifact.
+func dumpProm(t *testing.T, logDir, name, text string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(logDir, name+".prom"), []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE2EMetricsReconcile replays the golden delta script through two
+// worker processes and reconciles the observability layer across the
+// process boundary: for every shard, the number of batches the
+// coordinator counted as successfully routed
+// (anmat_shard_node_batches_total{outcome="ok"}) must equal the number
+// the worker counted as applied (anmat_worker_batches_applied_total) on
+// its own /metrics endpoint. Coordinator-side counters are read as
+// before/after deltas because the process-global registry accumulates
+// across tests; worker processes are fresh, so their counters are
+// absolute.
+func TestE2EMetricsReconcile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	logDir := e2eLogDir(t)
+	const n = 2
+	urls := make([]string, n)
+	for s := 0; s < n; s++ {
+		urls[s] = startWorkerProc(t, logDir, fmt.Sprintf("metrics-shard%d", s), s, n).url
+	}
+	// The coordinator runs in the test process; serve its registry the
+	// same way `GET /metrics` does so the scrape path is exercised.
+	coord := httptest.NewServer(obs.Default.Handler())
+	defer coord.Close()
+
+	before, _ := scrapeProm(t, coord.URL)
+	sess, _, _ := goldenSession(t, urls, nil)
+	script := loadScript(t)
+	for bi, batch := range script {
+		if _, err := sess.ApplyDeltas(batch); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+	}
+	after, coordText := scrapeProm(t, coord.URL)
+	dumpProm(t, logDir, "metrics-coordinator", coordText)
+
+	var totalRouted float64
+	for s := 0; s < n; s++ {
+		shard := strconv.Itoa(s)
+		okLbl := map[string]string{"shard": shard, "outcome": "ok"}
+		routed := obs.SumSamples(after, "anmat_shard_node_batches_total", okLbl) -
+			obs.SumSamples(before, "anmat_shard_node_batches_total", okLbl)
+		totalRouted += routed
+		wsamples, wtext := scrapeProm(t, urls[s]+"/metrics")
+		dumpProm(t, logDir, fmt.Sprintf("metrics-worker%d", s), wtext)
+		applied := obs.SumSamples(wsamples, "anmat_worker_batches_applied_total",
+			map[string]string{"shard": shard})
+		if routed != applied {
+			t.Errorf("shard %d: coordinator routed %v ok batches, worker applied %v",
+				s, routed, applied)
+		}
+		if redelivered := obs.SumSamples(wsamples, "anmat_worker_redeliveries_total",
+			map[string]string{"shard": shard}); redelivered != 0 {
+			t.Logf("shard %d: %v redeliveries (retries hit the idempotency cache)", s, redelivered)
+		}
+	}
+	if totalRouted == 0 {
+		t.Fatalf("no ok batches routed: the delta script (%d batches) left no trace in the counters", len(script))
+	}
+}
+
 // TestE2EFailoverMidScript kills one worker process mid-script: the
 // coordinator must fail over to the spare worker by replaying the dead
 // shard's WAL, keep every remaining batch byte-identical, and keep
@@ -300,4 +394,22 @@ func TestE2EFailoverMidScript(t *testing.T) {
 			t.Fatalf("cursor fold is missing %+v", v)
 		}
 	}
+
+	// Metrics snapshots for the CI artifact: the coordinator registry,
+	// the surviving primary, and the spare now serving the dead shard.
+	// The failover itself must be visible in the coordinator's counters.
+	coordText := obs.Default.Text()
+	dumpProm(t, logDir, "failover-coordinator", coordText)
+	samples, _, err := obs.ParseText(coordText)
+	if err != nil {
+		t.Fatalf("coordinator exposition does not parse: %v", err)
+	}
+	if got := obs.SumSamples(samples, "anmat_shard_failovers_total",
+		map[string]string{"shard": "1"}); got < 1 {
+		t.Errorf("anmat_shard_failovers_total{shard=\"1\"} = %v, want >= 1", got)
+	}
+	_, survivorText := scrapeProm(t, urls[0]+"/metrics")
+	dumpProm(t, logDir, "failover-worker0", survivorText)
+	_, spareText := scrapeProm(t, spare.url+"/metrics")
+	dumpProm(t, logDir, "failover-spare", spareText)
 }

@@ -24,6 +24,11 @@
 // (one shard per worker, byte-identical results), journaling batches to
 // a K-way replicated WAL and failing over to -spares workers when a
 // primary dies.
+//
+// Observability: every process (coordinator and workers) serves
+// Prometheus text metrics on GET /metrics; -log-format json|text turns
+// on structured request logging with request IDs; -pprof mounts
+// net/http/pprof on the coordinator under /debug/pprof/.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,6 +47,7 @@ import (
 	"github.com/anmat/anmat/internal/cluster"
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/persist"
 	"github.com/anmat/anmat/internal/server"
 	"github.com/anmat/anmat/internal/table"
@@ -60,13 +67,14 @@ func splitList(s string) []string {
 // runWorker serves one shard over HTTP until interrupted. The bound
 // address is printed to stdout so harnesses using -addr with port 0 can
 // discover it.
-func runWorker(addr string, shardID, of int) {
+func runWorker(addr string, shardID, of int, accessLog *slog.Logger) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "anmat-server:", err)
 		os.Exit(1)
 	}
 	w := cluster.NewWorker(shardID, of)
+	w.SetAccessLog(accessLog)
 	fmt.Printf("ANMAT worker shard %d/%d listening on %s\n", shardID, of, ln.Addr())
 	httpSrv := &http.Server{Handler: w.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -102,10 +110,22 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated shard worker base URLs: run every session's incremental engine distributed over them (one shard per worker)")
 	spares := flag.String("spares", "", "with -workers: comma-separated standby worker base URLs consumed on failover")
 	clusterData := flag.String("cluster-data", "", "with -workers: directory for per-session failover stores (snapshot + K-way replicated WAL; empty = temp dirs)")
+	logFormat := flag.String("log-format", "", "structured request logging to stderr: 'json' or 'text' (empty = off); every request line carries a request ID")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes stacks and heap contents; opt-in)")
 	flag.Parse()
 
+	var accessLog *slog.Logger
+	switch *logFormat {
+	case "":
+	case "json", "text":
+		accessLog = obs.NewLogger(os.Stderr, *logFormat)
+	default:
+		fmt.Fprintf(os.Stderr, "anmat-server: -log-format %q: want 'json' or 'text'\n", *logFormat)
+		os.Exit(1)
+	}
+
 	if *worker {
-		runWorker(*addr, *shardID, *of)
+		runWorker(*addr, *shardID, *of, accessLog)
 		return
 	}
 
@@ -126,6 +146,10 @@ func main() {
 	sys := core.NewSystemWith(store, cfg)
 	sys.CreateProject("default")
 	srv := server.New(sys)
+	srv.SetAccessLog(accessLog)
+	if *pprofOn {
+		srv.EnablePprof()
+	}
 
 	if *data != "" {
 		pm, err := persist.Open(*data, persist.Options{Fsync: *fsync, CompactEvery: *compactEvery})

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -513,12 +514,25 @@ func TestBackoffDo(t *testing.T) {
 	}
 
 	calls = 0
+	underlying := errors.New("connection refused")
 	err = b.Do(context.Background(), func() error {
 		calls++
-		return errors.New("always")
+		return underlying
 	})
 	if err == nil || calls != 4 {
 		t.Fatalf("exhaustion: err %v after %d calls (want 4)", err, calls)
+	}
+	// The giving-up report must surface the attempt count and the last
+	// underlying cause, both in the message and through errors.As/Is.
+	var re *RetryError
+	if !errors.As(err, &re) || re.Attempts != 4 {
+		t.Fatalf("exhaustion error %v: want *RetryError with Attempts=4, got %+v", err, re)
+	}
+	if !errors.Is(err, underlying) {
+		t.Fatalf("exhaustion error %v does not unwrap to the last cause", err)
+	}
+	if !strings.Contains(err.Error(), "4 attempt(s)") || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("exhaustion message %q hides the attempts or the cause", err)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -531,6 +545,14 @@ func TestBackoffDo(t *testing.T) {
 	})
 	if !errors.Is(err, context.Canceled) || calls != 1 {
 		t.Fatalf("cancellation: err %v after %d calls", err, calls)
+	}
+	// The cancellation path reports the same attempt/cause detail: the
+	// operator sees what kept failing, not just "context canceled".
+	if re = nil; !errors.As(err, &re) || re.Attempts != 1 || re.Last == nil {
+		t.Fatalf("cancellation error %v: want *RetryError with Attempts=1 and Last set", err)
+	}
+	if !strings.Contains(err.Error(), "transient") {
+		t.Fatalf("cancellation message %q hides the last underlying error", err)
 	}
 }
 
@@ -644,6 +666,14 @@ func TestWorkerApplyFailurePoisons(t *testing.T) {
 	}
 	if st.Ready {
 		t.Fatal("poisoned worker reports Ready")
+	}
+	// The probe must be diagnostic, not look like a fresh spare: the
+	// poisoned flag and the slot it was serving survive the state drop.
+	if !st.Poisoned {
+		t.Fatal("healthz does not report Poisoned after a failed apply")
+	}
+	if st.Shard != 0 || st.Of != 1 {
+		t.Fatalf("poisoned healthz reports slot %d/%d, want 0/1", st.Shard, st.Of)
 	}
 
 	// A restore (the coordinator's WAL failover path) revives it.

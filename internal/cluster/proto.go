@@ -56,14 +56,19 @@ type BootRequest struct {
 }
 
 // StateResponse describes a worker's current state (init/restore reply
-// and health probe body).
+// and health probe body). Epoch and Poisoned make the probe diagnostic:
+// a worker that discarded its state after a failed apply reports the
+// slot it was serving and Poisoned=true instead of looking like a
+// fresh spare.
 type StateResponse struct {
-	OK    bool  `json:"ok"`
-	Shard int   `json:"shard"`
-	Of    int   `json:"of"`
-	Ready bool  `json:"ready"` // false until the first init lands
-	Seq   int64 `json:"seq"`
-	Rows  int   `json:"rows"`
+	OK       bool   `json:"ok"`
+	Shard    int    `json:"shard"`
+	Of       int    `json:"of"`
+	Ready    bool   `json:"ready"` // false until the first init lands
+	Seq      int64  `json:"seq"`
+	Rows     int    `json:"rows"`
+	Epoch    string `json:"epoch,omitempty"`
+	Poisoned bool   `json:"poisoned,omitempty"`
 }
 
 // ApplyResponse returns one applied batch's globalized per-op diffs

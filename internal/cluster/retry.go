@@ -45,10 +45,38 @@ func Permanent(err error) error {
 	return &permanentError{err}
 }
 
+// RetryError is Do's giving-up report: how many attempts were made and
+// the last underlying error, plus the context error when a
+// cancellation mid-wait ended the loop early. Unwrap exposes both, so
+// errors.Is/As reach the last attempt's cause (a net.OpError, a worker
+// error envelope) as well as context.Canceled/DeadlineExceeded.
+type RetryError struct {
+	Attempts int
+	Last     error
+	Ctx      error // non-nil when a context cancellation cut the wait
+}
+
+func (e *RetryError) Error() string {
+	if e.Ctx != nil {
+		return fmt.Sprintf("%v after %d attempt(s): %v", e.Ctx, e.Attempts, e.Last)
+	}
+	return fmt.Sprintf("after %d attempt(s): %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the last attempt's error and, when set, the context
+// error.
+func (e *RetryError) Unwrap() []error {
+	if e.Ctx != nil {
+		return []error{e.Last, e.Ctx}
+	}
+	return []error{e.Last}
+}
+
 // Do runs fn until it succeeds, returns a permanent error, exhausts the
-// attempt budget, or the context ends. The last attempt's error comes
-// back wrapped with the attempt count; a context cancellation mid-wait
-// comes back as the context's error wrapping the last attempt's.
+// attempt budget, or the context ends. Giving up returns a *RetryError
+// carrying the attempt count and the last attempt's underlying error —
+// on the context-cancellation path too, so "retries exhausted" is never
+// the whole story the operator sees.
 func (b Backoff) Do(ctx context.Context, fn func() error) error {
 	tries := b.Tries
 	if tries < 1 {
@@ -67,7 +95,8 @@ func (b Backoff) Do(ctx context.Context, fn func() error) error {
 		}
 		last = err
 		if attempt >= tries {
-			return fmt.Errorf("after %d attempts: %w", attempt, last)
+			retryExhausted.Inc()
+			return &RetryError{Attempts: attempt, Last: last}
 		}
 		if delay <= 0 {
 			delay = time.Millisecond
@@ -79,9 +108,10 @@ func (b Backoff) Do(ctx context.Context, fn func() error) error {
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), last)
+			return &RetryError{Attempts: attempt, Last: last, Ctx: ctx.Err()}
 		case <-t.C:
 		}
+		retrySleeps.Inc()
 		delay *= 2
 	}
 }

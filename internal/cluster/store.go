@@ -20,6 +20,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/shard"
@@ -137,14 +138,21 @@ func syncDir(dir string) error {
 
 // Append journals one batch to every WAL copy, write-ahead of any worker
 // seeing it. An error from any copy fails the append — the coordinator
-// must not apply a batch it cannot replay.
+// must not apply a batch it cannot replay. The record is encoded once
+// and replicated K times.
 func (st *Store) Append(seq int64, batch stream.Batch) error {
-	rec := wal.Record{Seq: seq, Batch: batch}
+	t0 := time.Now()
+	b, err := wal.Encode(wal.Record{Seq: seq, Batch: batch})
+	if err != nil {
+		return fmt.Errorf("cluster store: %w", err)
+	}
 	for s, f := range st.files {
-		if err := wal.Append(f, rec, st.fsync); err != nil {
+		if err := wal.AppendEncoded(f, seq, b, st.fsync); err != nil {
 			return fmt.Errorf("cluster store copy %d: %w", s, err)
 		}
 	}
+	clusterWALBytes.Add(float64(len(b) * len(st.files)))
+	clusterWALAppendDur.Observe(time.Since(t0).Seconds())
 	return nil
 }
 

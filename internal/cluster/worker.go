@@ -11,10 +11,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/shard"
 	"github.com/anmat/anmat/internal/stream"
@@ -28,8 +32,8 @@ type Worker struct {
 	// shardID/of pin the worker to one topology slot when >= 0: an init
 	// for a different slot is refused, catching miswired coordinators.
 	shardID, of int
-	node  *shard.LocalNode
-	rules []*pfd.PFD
+	node        *shard.LocalNode
+	rules       []*pfd.PFD
 	// curShard/curOf record the slot the live node was booted for (equal
 	// to shardID/of when pinned).
 	curShard, curOf int
@@ -40,7 +44,15 @@ type Worker struct {
 	// last is the cached response of the batch that advanced the worker
 	// to seq, replayed on idempotent redelivery.
 	last *ApplyResponse
-	logf func(format string, args ...any)
+	// poisoned marks a booted state discarded after a failed apply: the
+	// worker answers 412 until a /restore, and /healthz says so — before
+	// this flag, a poisoned worker was indistinguishable from a healthy
+	// one on the health probe until the next apply's 412.
+	poisoned bool
+	logf     func(format string, args ...any)
+	// access, when set, instruments the HTTP handler with request
+	// metrics and structured request logging (see SetAccessLog).
+	access *slog.Logger
 }
 
 // NewWorker returns a worker pinned to shard shardID of of; pass -1, -1
@@ -58,17 +70,27 @@ func (w *Worker) SetLogf(fn func(format string, args ...any)) {
 	w.logf = fn
 }
 
+// SetAccessLog enables structured per-request logging (with request
+// IDs) on the worker's HTTP handler. Call before Handler.
+func (w *Worker) SetAccessLog(l *slog.Logger) { w.access = l }
+
 // Handler returns the worker's HTTP handler: the /shard/v1 API plus the
-// top-level /healthz probe.
+// top-level /healthz probe and the worker's own /metrics endpoint.
+// Every route is instrumented with request counters and latency
+// histograms (and request logging when SetAccessLog was called).
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(APIPrefix+"/init", w.handleBoot)
-	mux.HandleFunc(APIPrefix+"/restore", w.handleBoot)
-	mux.HandleFunc(APIPrefix+"/apply", w.handleApply)
-	mux.HandleFunc(APIPrefix+"/violations", w.handleViolations)
-	mux.HandleFunc(APIPrefix+"/stats", w.handleStats)
-	mux.HandleFunc(APIPrefix+"/snapshot", w.handleSnapshot)
-	mux.HandleFunc("/healthz", w.handleHealthz)
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, obs.Instrument(route, h, w.access))
+	}
+	handle(APIPrefix+"/init", w.handleBoot)
+	handle(APIPrefix+"/restore", w.handleBoot)
+	handle(APIPrefix+"/apply", w.handleApply)
+	handle(APIPrefix+"/violations", w.handleViolations)
+	handle(APIPrefix+"/stats", w.handleStats)
+	handle(APIPrefix+"/snapshot", w.handleSnapshot)
+	handle("/healthz", w.handleHealthz)
+	mux.Handle("GET /metrics", obs.Default.Handler())
 	return mux
 }
 
@@ -115,6 +137,9 @@ func (w *Worker) handleBoot(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.node, w.rules, w.seq, w.last = node, req.Rules, req.Seq, nil
 	w.curShard, w.curOf, w.epoch = req.Boot.Shard, req.Boot.Of, req.Epoch
+	w.poisoned = false
+	workerPoisoned.WithLabelValues(strconv.Itoa(w.curShard)).Set(0)
+	workerBoots.WithLabelValues(strings.TrimPrefix(r.URL.Path, APIPrefix+"/")).Inc()
 	w.logf("worker shard %d/%d: booted %d rows at seq %d (%s)",
 		req.Boot.Shard, req.Boot.Of, len(req.Boot.Rows), req.Seq, r.URL.Path)
 	writeJSON(rw, http.StatusOK, w.stateLocked())
@@ -130,6 +155,7 @@ func (w *Worker) checkEpochLocked(rw http.ResponseWriter, r *http.Request, stric
 	if w.epoch == "" || got == w.epoch || (got == "" && !strict) {
 		return true
 	}
+	epochFences.Inc()
 	writeError(rw, http.StatusConflict, "worker claimed by epoch %q, request carries %q — its coordinator was superseded", w.epoch, got)
 	return false
 }
@@ -154,6 +180,10 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if w.node == nil {
+		if w.poisoned {
+			writeError(rw, http.StatusPreconditionFailed, "worker shard %d/%d poisoned by a failed apply; awaiting /restore", w.curShard, w.curOf)
+			return
+		}
 		writeError(rw, http.StatusPreconditionFailed, "worker not initialized")
 		return
 	}
@@ -164,6 +194,7 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 	// response), anything older is a conflict the client must not retry.
 	switch {
 	case nb.Seq == w.seq && w.last != nil:
+		workerRedeliveries.WithLabelValues(strconv.Itoa(w.curShard)).Inc()
 		w.logf("worker shard %d/%d: redelivery of batch %d, replaying cached response", w.curShard, w.curOf, nb.Seq)
 		writeJSON(rw, http.StatusOK, w.last)
 		return
@@ -171,7 +202,10 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusConflict, "batch seq %d not after worker seq %d", nb.Seq, w.seq)
 		return
 	}
+	t0 := time.Now()
 	diffs, err := w.node.Apply(nb)
+	shardLbl := strconv.Itoa(w.curShard)
+	workerApplyDur.WithLabelValues(shardLbl).Observe(time.Since(t0).Seconds())
 	if err != nil {
 		// LocalNode.Apply mutates op by op, so an error on op i leaves ops
 		// 0..i-1 applied — and the 500 below is retryable at the client, so
@@ -179,7 +213,8 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 		// half-mutated state. Poison the node: every later call answers 412
 		// (permanent) until a /restore re-boots, sending the coordinator
 		// straight to the WAL-backed failover path.
-		w.node, w.last = nil, nil
+		w.node, w.last, w.poisoned = nil, nil, true
+		workerPoisoned.WithLabelValues(shardLbl).Set(1)
 		w.logf("worker shard %d/%d: apply batch %d failed, state poisoned pending restore: %v",
 			w.curShard, w.curOf, nb.Seq, err)
 		writeError(rw, http.StatusInternalServerError, "apply batch %d: %v", nb.Seq, err)
@@ -187,6 +222,7 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 	}
 	w.seq = nb.Seq
 	w.last = &ApplyResponse{Seq: nb.Seq, Diffs: diffs}
+	workerApplied.WithLabelValues(shardLbl).Inc()
 	writeJSON(rw, http.StatusOK, w.last)
 }
 
@@ -283,12 +319,18 @@ func (w *Worker) handleHealthz(rw http.ResponseWriter, r *http.Request) {
 }
 
 // stateLocked renders the worker's StateResponse; callers hold w.mu.
+// A poisoned worker still reports the slot and epoch it was booted for
+// — the probe must say *which* shard needs a /restore, not regress to
+// looking like a never-initialized spare.
 func (w *Worker) stateLocked() StateResponse {
-	st := StateResponse{OK: true, Shard: w.shardID, Of: w.of, Seq: w.seq}
+	st := StateResponse{OK: true, Shard: w.shardID, Of: w.of, Seq: w.seq,
+		Epoch: w.epoch, Poisoned: w.poisoned}
 	if w.node != nil {
 		st.Ready = true
 		st.Shard, st.Of = w.curShard, w.curOf
 		st.Rows = w.node.Table().NumRows()
+	} else if w.poisoned {
+		st.Shard, st.Of = w.curShard, w.curOf
 	}
 	return st
 }

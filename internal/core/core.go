@@ -22,6 +22,7 @@ import (
 	"github.com/anmat/anmat/internal/discovery"
 	"github.com/anmat/anmat/internal/dmv"
 	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
 	"github.com/anmat/anmat/internal/shard"
@@ -402,6 +403,7 @@ func (se *Session) RunStages(ctx context.Context, stages ...Stage) error {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("session %s: stage %s: %w", se.ID, st, err)
 		}
+		end := obs.Span(ctx, "stage."+string(st))
 		var err error
 		switch st {
 		case StageProfile:
@@ -419,6 +421,7 @@ func (se *Session) RunStages(ctx context.Context, stages ...Stage) error {
 		default:
 			err = fmt.Errorf("unknown pipeline stage %q", st)
 		}
+		end()
 		if err != nil {
 			return err
 		}

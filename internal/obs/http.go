@@ -1,0 +1,119 @@
+// HTTP instrumentation: one middleware giving every route a request
+// counter (by route/method/status), a latency histogram (by route), an
+// in-flight gauge, and structured slog request logging keyed by a
+// request ID (honoring an inbound X-Request-Id, minting one otherwise).
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// RequestIDHeader carries the request ID on requests and responses.
+const RequestIDHeader = "X-Request-Id"
+
+var (
+	httpRequests = Default.NewCounterVec("anmat_http_requests_total",
+		"HTTP requests served, by route pattern, method, and status code.",
+		"route", "method", "code")
+	httpDur = Default.NewHistogramVec("anmat_http_request_duration_seconds",
+		"HTTP request latency by route pattern.",
+		DurationBuckets, "route")
+	httpInflight = Default.NewGauge("anmat_http_requests_inflight",
+		"HTTP requests currently being served.")
+)
+
+// statusWriter captures the response status and body size.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards streaming flushes (the embedded writer may support
+// them; losing the interface here would silently disable streaming).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// NewRequestID mints a 16-hex-char random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rid-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Instrument wraps a handler with request metrics and, when logger is
+// non-nil, structured request logging. route is the label value (and
+// logged route) — pass the mux pattern so cardinality stays bounded by
+// the route table, not by request paths.
+func Instrument(route string, next http.Handler, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get(RequestIDHeader)
+		if rid == "" {
+			rid = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		sw := &statusWriter{ResponseWriter: w}
+		httpInflight.Inc()
+		next.ServeHTTP(sw, r)
+		httpInflight.Dec()
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		httpRequests.WithLabelValues(route, r.Method, strconv.Itoa(sw.status)).Inc()
+		httpDur.WithLabelValues(route).Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.Info("request",
+				slog.String("request_id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// NewLogger builds a slog.Logger in the given format ("json" or
+// "text") writing to w at Info level. Unknown formats fall back to
+// text.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}

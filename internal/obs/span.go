@@ -1,0 +1,84 @@
+// Lightweight span timing: obs.Span(ctx, name) marks the start of a
+// named stage and the returned func records its duration into the
+// anmat_span_duration_seconds{span=...} histogram. Spans slower than
+// the threshold are additionally kept in a bounded in-memory ring —
+// the "what was slow recently" window an operator reads when a latency
+// histogram moves but the cause is gone.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// spanDur is the stage-latency histogram every span feeds.
+var spanDur = Default.NewHistogramVec("anmat_span_duration_seconds",
+	"Duration of named internal stages (pipeline stages, engine bootstrap, batch apply).",
+	DurationBuckets, "span")
+
+// slowRingSize bounds the retained slow-span window.
+const slowRingSize = 64
+
+// SlowSpan is one retained slow-span record.
+type SlowSpan struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+}
+
+var (
+	slowMu        sync.Mutex
+	slowRing      [slowRingSize]SlowSpan
+	slowLen       int
+	slowNext      int
+	slowThreshold int64 = int64(250 * time.Millisecond)
+)
+
+// SetSlowThreshold sets the duration above which a span is kept in the
+// slow-span ring (default 250ms; 0 or negative keeps every span).
+func SetSlowThreshold(d time.Duration) {
+	slowMu.Lock()
+	slowThreshold = int64(d)
+	slowMu.Unlock()
+}
+
+// Span starts a named span. Call the returned func when the stage
+// ends; it observes the duration into the span histogram and retains
+// the span in the slow ring when it exceeds the threshold. The context
+// is accepted for signature stability (future propagation) and passed
+// through unused.
+func Span(_ context.Context, name string) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		spanDur.WithLabelValues(name).Observe(d.Seconds())
+		slowMu.Lock()
+		if int64(d) >= slowThreshold {
+			slowRing[slowNext] = SlowSpan{Name: name, Start: start, Duration: d}
+			slowNext = (slowNext + 1) % slowRingSize
+			if slowLen < slowRingSize {
+				slowLen++
+			}
+		}
+		slowMu.Unlock()
+	}
+}
+
+// SpanHistogram resolves the duration histogram series of one span name
+// — the handle benchmarks use to compute stage-latency quantiles from
+// Snapshot deltas (see Quantile).
+func SpanHistogram(name string) *Histogram {
+	return spanDur.WithLabelValues(name)
+}
+
+// SlowSpans returns the retained slow spans, most recent first.
+func SlowSpans() []SlowSpan {
+	slowMu.Lock()
+	defer slowMu.Unlock()
+	out := make([]SlowSpan, 0, slowLen)
+	for i := 1; i <= slowLen; i++ {
+		out = append(out, slowRing[(slowNext-i+slowRingSize)%slowRingSize])
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Durability-layer instrumentation: WAL append/fsync latency and byte
+// volume on the journaling hot path, checkpoint counts/sizes/latency on
+// the compaction path.
+package persist
+
+import "github.com/anmat/anmat/internal/obs"
+
+var (
+	walAppendDur = obs.Default.NewHistogram("anmat_persist_wal_append_duration_seconds",
+		"Latency of durably journaling one delta batch (all replicated copies; includes fsync when enabled).",
+		obs.DurationBuckets)
+	walBytes = obs.Default.NewCounter("anmat_persist_wal_bytes_total",
+		"Bytes appended to session WALs (all replicated copies).")
+	checkpoints = obs.Default.NewCounter("anmat_persist_checkpoints_total",
+		"Session snapshot checkpoints written.")
+	compactions = obs.Default.NewCounter("anmat_persist_compactions_total",
+		"Checkpoints that folded a non-empty WAL into the snapshot (compaction runs).")
+	checkpointDur = obs.Default.NewHistogram("anmat_persist_checkpoint_duration_seconds",
+		"Checkpoint latency (snapshot rewrite + WAL truncation).",
+		obs.DurationBuckets)
+	checkpointBytes = obs.Default.NewHistogram("anmat_persist_checkpoint_size_bytes",
+		"Serialized size of checkpointed session snapshots.",
+		obs.SizeBuckets)
+)

@@ -51,10 +51,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/docstore"
 	"github.com/anmat/anmat/internal/stream"
+	"github.com/anmat/anmat/internal/wal"
 )
 
 // CollSnapshots is the document-store collection holding one snapshot
@@ -271,6 +273,11 @@ func (m *Manager) journal(sessionID string, targets []int, seq int64, batch stre
 	}
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
+	t0 := time.Now()
+	enc, err := wal.Encode(walRecord{Seq: seq, Batch: batch})
+	if err != nil {
+		return fmt.Errorf("persist: journal %s: %w", sessionID, err)
+	}
 	type written struct {
 		f    *os.File
 		size int64
@@ -299,12 +306,14 @@ func (m *Manager) journal(sessionID string, targets []int, seq int64, batch stre
 			return fmt.Errorf("persist: journal %s: %w", sessionID, err)
 		}
 		done = append(done, written{f, fi.Size()})
-		if err := appendRecord(f, walRecord{Seq: seq, Batch: batch}, m.opts.Fsync); err != nil {
+		if err := wal.AppendEncoded(f, seq, enc, m.opts.Fsync); err != nil {
 			rollback()
 			return err
 		}
 	}
 	ws.records++
+	walBytes.Add(float64(len(enc) * len(targets)))
+	walAppendDur.Observe(time.Since(t0).Seconds())
 	return nil
 }
 
@@ -337,6 +346,8 @@ func (m *Manager) Checkpoint(snap *core.SessionSnapshot) error {
 	}
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
+	t0 := time.Now()
+	folded := ws.records > 0
 	m.storeMu.Lock()
 	m.store.Delete(CollSnapshots, docstore.Filter{"session": snap.ID})
 	_, insErr := m.store.InsertJSON(CollSnapshots, snap)
@@ -372,6 +383,14 @@ func (m *Manager) Checkpoint(snap *core.SessionSnapshot) error {
 	}
 	ws.records = 0
 	ws.ckptSeq = snap.Seq
+	checkpoints.Inc()
+	if folded {
+		compactions.Inc()
+	}
+	if blob, err := json.Marshal(snap); err == nil {
+		checkpointBytes.Observe(float64(len(blob)))
+	}
+	checkpointDur.Observe(time.Since(t0).Seconds())
 	return nil
 }
 

@@ -1,0 +1,169 @@
+// Server-level observability: registry gauges computed at scrape time,
+// the /metrics + /debug/pprof mounts, structured access logging, and the
+// scrape-aggregated cluster view embedded in /api/v1/stats.
+package server
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"github.com/anmat/anmat/internal/obs"
+)
+
+// gaugeSrv is the server whose registry backs the process-wide session
+// gauges. obs metrics are process-global and GaugeFunc registration is
+// last-writer-wins, so the last-constructed Server provides the values —
+// matching what tests that build several servers in one process expect
+// (each New() rebinds the gauges to the newest registry).
+var (
+	gaugeMu  sync.Mutex
+	gaugeSrv *Server
+)
+
+func registerGauges(s *Server) {
+	gaugeMu.Lock()
+	gaugeSrv = s
+	gaugeMu.Unlock()
+	obs.Default.NewGaugeFunc("anmat_sessions",
+		"Registered sessions in the server's registry.", func() float64 {
+			gaugeMu.Lock()
+			srv := gaugeSrv
+			gaugeMu.Unlock()
+			if srv == nil {
+				return 0
+			}
+			srv.mu.RLock()
+			defer srv.mu.RUnlock()
+			return float64(len(srv.sessions))
+		})
+	obs.Default.NewGaugeFunc("anmat_session_violations",
+		"Violations currently held across all registered sessions.", func() float64 {
+			gaugeMu.Lock()
+			srv := gaugeSrv
+			gaugeMu.Unlock()
+			if srv == nil {
+				return 0
+			}
+			srv.mu.RLock()
+			handles := make([]*sessionHandle, 0, len(srv.sessions))
+			for _, h := range srv.sessions {
+				handles = append(handles, h)
+			}
+			srv.mu.RUnlock()
+			n := 0
+			for _, h := range handles {
+				h.mu.RLock()
+				n += len(h.sess.Violations)
+				h.mu.RUnlock()
+			}
+			return float64(n)
+		})
+}
+
+// SetAccessLog installs a structured request logger (see obs.NewLogger);
+// every HTTP request is then logged with its request ID, route, status,
+// and latency. Call before Handler().
+func (s *Server) SetAccessLog(l *slog.Logger) { s.accessLog = l }
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
+// Handler() call. Off by default: profiling endpoints expose stacks and
+// heap contents, so they are opt-in via the -pprof flag.
+func (s *Server) EnablePprof() { s.pprof = true }
+
+// mountObs adds the observability routes to the mux: the Prometheus
+// exposition endpoint and, when enabled, the pprof handlers.
+func (s *Server) mountObs(mux *http.ServeMux) {
+	mux.Handle("GET /metrics", obs.Default.Handler())
+	if !s.pprof {
+		return
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// clusterView is the scrape-aggregated distributed picture of one sharded
+// session, embedded in /api/v1/stats: per-worker applied-batch counters
+// and poisoned flags read from each worker's own /metrics endpoint, so a
+// single coordinator scrape answers "are the workers keeping up".
+type clusterView struct {
+	Workers []workerView `json:"workers"`
+	// BatchesApplied sums the per-worker applied counters (redeliveries
+	// excluded) — comparable against the coordinator's own
+	// anmat_shard_node_batches_total{outcome="ok"}.
+	BatchesApplied float64 `json:"batches_applied"`
+}
+
+// workerView is one worker's scraped contribution.
+type workerView struct {
+	URL string `json:"url"`
+	// Err reports a scrape failure; the other fields are zero then.
+	Err            string  `json:"error,omitempty"`
+	BatchesApplied float64 `json:"batches_applied"`
+	Redeliveries   float64 `json:"redeliveries"`
+	Poisoned       bool    `json:"poisoned"`
+}
+
+// scrapeTimeout bounds each worker /metrics fetch inside a stats request;
+// a hung worker should cost the operator one short wait, not a stuck
+// stats page.
+const scrapeTimeout = 2 * time.Second
+
+// scrapeWorkers fetches and parses every worker's /metrics concurrently
+// and folds the per-shard counters into a clusterView. Scrape errors are
+// reported per worker, never failing the stats request.
+func scrapeWorkers(ctx context.Context, urls []string) clusterView {
+	views := make([]workerView, len(urls))
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			views[i] = scrapeWorker(ctx, u)
+		}(i, u)
+	}
+	wg.Wait()
+	cv := clusterView{Workers: views}
+	for _, v := range views {
+		cv.BatchesApplied += v.BatchesApplied
+	}
+	return cv
+}
+
+func scrapeWorker(ctx context.Context, url string) workerView {
+	view := workerView{URL: url}
+	ctx, cancel := context.WithTimeout(ctx, scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/metrics", nil)
+	if err != nil {
+		view.Err = err.Error()
+		return view
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		view.Err = err.Error()
+		return view
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		view.Err = err.Error()
+		return view
+	}
+	samples, _, err := obs.ParseText(string(body))
+	if err != nil {
+		view.Err = err.Error()
+		return view
+	}
+	view.BatchesApplied = obs.SumSamples(samples, "anmat_worker_batches_applied_total", nil)
+	view.Redeliveries = obs.SumSamples(samples, "anmat_worker_redeliveries_total", nil)
+	view.Poisoned = obs.SumSamples(samples, "anmat_worker_poisoned", nil) > 0
+	return view
+}

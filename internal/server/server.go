@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -55,6 +56,7 @@ import (
 
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/persist"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/profile"
@@ -86,11 +88,20 @@ type Server struct {
 
 	// start anchors the /healthz and /api/v1/stats uptime reports.
 	start time.Time
+
+	// accessLog, when non-nil, receives one structured line per HTTP
+	// request (set via SetAccessLog); pprof gates the /debug/pprof
+	// mounts (set via EnablePprof). Both must be set before Handler().
+	accessLog *slog.Logger
+	pprof     bool
 }
 
-// New builds a server over a system.
+// New builds a server over a system and (re)binds the process-wide
+// session gauges to it.
 func New(sys *core.System) *Server {
-	return &Server{sys: sys, sessions: make(map[string]*sessionHandle), start: time.Now()}
+	s := &Server{sys: sys, sessions: make(map[string]*sessionHandle), start: time.Now()}
+	registerGauges(s)
+	return s
 }
 
 // AttachPersist makes the registry durable: every session registered from
@@ -196,43 +207,52 @@ func (s *Server) register(sess *core.Session, makeDefault bool) {
 	}
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted. Every route
+// is wrapped with the obs middleware — request counters and latency
+// histograms labeled by the registration pattern (Go 1.22-compatible:
+// the pattern string is passed explicitly rather than read back from the
+// request), plus structured access logging when SetAccessLog was called.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.Instrument(pattern, h, s.accessLog))
+	}
 	// Versioned, session-addressable API.
-	mux.HandleFunc("POST /api/v1/sessions", s.apiCreateSession)
-	mux.HandleFunc("GET /api/v1/sessions", s.apiListSessions)
-	mux.HandleFunc("GET /api/v1/sessions/{id}", s.apiSessionSummary)
-	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.apiDeleteSession)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/profile", s.apiProfile)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/pfds", s.apiPFDs)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/detection", s.apiDetection)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/violations", s.apiViolations)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/violations/{i}", s.apiViolationDetail)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/repairs", s.apiRepairs)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/repairs/apply", s.apiApplyRepairs)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/deltas", s.apiDeltas)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/dmv", s.apiDMV)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/confirm", s.apiConfirm)
-	mux.HandleFunc("GET /api/v1/projects", s.apiProjects)
-	mux.HandleFunc("GET /api/v1/stats", s.apiStats)
+	handle("POST /api/v1/sessions", s.apiCreateSession)
+	handle("GET /api/v1/sessions", s.apiListSessions)
+	handle("GET /api/v1/sessions/{id}", s.apiSessionSummary)
+	handle("DELETE /api/v1/sessions/{id}", s.apiDeleteSession)
+	handle("GET /api/v1/sessions/{id}/profile", s.apiProfile)
+	handle("GET /api/v1/sessions/{id}/pfds", s.apiPFDs)
+	handle("GET /api/v1/sessions/{id}/detection", s.apiDetection)
+	handle("GET /api/v1/sessions/{id}/violations", s.apiViolations)
+	handle("GET /api/v1/sessions/{id}/violations/{i}", s.apiViolationDetail)
+	handle("GET /api/v1/sessions/{id}/repairs", s.apiRepairs)
+	handle("POST /api/v1/sessions/{id}/repairs/apply", s.apiApplyRepairs)
+	handle("POST /api/v1/sessions/{id}/deltas", s.apiDeltas)
+	handle("GET /api/v1/sessions/{id}/dmv", s.apiDMV)
+	handle("POST /api/v1/sessions/{id}/confirm", s.apiConfirm)
+	handle("GET /api/v1/projects", s.apiProjects)
+	handle("GET /api/v1/stats", s.apiStats)
 	// Liveness/readiness probe for load balancers: cheap, lock-free.
-	mux.HandleFunc("GET /healthz", s.apiHealthz)
+	handle("GET /healthz", s.apiHealthz)
+	// Observability: Prometheus exposition + optional pprof.
+	s.mountObs(mux)
 	// Deprecated unversioned aliases onto the default session.
-	mux.HandleFunc("GET /api/profile", deprecated(s.apiProfile))
-	mux.HandleFunc("GET /api/pfds", deprecated(s.apiPFDs))
-	mux.HandleFunc("GET /api/violations", deprecated(s.apiViolations))
-	mux.HandleFunc("GET /api/repairs", deprecated(s.apiRepairs))
-	mux.HandleFunc("GET /api/projects", deprecated(s.apiProjects))
-	mux.HandleFunc("POST /api/upload", deprecated(s.apiUpload))
-	mux.HandleFunc("POST /api/confirm", deprecated(s.apiConfirm))
-	mux.HandleFunc("GET /api/violation", deprecated(s.apiLegacyViolationDetail))
-	mux.HandleFunc("GET /api/dmv", deprecated(s.apiDMV))
+	handle("GET /api/profile", deprecated(s.apiProfile))
+	handle("GET /api/pfds", deprecated(s.apiPFDs))
+	handle("GET /api/violations", deprecated(s.apiViolations))
+	handle("GET /api/repairs", deprecated(s.apiRepairs))
+	handle("GET /api/projects", deprecated(s.apiProjects))
+	handle("POST /api/upload", deprecated(s.apiUpload))
+	handle("POST /api/confirm", deprecated(s.apiConfirm))
+	handle("GET /api/violation", deprecated(s.apiLegacyViolationDetail))
+	handle("GET /api/dmv", deprecated(s.apiDMV))
 	// HTML views (default session, or ?session=id).
-	mux.HandleFunc("GET /profile", s.pageProfile)
-	mux.HandleFunc("GET /pfds", s.pagePFDs)
-	mux.HandleFunc("GET /violations", s.pageViolations)
-	mux.HandleFunc("GET /{$}", s.pageIndex)
+	handle("GET /profile", s.pageProfile)
+	handle("GET /pfds", s.pagePFDs)
+	handle("GET /violations", s.pageViolations)
+	handle("GET /{$}", s.pageIndex)
 	return mux
 }
 
@@ -469,6 +489,10 @@ type sessionStats struct {
 	Violations int              `json:"violations"`
 	Detected   bool             `json:"detected"`
 	Engine     core.EngineStats `json:"engine"`
+	// Cluster, present only for distributed sessions, aggregates the
+	// session's worker /metrics endpoints into one view (scraped live
+	// during the stats request; per-worker scrape errors are inlined).
+	Cluster *clusterView `json:"cluster,omitempty"`
 }
 
 // apiStats reports server totals plus per-session incremental-engine
@@ -484,6 +508,7 @@ func (s *Server) apiStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	out := make([]sessionStats, 0, len(handles))
+	workerURLs := make([][]string, 0, len(handles))
 	for _, h := range handles {
 		h.mu.RLock()
 		se := h.sess
@@ -495,7 +520,17 @@ func (s *Server) apiStats(w http.ResponseWriter, r *http.Request) {
 			Detected:   se.DetectionRan(),
 			Engine:     se.EngineStats(),
 		})
+		workerURLs = append(workerURLs, se.Workers())
 		h.mu.RUnlock()
+	}
+	// Scrape distributed sessions' worker /metrics outside the session
+	// locks: a slow worker must not block the session it serves.
+	for i, urls := range workerURLs {
+		if len(urls) == 0 {
+			continue
+		}
+		cv := scrapeWorkers(r.Context(), urls)
+		out[i].Cluster = &cv
 	}
 	sort.Slice(out, func(i, j int) bool { return sessionIDBefore(out[i].Session, out[j].Session) })
 	writeJSON(w, map[string]any{

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/pattern"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/stream"
@@ -65,6 +66,11 @@ func BenchmarkShardDetect(b *testing.B) {
 	rules := benchRules()
 	for _, k := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("rows%d/k%d", tbl.NumRows(), k), func(b *testing.B) {
+			// Detect-stage latency quantiles come from the span histogram
+			// the per-shard engine bootstraps feed: delta the snapshot
+			// around the run so only this sub-benchmark's builds count.
+			span := obs.SpanHistogram("stream.bootstrap")
+			before, _, beforeN := span.Snapshot()
 			var violations int
 			for i := 0; i < b.N; i++ {
 				c, err := New(tbl, rules, k)
@@ -75,6 +81,16 @@ func BenchmarkShardDetect(b *testing.B) {
 			}
 			b.ReportMetric(float64(tbl.NumRows())*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
 			b.ReportMetric(float64(violations), "violations")
+			after, _, afterN := span.Snapshot()
+			if afterN > beforeN {
+				delta := make([]uint64, len(after))
+				for i := range after {
+					delta[i] = after[i] - before[i]
+				}
+				bounds := span.Buckets()
+				b.ReportMetric(obs.Quantile(0.5, bounds, delta)*1000, "detect_p50_ms")
+				b.ReportMetric(obs.Quantile(0.95, bounds, delta)*1000, "detect_p95_ms")
+			}
 		})
 	}
 }

@@ -1,0 +1,21 @@
+// Coordinator-side instrumentation of the sharded fan-out. The
+// per-shard apply counters are the coordinator half of the cluster
+// reconciliation invariant: for every shard, batches_total{outcome=ok}
+// here equals the worker's anmat_worker_batches_applied_total — the
+// multi-process e2e asserts it over the golden delta script.
+package shard
+
+import "github.com/anmat/anmat/internal/obs"
+
+var (
+	nodeApplyDur = obs.Default.NewHistogramVec("anmat_shard_node_apply_duration_seconds",
+		"Per-node batch apply latency seen by the coordinator (local call or full HTTP round trip with retries).",
+		obs.DurationBuckets, "shard")
+	nodeBatches = obs.Default.NewCounterVec("anmat_shard_node_batches_total",
+		"Per-shard batches the coordinator routed to a node, by outcome.",
+		"shard", "outcome")
+	coordBatches = obs.Default.NewCounter("anmat_shard_batches_total",
+		"Batches the sharded coordinator applied (after fan-out and merge).")
+	failovers = obs.Default.NewCounterVec("anmat_shard_failovers_total",
+		"Node failovers the coordinator performed, by shard.", "shard")
+)

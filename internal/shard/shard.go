@@ -50,7 +50,9 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"github.com/anmat/anmat/internal/detect"
 	"github.com/anmat/anmat/internal/pattern"
@@ -776,14 +778,19 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
+			t0 := time.Now()
 			diffs, err := c.nodes[s].Apply(NodeBatch{Seq: seq, Ops: ops[s], Diffs: !renumbered})
+			shardLbl := strconv.Itoa(s)
+			nodeApplyDur.WithLabelValues(shardLbl).Observe(time.Since(t0).Seconds())
 			resMu.Lock()
 			defer resMu.Unlock()
 			if err != nil {
+				nodeBatches.WithLabelValues(shardLbl, "error").Inc()
 				failed = append(failed, s)
 				errsBy[s] = err
 				return
 			}
+			nodeBatches.WithLabelValues(shardLbl, "ok").Inc()
 			results = append(results, shardDiffs{s, diffs})
 		}(s)
 	}
@@ -807,6 +814,7 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 			}
 			_ = c.nodes[s].Close()
 			c.nodes[s] = node
+			failovers.WithLabelValues(strconv.Itoa(s)).Inc()
 		}
 		renumbered = true // per-op diffs are incomplete; re-merge from the nodes
 	}
@@ -834,6 +842,7 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 		diff = c.fold(results)
 	}
 	c.log.Append(diff)
+	coordBatches.Inc()
 	return diff, nil
 }
 

@@ -35,14 +35,17 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/anmat/anmat/internal/blocking"
 	"github.com/anmat/anmat/internal/detect"
 	"github.com/anmat/anmat/internal/intern"
 	"github.com/anmat/anmat/internal/invlist"
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/pattern"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/table"
@@ -172,6 +175,9 @@ func NewEngineFrom(t *table.Table, rules []*pfd.PFD, baseSeq int64) (*Engine, er
 
 // NewEngineOpts is NewEngine with the full option set.
 func NewEngineOpts(t *table.Table, rules []*pfd.PFD, opts EngineOptions) (*Engine, error) {
+	// One span per bootstrap — the detection-pass-equivalent cost every
+	// later delta amortizes; per-row work stays uninstrumented.
+	defer obs.Span(context.Background(), "stream.bootstrap")()
 	e := &Engine{
 		t:         t,
 		rules:     rules,
@@ -382,15 +388,19 @@ func (e *Engine) apply(batch Batch, journal bool) (*Diff, error) {
 			return nil, fmt.Errorf("stream: journal batch %d: %w", e.seq+1, err)
 		}
 	}
+	start := time.Now()
 	d := newBatchDiff()
 	for _, op := range batch {
 		switch op.Kind {
 		case OpAppend:
 			e.applyAppend(op.Rows, d)
+			opsAppend.Inc()
 		case OpUpdate:
 			e.applyUpdate(op.Row, op.Column, op.Value, d)
+			opsUpdate.Inc()
 		case OpDelete:
 			e.applyDelete(op.Drop, d)
+			opsDelete.Inc()
 		}
 		e.version = e.t.Version()
 	}
@@ -398,6 +408,10 @@ func (e *Engine) apply(batch Batch, journal bool) (*Diff, error) {
 	diff := d.finalize(e.seq, e.t.NumRows(), e.vio)
 	d.release()
 	e.log.Append(diff)
+	applyDur.Observe(time.Since(start).Seconds())
+	batchesApplied.Inc()
+	difflogDepth.Set(float64(e.log.Len()))
+	violationSize.Set(float64(len(e.vio)))
 	return diff, nil
 }
 

@@ -55,12 +55,20 @@ func Append(f *os.File, rec Record, fsync bool) error {
 	if err != nil {
 		return err
 	}
+	return AppendEncoded(f, rec.Seq, b, fsync)
+}
+
+// AppendEncoded writes pre-encoded record bytes (from Encode) in a
+// single write call, optionally fsyncing. Callers replicating one
+// record across K files encode once and append K times; seq is only
+// for error messages.
+func AppendEncoded(f *os.File, seq int64, b []byte, fsync bool) error {
 	if _, err := f.Write(b); err != nil {
-		return fmt.Errorf("wal %s: append seq %d: %w", f.Name(), rec.Seq, err)
+		return fmt.Errorf("wal %s: append seq %d: %w", f.Name(), seq, err)
 	}
 	if fsync {
 		if err := f.Sync(); err != nil {
-			return fmt.Errorf("wal %s: fsync seq %d: %w", f.Name(), rec.Seq, err)
+			return fmt.Errorf("wal %s: fsync seq %d: %w", f.Name(), seq, err)
 		}
 	}
 	return nil
