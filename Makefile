@@ -3,7 +3,10 @@
 # (ns/op, allocs/op, speedup vs parallelism=1) — see README "Detection
 # engine". `make bench-stream` writes BENCH_stream.json: incremental
 # violation maintenance vs full re-detection at delta batch sizes
-# 1/10/100 (speedup_vs_full) — see README "Streaming ingestion".
+# 1/10/100 (speedup_vs_full), plus the fsync-on WAL journal comparison —
+# serial commits vs group commit at 8 concurrent writers
+# (speedup_vs_serial, fsync_batches_per_commit) — see README "Streaming
+# ingestion" and "Operations".
 # `make bench-shard` writes BENCH_shard.json: full sharded detection over
 # a ≥1M-row datagen table at K=1/2/4/8 (rows/sec, speedup_vs_1shard,
 # plus detect_p50_ms/detect_p95_ms read from the obs span histogram the
@@ -18,7 +21,7 @@ SHARDOUT  ?= BENCH_shard.json
 # Table size of the shard bench (read by the benchmark as an env var).
 export SHARD_BENCH_ROWS
 
-.PHONY: all build vet test race bench bench-stream bench-shard cluster-e2e fuzz vulncheck
+.PHONY: all build vet test race bench bench-stream bench-shard cluster-e2e hardening fuzz vulncheck
 
 all: vet build test
 
@@ -39,8 +42,8 @@ bench:
 	$(GO) run ./cmd/benchjson -out $(BENCHOUT) $(if $(BENCHTIME),-benchtime $(BENCHTIME))
 
 bench-stream:
-	$(GO) run ./cmd/benchjson -out $(STREAMOUT) -pkg ./internal/stream \
-		-bench 'BenchmarkStreamAppend|BenchmarkStreamRepair' $(if $(BENCHTIME),-benchtime $(BENCHTIME))
+	$(GO) run ./cmd/benchjson -out $(STREAMOUT) -pkg ./internal/stream,./internal/persist \
+		-bench 'BenchmarkStreamAppend|BenchmarkStreamRepair|BenchmarkWALJournal' $(if $(BENCHTIME),-benchtime $(BENCHTIME))
 
 bench-shard:
 	$(GO) run ./cmd/benchjson -out $(SHARDOUT) -pkg ./internal/shard \
@@ -52,6 +55,13 @@ bench-shard:
 cluster-e2e:
 	$(GO) test -race -v -run 'TestE2E|TestClusterEquivalence|TestFailoverRestoresFromWAL|TestSeqIdempotencyUnderFlakyTransport' \
 		./cmd/anmat-server/ ./internal/cluster/
+
+# Hostile-traffic acceptance: multi-tenant concurrent load against
+# quotas + fsync-on group commit, crash, and byte-identical recovery —
+# plus the admission, body-cap, and backup/restore suites, under -race.
+hardening:
+	$(GO) test -race -v -run 'TestHardeningMultiTenantRecovery|TestAdmission|TestConfirmEmptyBodyAndCap|TestBackupRestore|TestRestore|TestGroupCommit|TestHTTPServerTimeouts' \
+		./internal/server/ ./internal/persist/ ./cmd/anmat-server/
 
 fuzz:
 	$(GO) test ./internal/table -run '^$$' -fuzz FuzzReadCSV -fuzztime 30s

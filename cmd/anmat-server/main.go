@@ -29,6 +29,13 @@
 // Prometheus text metrics on GET /metrics; -log-format json|text turns
 // on structured request logging with request IDs; -pprof mounts
 // net/http/pprof on the coordinator under /debug/pprof/.
+//
+// Hardening (see README "Operations"): -max-sessions, -max-rows, and
+// -delta-rate enforce per-tenant admission quotas (X-Anmat-Tenant
+// header; 429 + Retry-After on rejection); all listeners carry
+// slow-client timeouts; request bodies are capped. Sessions move
+// between servers via GET .../backup and POST .../restore (or the
+// `anmat backup`/`anmat restore` subcommands).
 package main
 
 import (
@@ -53,6 +60,30 @@ import (
 	"github.com/anmat/anmat/internal/table"
 )
 
+// Slow-client protection for every listener this process opens: a
+// client must deliver its header promptly and keep the connection
+// moving, or the goroutine serving it is reclaimed. Without these a
+// slowloris client (full sockets, bytes trickling in) pins goroutines
+// forever. WriteTimeout stays zero on purpose: session backups stream
+// arbitrarily large tars and must not be cut mid-response.
+const (
+	readHeaderTimeout = 10 * time.Second
+	readTimeout       = 5 * time.Minute // large CSV uploads still fit
+	idleTimeout       = 2 * time.Minute
+)
+
+// newHTTPServer builds the hardened http.Server both the coordinator
+// and worker paths listen with.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
 // splitList parses a comma-separated flag value.
 func splitList(s string) []string {
 	var out []string
@@ -76,7 +107,7 @@ func runWorker(addr string, shardID, of int, accessLog *slog.Logger) {
 	w := cluster.NewWorker(shardID, of)
 	w.SetAccessLog(accessLog)
 	fmt.Printf("ANMAT worker shard %d/%d listening on %s\n", shardID, of, ln.Addr())
-	httpSrv := &http.Server{Handler: w.Handler()}
+	httpSrv := newHTTPServer("", w.Handler())
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	errc := make(chan error, 1)
@@ -110,6 +141,9 @@ func main() {
 	workers := flag.String("workers", "", "comma-separated shard worker base URLs: run every session's incremental engine distributed over them (one shard per worker)")
 	spares := flag.String("spares", "", "with -workers: comma-separated standby worker base URLs consumed on failover")
 	clusterData := flag.String("cluster-data", "", "with -workers: directory for per-session failover stores (snapshot + K-way replicated WAL; empty = temp dirs)")
+	maxSessions := flag.Int("max-sessions", 0, "per-tenant admission: max open sessions (tenant = X-Anmat-Tenant header; 0 = unlimited)")
+	maxRows := flag.Int("max-rows", 0, "per-tenant admission: max total table rows across a tenant's sessions (0 = unlimited)")
+	deltaRate := flag.Float64("delta-rate", 0, "per-tenant admission: sustained delta batches/sec through a token bucket (0 = unlimited)")
 	logFormat := flag.String("log-format", "", "structured request logging to stderr: 'json' or 'text' (empty = off); every request line carries a request ID")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes stacks and heap contents; opt-in)")
 	flag.Parse()
@@ -147,6 +181,7 @@ func main() {
 	sys.CreateProject("default")
 	srv := server.New(sys)
 	srv.SetAccessLog(accessLog)
+	srv.SetLimits(server.Limits{MaxSessions: *maxSessions, MaxRows: *maxRows, DeltaRate: *deltaRate})
 	if *pprofOn {
 		srv.EnablePprof()
 	}
@@ -193,7 +228,7 @@ func main() {
 			t.Name(), sess.ID, t.NumRows(), len(sess.Discovered), len(sess.Violations))
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := newHTTPServer(*addr, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("ANMAT server listening on %s", *addr)

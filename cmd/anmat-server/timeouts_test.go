@@ -1,0 +1,30 @@
+package main
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestHTTPServerTimeouts pins the slow-client protections: every
+// listener this process opens (coordinator and worker alike) must carry
+// the header/read/idle deadlines, and must NOT set a write timeout —
+// streaming session backups may legitimately take longer than any fixed
+// bound.
+func TestHTTPServerTimeouts(t *testing.T) {
+	s := newHTTPServer(":0", http.NewServeMux())
+	if s.ReadHeaderTimeout != readHeaderTimeout || s.ReadHeaderTimeout <= 0 {
+		t.Errorf("ReadHeaderTimeout = %v, want %v (> 0)", s.ReadHeaderTimeout, readHeaderTimeout)
+	}
+	if s.ReadTimeout != readTimeout || s.ReadTimeout <= 0 {
+		t.Errorf("ReadTimeout = %v, want %v (> 0)", s.ReadTimeout, readTimeout)
+	}
+	if s.IdleTimeout != idleTimeout || s.IdleTimeout <= 0 {
+		t.Errorf("IdleTimeout = %v, want %v (> 0)", s.IdleTimeout, idleTimeout)
+	}
+	if s.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (backup downloads stream unbounded)", s.WriteTimeout)
+	}
+	if s.Addr != ":0" {
+		t.Errorf("Addr = %q", s.Addr)
+	}
+}

@@ -4,6 +4,8 @@
 //	anmat discover  -in data.csv [-coverage 0.05] [-violations 0.02]
 //	anmat detect    -in data.csv [-coverage 0.05] [-violations 0.02]
 //	anmat repair    -in data.csv -out fixed.csv
+//	anmat backup    -server http://host:8080 -session s1 [-out s1.anmat.tar]
+//	anmat restore   -server http://host:8080 -in s1.anmat.tar
 //	anmat experiments [-exp table3-d1] [-n 20000]
 //
 // profile prints the Figure 3 view (per-column patterns), discover the
@@ -74,6 +76,10 @@ func run(args []string) error {
 		return cmdStream(ctx, args[1:])
 	case "dmv":
 		return cmdDMV(args[1:])
+	case "backup":
+		return cmdBackup(args[1:])
+	case "restore":
+		return cmdRestore(args[1:])
 	case "experiments":
 		return cmdExperiments(args[1:])
 	case "help", "-h", "--help":
@@ -102,6 +108,8 @@ func usage() {
   report      -in data.csv [-out report.md]        full pipeline as Markdown
   stream      -history clean.csv -in new.csv       mine from history, validate new rows
   dmv         -in data.csv                         flag disguised missing values
+  backup      -server url -session id [-out f.tar] download a server session
+  restore     -server url -in f.tar                import a backup on a server
   experiments [-exp id] [-n rows]                  regenerate paper artifacts`)
 }
 

@@ -46,6 +46,10 @@ type Bench struct {
 	// present (the sharded-detection family): single-shard ns/op over
 	// their own ns/op.
 	SpeedupVs1Shard *float64 `json:"speedup_vs_1shard,omitempty"`
+	// SpeedupVsSerial is filled for /group/... benchmarks whose /serial/...
+	// sibling is present (the WAL group-commit family): serial-commit
+	// ns/op over their own ns/op — the fsync-on throughput win.
+	SpeedupVsSerial *float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // Report is the BENCH_*.json document. NumCPU and GOMAXPROCS make every
@@ -161,6 +165,21 @@ func addSpeedups(benches []Bench) {
 			if full, ok := fullBase[prefix]; ok {
 				benches[i].SpeedupVsFull = ptr(full / benches[i].NsPerOp)
 			}
+		}
+	}
+	// The group-commit family names variants mid-path (/serial/w8 vs
+	// /group/w8), so the sibling lookup is a name rewrite, not a suffix.
+	byName := make(map[string]float64, len(benches))
+	for _, b := range benches {
+		byName[b.Name] = b.NsPerOp
+	}
+	for i := range benches {
+		if benches[i].NsPerOp <= 0 || !strings.Contains(benches[i].Name, "/group") {
+			continue
+		}
+		sibling := strings.Replace(benches[i].Name, "/group", "/serial", 1)
+		if serial, ok := byName[sibling]; ok {
+			benches[i].SpeedupVsSerial = ptr(serial / benches[i].NsPerOp)
 		}
 	}
 }
@@ -280,7 +299,7 @@ func run() error {
 	benchRe := flag.String("bench",
 		"BenchmarkParallelDetection|BenchmarkDetectorIndexReuse|BenchmarkAblation_ConstantDetection|BenchmarkAblation_VariableDetection|BenchmarkFigure5_ViolationListing",
 		"benchmark regex passed to go test -bench")
-	pkg := flag.String("pkg", ".", "package containing the benchmarks")
+	pkg := flag.String("pkg", ".", "comma-separated package(s) containing the benchmarks")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (empty = go default)")
 	count := flag.Int("count", 1, "go test -count value")
 	out := flag.String("out", "BENCH_detect.json", "output JSON path")
@@ -296,7 +315,11 @@ func run() error {
 	if *benchtime != "" {
 		args = append(args, "-benchtime", *benchtime)
 	}
-	args = append(args, *pkg)
+	for _, p := range strings.Split(*pkg, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			args = append(args, p)
+		}
+	}
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -346,6 +369,10 @@ func run() error {
 		}
 		if bb.SpeedupVs1Shard != nil {
 			fmt.Printf("  %-40s %12.0f ns/op  speedup vs 1 shard: %.2fx\n", bb.Name, bb.NsPerOp, *bb.SpeedupVs1Shard)
+		}
+		if bb.SpeedupVsSerial != nil {
+			fmt.Printf("  %-40s %12.0f ns/op  speedup vs serial commit: %.2fx  (%.2f batches/fsync)\n",
+				bb.Name, bb.NsPerOp, *bb.SpeedupVsSerial, bb.Metrics["fsync_batches_per_commit"])
 		}
 		if v, ok := bb.Metrics["allocs/row"]; ok {
 			fmt.Printf("  %-40s %12.3f allocs/row\n", bb.Name, v)

@@ -126,6 +126,22 @@ func TestAddSpeedupsVs1Shard(t *testing.T) {
 	}
 }
 
+func TestAddSpeedupsVsSerial(t *testing.T) {
+	benches := []Bench{
+		{Name: "BenchmarkWALJournal/serial/w8", NsPerOp: 6000},
+		{Name: "BenchmarkWALJournal/group/w8", NsPerOp: 2000},
+		{Name: "BenchmarkWALJournal/group/w16", NsPerOp: 1000}, // no /serial/w16 sibling
+		{Name: "BenchmarkOther", NsPerOp: 7},
+	}
+	addSpeedups(benches)
+	if benches[1].SpeedupVsSerial == nil || *benches[1].SpeedupVsSerial != 3 {
+		t.Errorf("group speedup = %v", benches[1].SpeedupVsSerial)
+	}
+	if benches[0].SpeedupVsSerial != nil || benches[2].SpeedupVsSerial != nil || benches[3].SpeedupVsSerial != nil {
+		t.Error("only /group entries with a /serial sibling get the metric")
+	}
+}
+
 func TestAddPerRowMetrics(t *testing.T) {
 	benches := []Bench{
 		{Name: "BenchmarkShardDetect/rows100000/k1", AllocsPerOp: ptr(46000)},

@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"log/slog"
@@ -22,7 +23,22 @@ import (
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/shard"
 	"github.com/anmat/anmat/internal/stream"
+	"github.com/anmat/anmat/internal/wal"
 )
+
+// maxBootBody caps an /init or /restore body: a full shard snapshot
+// plus its WAL tail, bounded at 4x the single-record limit.
+const maxBootBody = 4 * wal.MaxRecord
+
+// bodyStatus maps a request-body decode error to 413 when the
+// MaxBytesReader cap tripped, 400 otherwise.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
 
 // Worker serves one shard over HTTP. The zero value is not usable; see
 // NewWorker. All handlers serialize on an internal lock — a worker is
@@ -113,8 +129,12 @@ func (w *Worker) handleBoot(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req BootRequest
+	// A boot body carries a full shard snapshot, so it gets a generous
+	// cap — but still a cap: an unbounded hostile body must 413, not OOM
+	// the worker.
+	r.Body = http.MaxBytesReader(rw, r.Body, maxBootBody)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(rw, http.StatusBadRequest, "decode boot: %v", err)
+		writeError(rw, bodyStatus(err), "decode boot: %v", err)
 		return
 	}
 	w.mu.Lock()
@@ -170,8 +190,11 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var nb shard.NodeBatch
+	// One translated batch can never legitimately exceed the WAL record
+	// bound the coordinator journals it under.
+	r.Body = http.MaxBytesReader(rw, r.Body, wal.MaxRecord)
 	if err := json.NewDecoder(r.Body).Decode(&nb); err != nil {
-		writeError(rw, http.StatusBadRequest, "decode batch: %v", err)
+		writeError(rw, bodyStatus(err), "decode batch: %v", err)
 		return
 	}
 	w.mu.Lock()

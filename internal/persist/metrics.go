@@ -21,4 +21,11 @@ var (
 	checkpointBytes = obs.Default.NewHistogram("anmat_persist_checkpoint_size_bytes",
 		"Serialized size of checkpointed session snapshots.",
 		obs.SizeBuckets)
+	groupBatches = obs.Default.NewCounter("anmat_wal_group_commit_batches_total",
+		"Delta batches durably journaled (group-commit rounds and the serial ablation path both count here).")
+	groupFsyncs = obs.Default.NewCounter("anmat_wal_group_commit_fsyncs_total",
+		"WAL fsync calls issued; with group-commit, one per touched file per round, not one per batch.")
+	groupBatchesPerFsync = obs.Default.NewHistogram("anmat_wal_group_commit_batches_per_fsync",
+		"Batches amortized over each group-commit round's fsyncs; >1 means concurrent writers are coalescing.",
+		[]float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})
 )

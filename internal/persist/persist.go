@@ -75,6 +75,11 @@ type Options struct {
 	// Fsync forces fsync on every WAL append and snapshot flush, making
 	// durability survive power loss rather than just process death.
 	Fsync bool
+	// SerialCommit disables WAL group-commit: every Journal call pays
+	// its own write+fsync, as before the group committer existed. It is
+	// the ablation baseline for the group-commit benchmark, not an
+	// operator knob.
+	SerialCommit bool
 }
 
 // Manager implements core.Persister over a data directory. It is safe for
@@ -88,6 +93,10 @@ type Manager struct {
 
 	mu   sync.Mutex // guards wals (the map, not the states)
 	wals map[string]*walState
+
+	// gc is the group committer: concurrent Journal calls coalesce into
+	// shared write+fsync rounds (groupcommit.go).
+	gc groupCommitter
 
 	// storeMu serializes snapshot-document rewrites (Checkpoint, Drop)
 	// across sessions. Without it, session A's Flush could durably write
@@ -265,19 +274,38 @@ func (m *Manager) JournalSharded(sessionID string, k int, seq int64, batch strea
 	return m.journal(sessionID, targets, seq, batch)
 }
 
-// journal appends one record to each target WAL of the session.
+// journal appends one record to each target WAL of the session, either
+// through the group committer (default) or serially (SerialCommit).
 func (m *Manager) journal(sessionID string, targets []int, seq int64, batch stream.Batch) error {
 	ws, err := m.state(sessionID)
 	if err != nil {
 		return err
 	}
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
 	t0 := time.Now()
 	enc, err := wal.Encode(walRecord{Seq: seq, Batch: batch})
 	if err != nil {
 		return fmt.Errorf("persist: journal %s: %w", sessionID, err)
 	}
+	if m.opts.SerialCommit {
+		err = m.journalSerial(ws, sessionID, targets, seq, enc)
+	} else {
+		err = m.commit(&commitReq{
+			ws: ws, id: sessionID, targets: targets, seq: seq, enc: enc,
+			done: make(chan struct{}),
+		})
+	}
+	if err != nil {
+		return err
+	}
+	walAppendDur.Observe(time.Since(t0).Seconds())
+	return nil
+}
+
+// journalSerial is the pre-group-commit append path: one write (and one
+// fsync per target file) per Journal call, under the session lock.
+func (m *Manager) journalSerial(ws *walState, sessionID string, targets []int, seq int64, enc []byte) error {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
 	type written struct {
 		f    *os.File
 		size int64
@@ -313,7 +341,10 @@ func (m *Manager) journal(sessionID string, targets []int, seq int64, batch stre
 	}
 	ws.records++
 	walBytes.Add(float64(len(enc) * len(targets)))
-	walAppendDur.Observe(time.Since(t0).Seconds())
+	groupBatches.Inc()
+	if m.opts.Fsync {
+		groupFsyncs.Add(float64(len(targets)))
+	}
 	return nil
 }
 

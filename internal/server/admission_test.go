@@ -1,0 +1,190 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/datagen"
+	"github.com/anmat/anmat/internal/docstore"
+)
+
+// postAs posts a body as the given tenant.
+func postAs(t *testing.T, h http.Handler, tenant, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// wantReject asserts a 429 with a Retry-After header.
+func wantReject(t *testing.T, rec *httptest.ResponseRecorder, wantReason string) {
+	t.Helper()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if !strings.Contains(rec.Body.String(), wantReason) {
+		t.Fatalf("429 body %q does not mention %q", rec.Body.String(), wantReason)
+	}
+}
+
+func TestAdmissionSessionQuota(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	srv.SetLimits(Limits{MaxSessions: 2})
+	h := srv.Handler()
+	csv := csvBody(t, datagen.PhoneState(100, 0.01, 41))
+
+	var ids []string
+	for i := 0; i < 2; i++ {
+		rec := postAs(t, h, "acme", "/api/v1/sessions?name=d", csv)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("upload %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		ids = append(ids, jsonField(t, rec, "session"))
+	}
+	wantReject(t, postAs(t, h, "acme", "/api/v1/sessions?name=d", csv), "session quota")
+
+	// Quotas partition by tenant: another tenant is unaffected.
+	if rec := postAs(t, h, "globex", "/api/v1/sessions?name=d", csv); rec.Code != http.StatusOK {
+		t.Fatalf("other tenant: %d %s", rec.Code, rec.Body.String())
+	}
+	// Deleting one of the tenant's sessions frees the slot.
+	req := httptest.NewRequest(http.MethodDelete, "/api/v1/sessions/"+ids[0], nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	if rec := postAs(t, h, "acme", "/api/v1/sessions?name=d", csv); rec.Code != http.StatusOK {
+		t.Fatalf("upload after delete: %d %s", rec.Code, rec.Body.String())
+	}
+	if n := admissionRejects.WithLabelValues("acme", "sessions").Value(); n < 1 {
+		t.Fatalf("anmat_admission_rejects_total{acme,sessions} = %v, want >= 1", n)
+	}
+}
+
+func TestAdmissionRowQuota(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	srv.SetLimits(Limits{MaxRows: 250})
+	h := srv.Handler()
+
+	// An upload over the row quota is refused before the pipeline runs.
+	wantReject(t, postAs(t, h, "acme", "/api/v1/sessions?name=big",
+		csvBody(t, datagen.PhoneState(300, 0.01, 42))), "row quota")
+
+	rec := postAs(t, h, "acme", "/api/v1/sessions?name=ok",
+		csvBody(t, datagen.PhoneState(200, 0.01, 42)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	id := jsonField(t, rec, "session")
+
+	// Appends are charged against the remaining 50 rows.
+	appendN := func(n int) *httptest.ResponseRecorder {
+		rows := make([]string, n)
+		for i := range rows {
+			rows[i] = `["(555) 000-0000","CA"]`
+		}
+		return postAs(t, h, "acme", "/api/v1/sessions/"+id+"/deltas",
+			`{"deltas":[{"op":"append","rows":[`+strings.Join(rows, ",")+`]}]}`)
+	}
+	wantReject(t, appendN(60), "row quota")
+	if rec := appendN(40); rec.Code != http.StatusOK {
+		t.Fatalf("append within quota: %d %s", rec.Code, rec.Body.String())
+	}
+	// Deletes credit rows back, making room again.
+	rec = postAs(t, h, "acme", "/api/v1/sessions/"+id+"/deltas",
+		`{"deltas":[{"op":"delete","drop":[0,1,2,3,4,5,6,7,8,9]}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete deltas: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := appendN(15); rec.Code != http.StatusOK {
+		t.Fatalf("append after delete: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestAdmissionDeltaRate(t *testing.T) {
+	srv := New(core.NewSystem(docstore.NewMem()))
+	srv.SetLimits(Limits{DeltaRate: 2}) // burst 2, refill 2/sec
+	h := srv.Handler()
+
+	// Deterministic clock: the bucket refills only when we advance it.
+	// Installed before any request so the bucket is seeded from it too.
+	now := time.Unix(1000, 0)
+	srv.adm.now = func() time.Time { return now }
+
+	csv := csvBody(t, datagen.PhoneState(100, 0.01, 43))
+	rec := postAs(t, h, "acme", "/api/v1/sessions?name=d", csv)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("upload: %d %s", rec.Code, rec.Body.String())
+	}
+	id := jsonField(t, rec, "session")
+
+	delta := `{"deltas":[{"op":"update","row":0,"column":"state","value":"CA"}]}`
+	post := func() *httptest.ResponseRecorder {
+		return postAs(t, h, "ignored-label", "/api/v1/sessions/"+id+"/deltas", delta)
+	}
+	for i := 0; i < 2; i++ {
+		if rec := post(); rec.Code != http.StatusOK {
+			t.Fatalf("burst delta %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	rec = post()
+	wantReject(t, rec, "rate limit")
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want 1 (0.5s wait rounded up)", ra)
+	}
+	// The bucket belongs to the session's owning tenant, whatever header
+	// the delta carried.
+	if n := admissionRejects.WithLabelValues("acme", "rate").Value(); n < 1 {
+		t.Fatalf("rejects{acme,rate} = %v, want >= 1", n)
+	}
+	now = now.Add(time.Second) // refills 2 tokens
+	for i := 0; i < 2; i++ {
+		if rec := post(); rec.Code != http.StatusOK {
+			t.Fatalf("refilled delta %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	wantReject(t, post(), "rate limit")
+}
+
+// jsonField pulls a string field out of a JSON response.
+func jsonField(t *testing.T, rec *httptest.ResponseRecorder, key string) string {
+	t.Helper()
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	v, _ := out[key].(string)
+	if v == "" {
+		t.Fatalf("response %q missing %q", rec.Body.String(), key)
+	}
+	return v
+}
+
+// TestConfirmEmptyBodyAndCap covers the two confirm-body fixes: an empty
+// body is a legal confirm-everything (even when the EOF arrives
+// wrapped), and a body over the cap is a 413, not an OOM.
+func TestConfirmEmptyBodyAndCap(t *testing.T) {
+	h, id := newStreamServer(t)
+	rec := postAs(t, h, "", "/api/v1/sessions/"+id+"/confirm", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("empty confirm body: %d %s", rec.Code, rec.Body.String())
+	}
+	huge := `{"ids":["` + strings.Repeat("x", maxConfirmBody+1024) + `"]}`
+	rec = postAs(t, h, "", "/api/v1/sessions/"+id+"/confirm", huge)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized confirm body: %d, want 413", rec.Code)
+	}
+}

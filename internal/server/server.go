@@ -25,6 +25,8 @@
 //	POST   /api/v1/sessions/{id}/deltas     batched row deltas, incremental violation diff
 //	GET    /api/v1/sessions/{id}/dmv        disguised-missing-value scan
 //	POST   /api/v1/sessions/{id}/confirm    confirm rules, re-detect
+//	GET    /api/v1/sessions/{id}/backup     stream the session as a tar (snapshot + WAL tail)
+//	POST   /api/v1/sessions/restore         import a backup tar as a new session
 //	DELETE /api/v1/sessions/{id}            drop the session
 //	GET    /api/v1/projects                 project names
 //	GET    /api/v1/stats                    server totals + per-session engine/shard stats
@@ -45,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
+	"io"
 	"log/slog"
 	"net/http"
 	"runtime"
@@ -62,6 +65,7 @@ import (
 	"github.com/anmat/anmat/internal/profile"
 	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/table"
+	"github.com/anmat/anmat/internal/wal"
 )
 
 // sessionHandle pairs a session with its own lock, so operations on one
@@ -94,6 +98,11 @@ type Server struct {
 	// mounts (set via EnablePprof). Both must be set before Handler().
 	accessLog *slog.Logger
 	pprof     bool
+
+	// adm, when non-nil, is per-tenant admission control (quotas and
+	// delta rate limits; see admission.go). Set via SetLimits before
+	// serving.
+	adm *admission
 }
 
 // New builds a server over a system and (re)binds the process-wide
@@ -109,6 +118,14 @@ func New(sys *core.System) *Server {
 // write-ahead log. Call RestoreSessions first to rehydrate previous state.
 func (s *Server) AttachPersist(m *persist.Manager) { s.pm = m }
 
+// SetLimits enables per-tenant admission control (an all-zero Limits
+// leaves it off). Call before serving.
+func (s *Server) SetLimits(l Limits) {
+	if l.enabled() {
+		s.adm = newAdmission(l)
+	}
+}
+
 // RestoreSessions rehydrates the session registry from the durability
 // layer: each persisted session is rebuilt from its latest snapshot, its
 // WAL tail is replayed through the incremental engine (so violation sets
@@ -123,6 +140,12 @@ func (s *Server) RestoreSessions(m *persist.Manager) (int, error) {
 	}
 	for _, sess := range sessions {
 		s.register(sess, false)
+		if s.adm != nil {
+			// Tenancy is not persisted; restored sessions belong to the
+			// default tenant and must never be refused by their own
+			// server's quotas.
+			s.adm.bindSession(DefaultTenant, sess.ID, sess.Table.NumRows())
+		}
 	}
 	// register promotes the first-registered session; re-elect the lowest
 	// numeric ID so the default is stable across restarts.
@@ -179,6 +202,9 @@ func (s *Server) CreateSession(ctx context.Context, project string, t *table.Tab
 		return nil, err
 	}
 	s.register(sess, false)
+	if s.adm != nil {
+		s.adm.bindSession(DefaultTenant, sess.ID, t.NumRows())
+	}
 	return sess, nil
 }
 
@@ -195,6 +221,9 @@ func (s *Server) LoadSession(project string, t *table.Table, p core.Params) erro
 		return err
 	}
 	s.register(sess, true)
+	if s.adm != nil {
+		s.adm.bindSession(DefaultTenant, sess.ID, t.NumRows())
+	}
 	return nil
 }
 
@@ -232,6 +261,9 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /api/v1/sessions/{id}/deltas", s.apiDeltas)
 	handle("GET /api/v1/sessions/{id}/dmv", s.apiDMV)
 	handle("POST /api/v1/sessions/{id}/confirm", s.apiConfirm)
+	// Session portability: tar download + import (see backup.go).
+	handle("GET /api/v1/sessions/{id}/backup", s.apiBackup)
+	handle("POST /api/v1/sessions/restore", s.apiRestore)
 	handle("GET /api/v1/projects", s.apiProjects)
 	handle("GET /api/v1/stats", s.apiStats)
 	// Liveness/readiness probe for load balancers: cheap, lock-free.
@@ -310,6 +342,24 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Request-body caps: a hostile Content-Length must 413, not OOM. Delta
+// bodies get the WAL record bound (a bigger batch could never journal);
+// confirm bodies are a list of rule IDs and get a conservative 1 MiB.
+const (
+	maxDeltaBody   = wal.MaxRecord
+	maxConfirmBody = 1 << 20
+)
+
+// bodyStatus maps a request-body decode error to its status: 413 when
+// the MaxBytesReader cap tripped, 400 otherwise.
+func bodyStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // persistStatus distinguishes durability-layer failures (server-side,
@@ -578,16 +628,35 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request, makeDefau
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	tenant := requestTenant(r)
+	if s.adm != nil {
+		// Reserve before the (expensive) pipeline run, so an over-quota
+		// tenant cannot burn server CPU on uploads that would only be
+		// rejected afterwards.
+		if rej := s.adm.reserveSession(tenant, t.NumRows()); rej != nil {
+			writeAdmissionReject(w, tenant, rej)
+			return
+		}
+	}
 	sess := s.sys.NewSession(project, t, params)
 	if err := sess.RunStages(r.Context(), stages...); err != nil {
+		if s.adm != nil {
+			s.adm.unreserveSession(tenant, t.NumRows())
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if err := s.persistNew(sess); err != nil {
+		if s.adm != nil {
+			s.adm.unreserveSession(tenant, t.NumRows())
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.register(sess, makeDefault)
+	if s.adm != nil {
+		s.adm.bindReserved(tenant, sess.ID, t.NumRows())
+	}
 	writeJSON(w, map[string]any{
 		"session":    sess.ID,
 		"table":      t.Name(),
@@ -642,6 +711,9 @@ func (s *Server) apiDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		http.Error(w, "no such session "+id, http.StatusNotFound)
 		return
+	}
+	if s.adm != nil {
+		s.adm.release(id)
 	}
 	if s.pm != nil {
 		// Drain in-flight requests that resolved the handle before it
@@ -880,8 +952,12 @@ func (s *Server) apiDeltas(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		Deltas stream.Batch `json:"deltas"`
 	}
+	// A delta batch becomes one WAL record, so anything beyond the WAL
+	// record bound could never be journaled anyway; reject it before it
+	// allocates, with a 413 instead of an OOM.
+	r.Body = http.MaxBytesReader(w, r.Body, maxDeltaBody)
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed delta body: %v", err)
+		writeError(w, bodyStatus(err), "malformed delta body: %v", err)
 		return
 	}
 	if len(body.Deltas) == 0 {
@@ -895,7 +971,19 @@ func (s *Server) apiDeltas(w http.ResponseWriter, r *http.Request) {
 		conflictNoDetection(w, sess.ID)
 		return
 	}
+	if s.adm != nil {
+		tenant, rej := s.adm.admitDeltas(sess.ID, rowGrowth(body.Deltas))
+		if rej != nil {
+			writeAdmissionReject(w, tenant, rej)
+			return
+		}
+	}
 	diff, err := sess.ApplyDeltas(body.Deltas)
+	if s.adm != nil {
+		// Settle to the observed table size whatever happened: a rejected
+		// batch returns its reservation, deletes credit rows back.
+		s.adm.settleRows(sess.ID, sess.Table.NumRows())
+	}
 	if err != nil {
 		if diff != nil {
 			// The batch WAS applied and journaled; only the follow-up
@@ -980,8 +1068,12 @@ func (s *Server) apiConfirm(w http.ResponseWriter, r *http.Request) {
 	var body struct {
 		IDs []string `json:"ids"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && err.Error() != "EOF" {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	r.Body = http.MaxBytesReader(w, r.Body, maxConfirmBody)
+	// An empty body is a legal "confirm everything"; errors.Is (not a
+	// string compare) so an EOF wrapped by a body middleware still
+	// counts as empty.
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, bodyStatus(err), "%v", err)
 		return
 	}
 	h.mu.Lock()

@@ -89,10 +89,18 @@ func Read(path string) (recs []Record, ends []int64, tornAt int64, err error) {
 	if err != nil {
 		return nil, nil, -1, fmt.Errorf("wal %s: %w", path, err)
 	}
+	recs, ends, tornAt = Decode(b)
+	return recs, ends, tornAt, nil
+}
+
+// Decode parses WAL bytes already in memory — the same torn-tail
+// contract as Read, for callers holding a log that never lived in a
+// file (e.g. a WAL entry extracted from a backup archive).
+func Decode(b []byte) (recs []Record, ends []int64, tornAt int64) {
 	off := 0
 	for off < len(b) {
 		if len(b)-off < 8 {
-			return recs, ends, int64(off), nil // torn header
+			return recs, ends, int64(off) // torn header
 		}
 		// Decode the length as int64 so a corrupt prefix with the high
 		// bit set cannot wrap negative on 32-bit platforms and slip past
@@ -100,19 +108,19 @@ func Read(path string) (recs []Record, ends []int64, tornAt int64, err error) {
 		n := int64(binary.LittleEndian.Uint32(b[off : off+4]))
 		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
 		if n > MaxRecord || int64(len(b)-off-8) < n {
-			return recs, ends, int64(off), nil // torn or garbage payload length
+			return recs, ends, int64(off) // torn or garbage payload length
 		}
 		payload := b[off+8 : off+8+int(n)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return recs, ends, int64(off), nil // torn or bit-flipped payload
+			return recs, ends, int64(off) // torn or bit-flipped payload
 		}
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, ends, int64(off), nil // checksummed but undecodable: foreign bytes
+			return recs, ends, int64(off) // checksummed but undecodable: foreign bytes
 		}
 		recs = append(recs, rec)
 		off += 8 + int(n)
 		ends = append(ends, int64(off))
 	}
-	return recs, ends, -1, nil
+	return recs, ends, -1
 }
