@@ -21,15 +21,21 @@ SHARDOUT  ?= BENCH_shard.json
 # Table size of the shard bench (read by the benchmark as an env var).
 export SHARD_BENCH_ROWS
 
-.PHONY: all build vet test race bench bench-stream bench-shard cluster-e2e hardening fuzz vulncheck
+.PHONY: all build vet test race bench bench-stream bench-shard cluster-e2e hardening fuzz vulncheck lint-obs
 
-all: vet build test
+all: vet lint-obs build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Observability naming lint: metric families must match anmat_[a-z_]+
+# with type-appropriate unit suffixes, and every span name in the source
+# must be registered in the span catalog. See cmd/obslint.
+lint-obs:
+	$(GO) run ./cmd/obslint
 
 test:
 	$(GO) test ./...

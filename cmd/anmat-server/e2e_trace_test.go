@@ -1,0 +1,225 @@
+// Distributed-tracing acceptance: one delta batch through a 2-worker
+// cluster produces one trace whose ID comes back in the response header,
+// appears in every worker's span records, and whose merged tree carries
+// the full request path — server route, WAL append, journal, shard
+// fan-out, per-shard RPC, and the worker-side applies — with consistent
+// parent links. The fetched traces are dumped as a JSONL artifact next
+// to the *.prom metrics snapshots so CI uploads them together.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/anmat/anmat/internal/cluster"
+	"github.com/anmat/anmat/internal/core"
+	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/obs"
+	"github.com/anmat/anmat/internal/persist"
+	"github.com/anmat/anmat/internal/server"
+)
+
+// fetchJSON GETs a URL and decodes the JSON body into out, returning
+// the status code.
+func fetchJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestE2ETracePropagation(t *testing.T) {
+	logDir := e2eLogDir(t)
+	const n = 2
+	urls := make([]string, n)
+	for s := 0; s < n; s++ {
+		urls[s] = startWorkerProc(t, logDir, fmt.Sprintf("trace-shard%d", s), s, n).url
+	}
+
+	// In-process coordinator serving the public HTTP API, with a persist
+	// manager attached so persist.journal spans appear in the trace.
+	cfg := core.DefaultSystemConfig()
+	cfg.Workers = urls
+	sys := core.NewSystemWith(docstore.NewMem(), cfg)
+	sys.CreateProject("default")
+	srv := server.New(sys)
+	pm, err := persist.Open(t.TempDir(), persist.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pm.Close()
+	srv.AttachPersist(pm)
+	coord := httptest.NewServer(srv.Handler())
+	defer coord.Close()
+
+	// The trace store is process-global; earlier tests in this binary may
+	// have filled it.
+	obs.Traces.Reset()
+	defer obs.Traces.Reset()
+
+	// Create the golden session through the API (full pipeline, so the
+	// deltas endpoint accepts batches), then replay the committed script,
+	// capturing the trace ID each response advertises.
+	csv, err := os.ReadFile(filepath.Join("..", "..", "testdata", "phone_state.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(coord.URL+"/api/v1/sessions?name=phone_state&coverage=0.05&violations=0.2",
+		"text/csv", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		Session string `json:"session"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || created.Session == "" {
+		t.Fatalf("session create: status %d, session %q", resp.StatusCode, created.Session)
+	}
+
+	var traceIDs []string
+	for bi, batch := range loadScript(t) {
+		body, err := json.Marshal(map[string]any{"deltas": batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(coord.URL+"/api/v1/sessions/"+created.Session+"/deltas",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch %d: status %d", bi, resp.StatusCode)
+		}
+		tid := resp.Header.Get(obs.TraceIDHeader)
+		if tid == "" {
+			t.Fatalf("batch %d: no %s response header", bi, obs.TraceIDHeader)
+		}
+		traceIDs = append(traceIDs, tid)
+	}
+
+	// Satellite: the trace ID returned in the server response header must
+	// appear in every worker's span records for that batch. Workers keep
+	// remote segments unconditionally, so every batch should qualify; we
+	// require at least one and then inspect its merged tree.
+	var full string
+	for _, tid := range traceIDs {
+		everywhere := true
+		for _, u := range urls {
+			if fetchJSON(t, u+cluster.APIPrefix+"/trace/"+tid, nil) != http.StatusOK {
+				everywhere = false
+				break
+			}
+		}
+		if everywhere {
+			full = tid
+			break
+		}
+	}
+	if full == "" {
+		t.Fatalf("no trace ID among %d batches is present on every worker", len(traceIDs))
+	}
+
+	var tr obs.Trace
+	if code := fetchJSON(t, coord.URL+"/api/v1/traces/"+full, &tr); code != http.StatusOK {
+		t.Fatalf("coordinator trace detail: status %d", code)
+	}
+
+	// The merged tree must cover the whole request path.
+	names := make(map[string]int)
+	byID := make(map[string]obs.SpanRecord, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		names[sp.Name]++
+		byID[sp.SpanID] = sp
+		if sp.TraceID != full {
+			t.Errorf("span %s carries trace ID %s, want %s", sp.Name, sp.TraceID, full)
+		}
+	}
+	for _, want := range []string{
+		"persist.journal", "cluster.wal.append", "shard.fanout",
+		"shard.node.apply", "cluster.rpc", "stream.apply",
+	} {
+		if names[want] == 0 {
+			t.Errorf("merged trace has no %q span; got %v", want, names)
+		}
+	}
+	// One coordinator route span plus one worker-side segment root per
+	// worker, and the coordinator root must carry the deltas route.
+	if names["http.request"] < 1+n {
+		t.Errorf("merged trace has %d http.request spans, want >= %d (route + per-worker)", names["http.request"], 1+n)
+	}
+	root, ok := byID[tr.Root]
+	if !ok {
+		t.Fatalf("trace root %q not among the merged spans", tr.Root)
+	}
+	if route := root.Attrs["route"]; route != "POST /api/v1/sessions/{id}/deltas" {
+		t.Errorf("root route attr = %q", route)
+	}
+	// Per-shard fan-out: one shard.node.apply per worker, and the
+	// worker-side applies cover every shard index.
+	if names["shard.node.apply"] != n {
+		t.Errorf("%d shard.node.apply spans, want %d", names["shard.node.apply"], n)
+	}
+	shardsSeen := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		if sp.Name == "http.request" && sp.SpanID != tr.Root {
+			shardsSeen[sp.Attrs["shard"]] = true
+		}
+	}
+	for s := 0; s < n; s++ {
+		if !shardsSeen[fmt.Sprint(s)] {
+			t.Errorf("no worker-side segment for shard %d: saw %v", s, shardsSeen)
+		}
+	}
+	// Parent-link consistency: every non-root span's parent resolves
+	// inside the merged set — worker segments hang off the coordinator's
+	// cluster.rpc spans, not off thin air.
+	for _, sp := range tr.Spans {
+		if sp.SpanID == tr.Root {
+			continue
+		}
+		if sp.Parent == "" {
+			t.Errorf("span %s (%s) has no parent and is not the root", sp.Name, sp.SpanID)
+			continue
+		}
+		if _, ok := byID[sp.Parent]; !ok {
+			t.Errorf("span %s parent %s does not resolve in the merged trace", sp.Name, sp.Parent)
+		}
+	}
+
+	// CI artifact: every batch's merged trace as one JSON line, next to
+	// the *.prom snapshots the metrics tests write.
+	art, err := os.Create(filepath.Join(logDir, "traces.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer art.Close()
+	enc := json.NewEncoder(art)
+	for _, tid := range traceIDs {
+		var one obs.Trace
+		if fetchJSON(t, coord.URL+"/api/v1/traces/"+tid, &one) == http.StatusOK {
+			if err := enc.Encode(one); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Logf("trace artifact: %s", filepath.Join(logDir, "traces.jsonl"))
+}

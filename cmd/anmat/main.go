@@ -80,6 +80,8 @@ func run(args []string) error {
 		return cmdBackup(args[1:])
 	case "restore":
 		return cmdRestore(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
 	case "experiments":
 		return cmdExperiments(args[1:])
 	case "help", "-h", "--help":
@@ -110,6 +112,8 @@ func usage() {
   dmv         -in data.csv                         flag disguised missing values
   backup      -server url -session id [-out f.tar] download a server session
   restore     -server url -in f.tar                import a backup on a server
+  trace       -server url <trace-id>               render one request's span tree
+              -list lists retained traces; -slow tails slow/errored ones
   experiments [-exp id] [-n rows]                  regenerate paper artifacts`)
 }
 

@@ -1,0 +1,149 @@
+// Command obslint enforces the repo's observability naming conventions
+// and fails CI when they drift:
+//
+//   - Every registered metric family matches ^anmat_[a-z_]+$ and carries
+//     the unit suffix its type demands: counters end in _total,
+//     histograms end in _seconds or _bytes (or carry a _per_ ratio
+//     suffix for dimensionless distributions), and gauges never end in
+//     _total.
+//   - Every span name passed to obs.Span / obs.StartSpan /
+//     obs.StartTrace in the source tree is registered in the span
+//     catalog (internal/obs/catalog.go), including dynamic
+//     "prefix."+expr names, which must match a catalog wildcard.
+//
+// The metric check walks the live registry: the packages that register
+// families do so in package init, so blank-importing them here shows the
+// lint exactly the families a real process serves — a family registered
+// by a package this file does not import is invisible, so add new
+// metric-owning packages to the import block.
+//
+// Run from the repo root (CI: `make lint-obs`). Exits non-zero with one
+// line per violation.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"github.com/anmat/anmat/internal/obs"
+
+	_ "github.com/anmat/anmat/internal/cluster"
+	_ "github.com/anmat/anmat/internal/persist"
+	_ "github.com/anmat/anmat/internal/server"
+	_ "github.com/anmat/anmat/internal/shard"
+	_ "github.com/anmat/anmat/internal/stream"
+)
+
+var familyName = regexp.MustCompile(`^anmat_[a-z_]+$`)
+
+// lintFamilies checks every registered metric family's name and unit
+// suffix against its type.
+func lintFamilies() (problems []string) {
+	fams := obs.Default.Families()
+	if len(fams) == 0 {
+		return []string{"no metric families registered: is the import block missing the metric-owning packages?"}
+	}
+	for _, f := range fams {
+		if !familyName.MatchString(f.Name) {
+			problems = append(problems, fmt.Sprintf("metric %s: name does not match %s", f.Name, familyName))
+			continue
+		}
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				problems = append(problems, fmt.Sprintf("counter %s must end in _total", f.Name))
+			}
+		case "gauge":
+			if strings.HasSuffix(f.Name, "_total") {
+				problems = append(problems, fmt.Sprintf("gauge %s must not end in _total (that suffix marks counters)", f.Name))
+			}
+		case "histogram":
+			if !strings.HasSuffix(f.Name, "_seconds") && !strings.HasSuffix(f.Name, "_bytes") &&
+				!strings.Contains(f.Name, "_per_") {
+				problems = append(problems, fmt.Sprintf("histogram %s must carry a unit suffix (_seconds, _bytes) or a _per_ ratio suffix", f.Name))
+			}
+		}
+	}
+	return problems
+}
+
+// Span call sites: the second argument is either a string literal
+// ("shard.fanout") or a literal prefix plus an expression
+// ("stage."+string(st)). Anything else is a convention violation the
+// regexes intentionally miss and the catalog test suite would catch.
+var (
+	literalSpan = regexp.MustCompile(`\b(?:obs\.)?(?:StartSpan|StartTrace|Span)\(\s*[^,]+,\s*"([a-z._]+)"\s*[),]`)
+	dynamicSpan = regexp.MustCompile(`\b(?:obs\.)?(?:StartSpan|StartTrace|Span)\(\s*[^,]+,\s*"([a-z._]+\.)"\s*\+`)
+)
+
+// lintSpans scans non-test .go sources for span names not in the
+// catalog.
+func lintSpans(root string) (problems []string, sites int) {
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(src), "\n") {
+			if i := strings.Index(line, "//"); i >= 0 {
+				line = line[:i]
+			}
+			for _, m := range literalSpan.FindAllStringSubmatch(line, -1) {
+				sites++
+				if !obs.SpanNameRegistered(m[1]) {
+					problems = append(problems, fmt.Sprintf("%s: span name %q not in the catalog (internal/obs/catalog.go)", path, m[1]))
+				}
+			}
+			for _, m := range dynamicSpan.FindAllStringSubmatch(line, -1) {
+				sites++
+				if !obs.SpanNameRegistered(m[1] + "lintprobe") {
+					problems = append(problems, fmt.Sprintf("%s: dynamic span prefix %q has no catalog wildcard (%q)", path, m[1], m[1]+"*"))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("walk %s: %v", root, err))
+	}
+	return problems, sites
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, lintFamilies()...)
+	spanProblems, sites := lintSpans(root)
+	problems = append(problems, spanProblems...)
+	if sites == 0 {
+		problems = append(problems, "no span call sites found: run obslint from the repo root")
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "obslint:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("obslint: %d metric families, %d span call sites, all conventions hold\n",
+		len(obs.Default.Families()), sites)
+}

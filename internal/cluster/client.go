@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/shard"
 	"github.com/anmat/anmat/internal/stream"
@@ -72,8 +74,12 @@ func (n *RemoteNode) Base() string { return n.base }
 
 // call performs one retried request-scoped round trip: POST body (or GET
 // when body is nil) to path, decoding a 200 into out. Non-2xx responses
-// surface the worker's error envelope; 4xx ones are permanent.
-func (n *RemoteNode) call(method, path string, body, out any) error {
+// surface the worker's error envelope; 4xx ones are permanent. The
+// caller's context rides along for tracing: each attempt gets its own
+// "cluster.rpc" span, and the span's traceparent (plus the context's
+// request ID) is injected into the outbound headers so the worker-side
+// trace segment links back to this coordinator span.
+func (n *RemoteNode) call(callCtx context.Context, method, path string, body, out any) error {
 	var encoded []byte
 	if body != nil {
 		var err error
@@ -81,8 +87,13 @@ func (n *RemoteNode) call(method, path string, body, out any) error {
 			return fmt.Errorf("cluster %s%s: encode: %w", n.base, path, err)
 		}
 	}
-	return n.opts.Retry.Do(context.Background(), func() error {
-		ctx, cancel := context.WithTimeout(context.Background(), n.opts.Timeout)
+	attempt := 0
+	return n.opts.Retry.Do(callCtx, func() (err error) {
+		attempt++
+		spanCtx, endSpan := obs.StartSpan(callCtx, "cluster.rpc")
+		obs.SetSpanAttrs(spanCtx, "path", path, "attempt", strconv.Itoa(attempt))
+		defer func() { endSpan(err) }()
+		ctx, cancel := context.WithTimeout(spanCtx, n.opts.Timeout)
 		defer cancel()
 		var rdr io.Reader
 		if encoded != nil {
@@ -97,6 +108,12 @@ func (n *RemoteNode) call(method, path string, body, out any) error {
 		}
 		if n.opts.Epoch != "" {
 			req.Header.Set(EpochHeader, n.opts.Epoch)
+		}
+		if tp := obs.TraceparentFrom(spanCtx); tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
+		}
+		if rid := obs.RequestIDFrom(spanCtx); rid != "" {
+			req.Header.Set(obs.RequestIDHeader, rid)
 		}
 		resp, err := n.opts.HTTPClient.Do(req)
 		if err != nil {
@@ -131,27 +148,29 @@ func (n *RemoteNode) call(method, path string, body, out any) error {
 // Init pushes boot state to the worker over /init.
 func (n *RemoteNode) Init(boot shard.NodeBoot, rules []*pfd.PFD, seq int64) error {
 	var st StateResponse
-	return n.call(http.MethodPost, APIPrefix+"/init", BootRequest{Boot: boot, Rules: rules, Seq: seq, Epoch: n.opts.Epoch}, &st)
+	return n.call(context.Background(), http.MethodPost, APIPrefix+"/init", BootRequest{Boot: boot, Rules: rules, Seq: seq, Epoch: n.opts.Epoch}, &st)
 }
 
 // Restore pushes replacement state over /restore (failover semantics).
 func (n *RemoteNode) Restore(boot shard.NodeBoot, rules []*pfd.PFD, seq int64) error {
 	var st StateResponse
-	return n.call(http.MethodPost, APIPrefix+"/restore", BootRequest{Boot: boot, Rules: rules, Seq: seq, Epoch: n.opts.Epoch}, &st)
+	return n.call(context.Background(), http.MethodPost, APIPrefix+"/restore", BootRequest{Boot: boot, Rules: rules, Seq: seq, Epoch: n.opts.Epoch}, &st)
 }
 
 // Healthz probes the worker.
 func (n *RemoteNode) Healthz() (StateResponse, error) {
 	var st StateResponse
-	err := n.call(http.MethodGet, "/healthz", nil, &st)
+	err := n.call(context.Background(), http.MethodGet, "/healthz", nil, &st)
 	return st, err
 }
 
 // Apply sends one translated batch; redelivered batches come back from
-// the worker's idempotency cache, so the retry wrapper is safe.
-func (n *RemoteNode) Apply(nb shard.NodeBatch) ([]*stream.Diff, error) {
+// the worker's idempotency cache, so the retry wrapper is safe. The
+// context carries the coordinator's fan-out span: the RPC span nests
+// under it and its traceparent travels to the worker.
+func (n *RemoteNode) Apply(ctx context.Context, nb shard.NodeBatch) ([]*stream.Diff, error) {
 	var resp ApplyResponse
-	if err := n.call(http.MethodPost, APIPrefix+"/apply", nb, &resp); err != nil {
+	if err := n.call(ctx, http.MethodPost, APIPrefix+"/apply", nb, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Diffs, nil
@@ -160,16 +179,24 @@ func (n *RemoteNode) Apply(nb shard.NodeBatch) ([]*stream.Diff, error) {
 // Violations fetches the worker's maintained set, already globalized.
 func (n *RemoteNode) Violations() ([]pfd.Violation, error) {
 	var resp ViolationsResponse
-	if err := n.call(http.MethodGet, APIPrefix+"/violations", nil, &resp); err != nil {
+	if err := n.call(context.Background(), http.MethodGet, APIPrefix+"/violations", nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Violations, nil
 }
 
+// Trace fetches the worker-side span records of one trace — the segment
+// the worker retained when a coordinator RPC carried that traceparent.
+func (n *RemoteNode) Trace(id string) (obs.Trace, error) {
+	var tr obs.Trace
+	err := n.call(context.Background(), http.MethodGet, APIPrefix+"/trace/"+id, nil, &tr)
+	return tr, err
+}
+
 // Stats fetches the worker's state summary.
 func (n *RemoteNode) Stats() (shard.NodeStats, error) {
 	var st shard.NodeStats
-	err := n.call(http.MethodGet, APIPrefix+"/stats", nil, &st)
+	err := n.call(context.Background(), http.MethodGet, APIPrefix+"/stats", nil, &st)
 	return st, err
 }
 

@@ -453,7 +453,7 @@ func TestStoreSurvivesTornSiblingCopy(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		batch := stream.Batch{stream.AppendRows(randRow(rng))}
 		seq++
-		if err := st.Append(seq, batch); err != nil {
+		if err := st.Append(context.Background(), seq, batch); err != nil {
 			t.Fatal(err)
 		}
 		if _, _, err := tr.Translate(batch); err != nil {
@@ -587,7 +587,7 @@ func TestEpochFencing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nodeA.Apply(shard.NodeBatch{Seq: 1, Ops: ops[0]}); err != nil {
+	if _, err := nodeA.Apply(context.Background(), shard.NodeBatch{Seq: 1, Ops: ops[0]}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -600,14 +600,14 @@ func TestEpochFencing(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := nodeA.Apply(shard.NodeBatch{Seq: 2}); err == nil {
+	if _, err := nodeA.Apply(context.Background(), shard.NodeBatch{Seq: 2}); err == nil {
 		t.Fatal("superseded epoch's apply succeeded")
 	}
 	if _, err := nodeA.Violations(); err == nil {
 		t.Fatal("superseded epoch's read succeeded")
 	}
 	// The live epoch and header-less operator reads still work.
-	if _, err := nodeB.Apply(shard.NodeBatch{Seq: 2}); err != nil {
+	if _, err := nodeB.Apply(context.Background(), shard.NodeBatch{Seq: 2}); err != nil {
 		t.Fatalf("live epoch's apply failed: %v", err)
 	}
 	resp, err := http.Get(srv.URL + APIPrefix + "/stats")
@@ -651,13 +651,13 @@ func TestWorkerApplyFailurePoisons(t *testing.T) {
 		{Op: &good, Globals: []int{tbl.NumRows()}},
 		{Op: &bad},
 	}}
-	if _, err := node.Apply(nb); err == nil {
+	if _, err := node.Apply(context.Background(), nb); err == nil {
 		t.Fatal("invalid batch accepted")
 	}
 
 	// Poisoned: even a clean batch (and the redelivery a retrying
 	// coordinator would send) must fail permanently, not re-apply.
-	if _, err := node.Apply(shard.NodeBatch{Seq: 2}); err == nil {
+	if _, err := node.Apply(context.Background(), shard.NodeBatch{Seq: 2}); err == nil {
 		t.Fatal("poisoned worker accepted a batch")
 	}
 	st, err := node.Healthz()
@@ -680,7 +680,7 @@ func TestWorkerApplyFailurePoisons(t *testing.T) {
 	if err := node.Restore(tr.Boot(0), rules, 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := node.Apply(shard.NodeBatch{Seq: 6}); err != nil {
+	if _, err := node.Apply(context.Background(), shard.NodeBatch{Seq: 6}); err != nil {
 		t.Fatalf("restored worker rejected a batch: %v", err)
 	}
 }
@@ -700,7 +700,7 @@ func TestWorkerSeqConflicts(t *testing.T) {
 	defer srv.Close()
 	node := NewRemoteNode(srv.URL, fastClient())
 
-	if _, err := node.Apply(shard.NodeBatch{Seq: 1}); err == nil {
+	if _, err := node.Apply(context.Background(), shard.NodeBatch{Seq: 1}); err == nil {
 		t.Fatal("apply before init succeeded")
 	}
 
@@ -718,11 +718,11 @@ func TestWorkerSeqConflicts(t *testing.T) {
 		t.Fatal(err)
 	}
 	nb := shard.NodeBatch{Seq: 1, Ops: ops[0], Diffs: true}
-	first, err := node.Apply(nb)
+	first, err := node.Apply(context.Background(), nb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	redelivered, err := node.Apply(nb)
+	redelivered, err := node.Apply(context.Background(), nb)
 	if err != nil {
 		t.Fatalf("redelivery rejected: %v", err)
 	}
@@ -738,12 +738,12 @@ func TestWorkerSeqConflicts(t *testing.T) {
 	}
 
 	// Stale (already-surpassed) sequence numbers are conflicts…
-	if _, err := node.Apply(shard.NodeBatch{Seq: 0}); err == nil {
+	if _, err := node.Apply(context.Background(), shard.NodeBatch{Seq: 0}); err == nil {
 		t.Fatal("stale sequence accepted")
 	}
 	// …but skipping ahead is legal: the coordinator only sends batches
 	// that touch this shard, so the worker's sequence is sparse.
-	if _, err := node.Apply(shard.NodeBatch{Seq: 5}); err != nil {
+	if _, err := node.Apply(context.Background(), shard.NodeBatch{Seq: 5}); err != nil {
 		t.Fatalf("sparse sequence rejected: %v", err)
 	}
 }

@@ -15,13 +15,16 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/shard"
 	"github.com/anmat/anmat/internal/stream"
@@ -140,17 +143,27 @@ func syncDir(dir string) error {
 // seeing it. An error from any copy fails the append — the coordinator
 // must not apply a batch it cannot replay. The record is encoded once
 // and replicated K times.
-func (st *Store) Append(seq int64, batch stream.Batch) error {
+func (st *Store) Append(ctx context.Context, seq int64, batch stream.Batch) error {
+	ctx, endSpan := obs.StartSpan(ctx, "cluster.wal.append")
 	t0 := time.Now()
 	b, err := wal.Encode(wal.Record{Seq: seq, Batch: batch})
 	if err != nil {
-		return fmt.Errorf("cluster store: %w", err)
+		err = fmt.Errorf("cluster store: %w", err)
+		endSpan(err)
+		return err
 	}
+	obs.SetSpanAttrs(ctx,
+		"seq", strconv.FormatInt(seq, 10),
+		"wal_bytes", strconv.Itoa(len(b)*len(st.files)),
+		"copies", strconv.Itoa(len(st.files)))
 	for s, f := range st.files {
 		if err := wal.AppendEncoded(f, seq, b, st.fsync); err != nil {
-			return fmt.Errorf("cluster store copy %d: %w", s, err)
+			err = fmt.Errorf("cluster store copy %d: %w", s, err)
+			endSpan(err)
+			return err
 		}
 	}
+	endSpan(nil)
 	clusterWALBytes.Add(float64(len(b) * len(st.files)))
 	clusterWALAppendDur.Observe(time.Since(t0).Seconds())
 	return nil

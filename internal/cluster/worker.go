@@ -105,9 +105,27 @@ func (w *Worker) Handler() http.Handler {
 	handle(APIPrefix+"/violations", w.handleViolations)
 	handle(APIPrefix+"/stats", w.handleStats)
 	handle(APIPrefix+"/snapshot", w.handleSnapshot)
-	handle("/healthz", w.handleHealthz)
+	// Observability routes stay passive: probes and trace reads must not
+	// mint traces of their own (steady polling would churn the store).
+	mux.Handle("GET "+APIPrefix+"/trace/{id}",
+		obs.InstrumentPassive(APIPrefix+"/trace/{id}", http.HandlerFunc(w.handleTrace), w.access))
+	mux.Handle("/healthz",
+		obs.InstrumentPassive("/healthz", http.HandlerFunc(w.handleHealthz), w.access))
 	mux.Handle("GET /metrics", obs.Default.Handler())
 	return mux
+}
+
+// handleTrace serves the worker-retained segment of one trace: the spans
+// this process recorded under a coordinator-supplied traceparent. The
+// coordinator's trace API fetches these to merge the full tree.
+func (w *Worker) handleTrace(rw http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := obs.Traces.Get(id)
+	if !ok {
+		writeError(rw, http.StatusNotFound, "trace %s not found", id)
+		return
+	}
+	writeJSON(rw, http.StatusOK, tr)
 }
 
 func writeJSON(rw http.ResponseWriter, status int, v any) {
@@ -225,8 +243,11 @@ func (w *Worker) handleApply(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, http.StatusConflict, "batch seq %d not after worker seq %d", nb.Seq, w.seq)
 		return
 	}
+	obs.SetSpanAttrs(r.Context(),
+		"shard", strconv.Itoa(w.curShard),
+		"seq", strconv.FormatInt(nb.Seq, 10))
 	t0 := time.Now()
-	diffs, err := w.node.Apply(nb)
+	diffs, err := w.node.Apply(r.Context(), nb)
 	shardLbl := strconv.Itoa(w.curShard)
 	workerApplyDur.WithLabelValues(shardLbl).Observe(time.Since(t0).Seconds())
 	if err != nil {

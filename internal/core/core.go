@@ -614,12 +614,15 @@ func samePFDs(a, b []*pfd.PFD) bool {
 // follow mode, the durability layer — programs against this surface.
 type Streamer interface {
 	Apply(stream.Batch) (*stream.Diff, error)
+	// ApplyCtx is Apply carrying the caller's context so the engine's
+	// spans (apply, journal, fan-out, RPC) join the request's trace.
+	ApplyCtx(context.Context, stream.Batch) (*stream.Diff, error)
 	Replay(stream.Batch) (*stream.Diff, error)
 	Violations() []pfd.Violation
 	Since(int64) (*stream.Diff, error)
 	Seq() int64
 	Stale() bool
-	SetSink(func(int64, stream.Batch) error)
+	SetSink(func(context.Context, int64, stream.Batch) error)
 	Rules() []*pfd.PFD
 }
 
@@ -737,11 +740,19 @@ func (se *Session) EngineStats() EngineStats {
 // one (identical to what a full re-detection would produce, without
 // running it).
 func (se *Session) ApplyDeltas(batch stream.Batch) (*stream.Diff, error) {
+	return se.ApplyDeltasCtx(context.Background(), batch)
+}
+
+// ApplyDeltasCtx is ApplyDeltas carrying the caller's context: the
+// engine's spans — apply, journal, shard fan-out, worker RPCs — attach
+// to the context's active trace, so one server request yields one tree.
+func (se *Session) ApplyDeltasCtx(ctx context.Context, batch stream.Batch) (*stream.Diff, error) {
 	eng, err := se.Stream()
 	if err != nil {
 		return nil, err
 	}
-	diff, err := eng.Apply(batch)
+	obs.SetSpanAttrs(ctx, "session", se.ID)
+	diff, err := eng.ApplyCtx(ctx, batch)
 	if err != nil {
 		return nil, fmt.Errorf("session %s: %w", se.ID, err)
 	}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -71,13 +72,13 @@ func (e *PersistenceError) Unwrap() error { return e.Err }
 type Persister interface {
 	// Journal durably appends one delta batch before the session applies
 	// it (write-ahead). An error aborts the batch.
-	Journal(sessionID string, seq int64, batch stream.Batch) error
+	Journal(ctx context.Context, sessionID string, seq int64, batch stream.Batch) error
 	// JournalSharded durably appends one delta batch to each of the
 	// session's k per-shard journals before the session applies it — a
 	// k-way replicated write-ahead record, so recovery can read the
 	// batch from any shard's WAL whose tail survived the crash intact.
 	// An error aborts the batch.
-	JournalSharded(sessionID string, k int, seq int64, batch stream.Batch) error
+	JournalSharded(ctx context.Context, sessionID string, k int, seq int64, batch stream.Batch) error
 	// Checkpoint durably replaces the session's snapshot and resets its
 	// journal to empty.
 	Checkpoint(snap *SessionSnapshot) error
@@ -101,17 +102,17 @@ func (se *Session) SetPersist(p Persister) {
 // hook. Sharded sessions journal each batch into k per-shard WALs (one
 // replicated record per shard); single-engine sessions keep the one
 // session WAL.
-func (se *Session) journalSink() func(int64, stream.Batch) error {
+func (se *Session) journalSink() func(context.Context, int64, stream.Batch) error {
 	if se.persist == nil {
 		return nil
 	}
 	id, p, k := se.ID, se.persist, se.Shards()
-	return func(seq int64, batch stream.Batch) error {
+	return func(ctx context.Context, seq int64, batch stream.Batch) error {
 		var err error
 		if k > 1 {
-			err = p.JournalSharded(id, k, seq, batch)
+			err = p.JournalSharded(ctx, id, k, seq, batch)
 		} else {
-			err = p.Journal(id, seq, batch)
+			err = p.Journal(ctx, id, seq, batch)
 		}
 		if err != nil {
 			return &PersistenceError{Err: err}

@@ -1,12 +1,17 @@
 // HTTP instrumentation: one middleware giving every route a request
 // counter (by route/method/status), a latency histogram (by route), an
-// in-flight gauge, and structured slog request logging keyed by a
-// request ID (honoring an inbound X-Request-Id, minting one otherwise).
+// in-flight gauge, structured slog request logging keyed by a request
+// ID (honoring an inbound X-Request-Id, minting one otherwise) — and a
+// trace per request: an inbound W3C traceparent is adopted as a remote
+// parent (the worker side of a coordinator RPC), otherwise a fresh
+// trace is minted, and the trace ID is stamped on the response so the
+// caller can fetch the tree.
 package obs
 
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -16,6 +21,11 @@ import (
 
 // RequestIDHeader carries the request ID on requests and responses.
 const RequestIDHeader = "X-Request-Id"
+
+// TenantHeader names the requesting tenant; when present it is attached
+// to the request's root span so traces answer "whose request was slow".
+// (The admission layer owns the header's semantics; obs only labels.)
+const TenantHeader = "X-Anmat-Tenant"
 
 var (
 	httpRequests = Default.NewCounterVec("anmat_http_requests_total",
@@ -68,11 +78,23 @@ func NewRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// Instrument wraps a handler with request metrics and, when logger is
-// non-nil, structured request logging. route is the label value (and
-// logged route) — pass the mux pattern so cardinality stays bounded by
-// the route table, not by request paths.
+// Instrument wraps a handler with request metrics, per-request tracing,
+// and, when logger is non-nil, structured request logging. route is the
+// label value (and logged route) — pass the mux pattern so cardinality
+// stays bounded by the route table, not by request paths.
 func Instrument(route string, next http.Handler, logger *slog.Logger) http.Handler {
+	return instrument(route, next, logger, true)
+}
+
+// InstrumentPassive is Instrument without the per-request trace: for
+// probe and observability routes (healthz, the trace API itself) whose
+// steady polling would churn the trace store without telling anyone
+// anything.
+func InstrumentPassive(route string, next http.Handler, logger *slog.Logger) http.Handler {
+	return instrument(route, next, logger, false)
+}
+
+func instrument(route string, next http.Handler, logger *slog.Logger, traced bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rid := r.Header.Get(RequestIDHeader)
@@ -81,11 +103,34 @@ func Instrument(route string, next http.Handler, logger *slog.Logger) http.Handl
 		}
 		w.Header().Set(RequestIDHeader, rid)
 		sw := &statusWriter{ResponseWriter: w}
+		req := r
+		endTrace := func(error) {}
+		if traced {
+			ctx := ContextWithRequestID(r.Context(), rid)
+			if sc, ok := ParseTraceparent(r.Header.Get(TraceparentHeader)); ok {
+				ctx = ContextWithRemote(ctx, sc)
+			}
+			ctx, endTrace = StartTrace(ctx, "http.request")
+			SetSpanAttrs(ctx, "route", route, "method", r.Method, "request_id", rid)
+			if tenant := r.Header.Get(TenantHeader); tenant != "" {
+				SetSpanAttrs(ctx, "tenant", tenant)
+			}
+			w.Header().Set(TraceIDHeader, TraceIDFrom(ctx))
+			req = r.WithContext(ctx)
+		}
 		httpInflight.Inc()
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(sw, req)
 		httpInflight.Dec()
 		if sw.status == 0 {
 			sw.status = http.StatusOK
+		}
+		if traced {
+			SetSpanAttrs(req.Context(), "status", strconv.Itoa(sw.status))
+			var reqErr error
+			if sw.status >= 500 {
+				reqErr = fmt.Errorf("http %d", sw.status)
+			}
+			endTrace(reqErr)
 		}
 		elapsed := time.Since(start)
 		httpRequests.WithLabelValues(route, r.Method, strconv.Itoa(sw.status)).Inc()
@@ -93,6 +138,7 @@ func Instrument(route string, next http.Handler, logger *slog.Logger) http.Handl
 		if logger != nil {
 			logger.Info("request",
 				slog.String("request_id", rid),
+				slog.String("trace_id", sw.Header().Get(TraceIDHeader)),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.String("route", route),

@@ -358,6 +358,26 @@ func (r *Registry) Render(sb *strings.Builder) {
 	}
 }
 
+// FamilyInfo describes one registered metric family — the surface the
+// naming lint (cmd/obslint) walks.
+type FamilyInfo struct {
+	Name   string
+	Type   string // "counter" | "gauge" | "histogram"
+	Labels []string
+}
+
+// Families lists the registered families, sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.RLock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, FamilyInfo{Name: f.name, Type: f.typ, Labels: append([]string(nil), f.labels...)})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Text renders the registry to a string.
 func (r *Registry) Text() string {
 	var sb strings.Builder

@@ -1,13 +1,17 @@
 // Lightweight span timing: obs.Span(ctx, name) marks the start of a
 // named stage and the returned func records its duration into the
-// anmat_span_duration_seconds{span=...} histogram. Spans slower than
-// the threshold are additionally kept in a bounded in-memory ring —
-// the "what was slow recently" window an operator reads when a latency
-// histogram moves but the cause is gone.
+// anmat_span_duration_seconds{span=...} histogram. When the context
+// carries an active trace (see trace.go) the span joins it as a child
+// of the context's span. Spans slower than the threshold are
+// additionally kept in a bounded in-memory ring — a view over the same
+// span records the trace store collects — the "what was slow recently"
+// window an operator reads when a latency histogram moves but the cause
+// is gone.
 package obs
 
 import (
 	"context"
+	"crypto/rand"
 	"sync"
 	"time"
 )
@@ -20,11 +24,14 @@ var spanDur = Default.NewHistogramVec("anmat_span_duration_seconds",
 // slowRingSize bounds the retained slow-span window.
 const slowRingSize = 64
 
-// SlowSpan is one retained slow-span record.
+// SlowSpan is one retained slow-span record: the span's timing plus the
+// trace it belonged to (empty for detached spans), so an operator can
+// jump from "something was slow" to `anmat trace <id>`.
 type SlowSpan struct {
 	Name     string        `json:"name"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"duration"`
+	TraceID  string        `json:"trace_id,omitempty"`
 }
 
 var (
@@ -36,33 +43,46 @@ var (
 )
 
 // SetSlowThreshold sets the duration above which a span is kept in the
-// slow-span ring (default 250ms; 0 or negative keeps every span).
+// slow-span ring — and above which a whole trace is always retained by
+// the tail sampler (default 250ms; 0 or negative keeps every span).
 func SetSlowThreshold(d time.Duration) {
 	slowMu.Lock()
 	slowThreshold = int64(d)
 	slowMu.Unlock()
 }
 
-// Span starts a named span. Call the returned func when the stage
-// ends; it observes the duration into the span histogram and retains
-// the span in the slow ring when it exceeds the threshold. The context
-// is accepted for signature stability (future propagation) and passed
-// through unused.
-func Span(_ context.Context, name string) func() {
-	start := time.Now()
-	return func() {
-		d := time.Since(start)
-		spanDur.WithLabelValues(name).Observe(d.Seconds())
-		slowMu.Lock()
-		if int64(d) >= slowThreshold {
-			slowRing[slowNext] = SlowSpan{Name: name, Start: start, Duration: d}
-			slowNext = (slowNext + 1) % slowRingSize
-			if slowLen < slowRingSize {
-				slowLen++
-			}
+func currentSlowThreshold() int64 {
+	slowMu.Lock()
+	defer slowMu.Unlock()
+	return slowThreshold
+}
+
+// Span starts a named span as a child of the context's active span (a
+// detached timing-only span when the context carries none). Call the
+// returned func when the stage ends; it observes the duration into the
+// span histogram, records the span into its trace, and retains it in
+// the slow ring when it exceeds the threshold.
+func Span(ctx context.Context, name string) func() {
+	_, end := StartSpan(ctx, name)
+	return func() { end(nil) }
+}
+
+// observeSpan feeds one finished span record into the duration
+// histogram and, over the threshold, the slow ring. Every span ending —
+// traced or detached — passes through here, which is what makes the
+// ring a view over the trace layer's records rather than a separate
+// collector.
+func observeSpan(rec SpanRecord) {
+	spanDur.WithLabelValues(rec.Name).Observe(rec.Duration.Seconds())
+	slowMu.Lock()
+	if int64(rec.Duration) >= slowThreshold {
+		slowRing[slowNext] = SlowSpan{Name: rec.Name, Start: rec.Start, Duration: rec.Duration, TraceID: rec.TraceID}
+		slowNext = (slowNext + 1) % slowRingSize
+		if slowLen < slowRingSize {
+			slowLen++
 		}
-		slowMu.Unlock()
 	}
+	slowMu.Unlock()
 }
 
 // SpanHistogram resolves the duration histogram series of one span name
@@ -81,4 +101,18 @@ func SlowSpans() []SlowSpan {
 		out = append(out, slowRing[(slowNext-i+slowRingSize)%slowRingSize])
 	}
 	return out
+}
+
+// ResetSlowSpans empties the slow-span ring — the test-isolation hook
+// (thresholds are left as configured).
+func ResetSlowSpans() {
+	slowMu.Lock()
+	slowLen, slowNext = 0, 0
+	slowMu.Unlock()
+}
+
+// fillRand fills b with crypto/rand bytes, reporting success.
+func fillRand(b []byte) bool {
+	_, err := rand.Read(b)
+	return err == nil
 }

@@ -1,0 +1,542 @@
+// Distributed tracing: trace/span IDs with parent→child links, carried
+// through context so the existing obs.Span(ctx, name) call sites join
+// the active trace without a signature change, propagated across
+// process boundaries as a W3C traceparent header, and collected into a
+// bounded in-memory store with tail sampling — errored and
+// slow-over-threshold traces are always kept, the rest probabilistically
+// (deterministic in the trace ID, so every process agrees).
+//
+// The flow: obs.Instrument starts a trace per request (adopting an
+// inbound traceparent as a remote parent, minting a fresh trace
+// otherwise) and stamps the trace ID on the response. StartSpan opens a
+// child of the context's active span; Span is StartSpan for leaf stages.
+// When the request's root span ends the trace is finalized: spans
+// recorded along the way are folded into one Trace and the tail sampler
+// decides retention. Remote-parented segments (a worker serving one
+// coordinator RPC) are always retained — the sampling decision belongs
+// to the process that owns the root — and served back over the worker's
+// trace endpoint so the coordinator can merge the full tree.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceparentHeader is the W3C trace-context header carrying
+// "00-<trace-id>-<span-id>-<flags>" on cross-process requests.
+const TraceparentHeader = "traceparent"
+
+// TraceIDHeader carries the request's trace ID on HTTP responses, so a
+// client can immediately ask `anmat trace <id>` about its own request.
+const TraceIDHeader = "X-Anmat-Trace-Id"
+
+// SpanContext identifies one span within one trace: a 32-hex-char trace
+// ID and a 16-hex-char span ID (the W3C trace-context field widths).
+type SpanContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
+// Valid reports whether both IDs have the right width, are hex, and are
+// not all-zero (the W3C invalid values).
+func (sc SpanContext) Valid() bool {
+	return validHexID(sc.TraceID, 32) && validHexID(sc.SpanID, 16)
+}
+
+func validHexID(s string, width int) bool {
+	if len(s) != width {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// Traceparent renders the W3C header value for this span context,
+// version 00 with the sampled flag set (retention is decided by the
+// tail sampler, not up front, so every span is worth recording).
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// version 00 exactly (four dash-separated fields, fixed widths) and
+// rejects the reserved version ff, malformed widths, non-hex digits,
+// and all-zero IDs — a malformed header means "no parent", never an
+// error, per the spec's restart semantics.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) != 4 {
+		return SpanContext{}, false
+	}
+	ver, tid, sid, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || ver == "ff" {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(ver); err != nil {
+		return SpanContext{}, false
+	}
+	if len(flags) != 2 {
+		return SpanContext{}, false
+	}
+	if _, err := hex.DecodeString(flags); err != nil {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: tid, SpanID: sid}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// NewTraceID mints a 32-hex-char random trace ID.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID mints a 16-hex-char random span ID.
+func NewSpanID() string { return randHex(8) }
+
+// SpanRecord is one finished span as the trace store retains it.
+type SpanRecord struct {
+	TraceID  string            `json:"trace_id"`
+	SpanID   string            `json:"span_id"`
+	Parent   string            `json:"parent_span_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Err      string            `json:"error,omitempty"`
+}
+
+// Trace is one retained trace: the root (or remote-parented segment
+// root) span's identity plus every span recorded under the trace ID in
+// this process. Spans from other processes are merged in by the trace
+// API, not here.
+type Trace struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	// Root is the root span's ID ("" for a remote segment whose true
+	// root lives in another process).
+	Root     string        `json:"root,omitempty"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Errored  bool          `json:"errored,omitempty"`
+	Slow     bool          `json:"slow,omitempty"`
+	// Remote marks a segment collected under a remote parent (worker
+	// side); such segments bypass tail sampling — retention is the
+	// root-owning process's call.
+	Remote bool         `json:"remote,omitempty"`
+	Spans  []SpanRecord `json:"spans"`
+}
+
+// Bounds on the trace store. Pending traces (started, root not yet
+// ended) and spans per trace are capped so a caller that never ends its
+// root cannot grow the store without bound.
+const (
+	DefaultTraceCap  = 512
+	maxPendingTraces = 1024
+	maxSpansPerTrace = 512
+)
+
+// TraceStore is a bounded in-memory trace collector with tail sampling.
+// One process-global instance (Traces) backs every span in the process.
+type TraceStore struct {
+	mu      sync.Mutex
+	cap     int
+	rate    float64 // probability of keeping an unremarkable trace
+	pending map[string][]SpanRecord
+	pendOrd []string // pending insertion order, for overflow eviction
+	traces  map[string]*Trace
+	order   []string // retained insertion order, FIFO eviction
+}
+
+// Traces is the process-global trace store.
+var Traces = NewTraceStore(DefaultTraceCap)
+
+// NewTraceStore returns an empty store retaining at most cap traces,
+// keeping every trace the tail sampler offers (rate 1.0).
+func NewTraceStore(cap int) *TraceStore {
+	if cap < 1 {
+		cap = 1
+	}
+	return &TraceStore{
+		cap:     cap,
+		rate:    1.0,
+		pending: make(map[string][]SpanRecord),
+		traces:  make(map[string]*Trace),
+	}
+}
+
+// SetCap bounds the number of retained traces (minimum 1), evicting
+// oldest-first if the store is already over the new bound.
+func (ts *TraceStore) SetCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	ts.mu.Lock()
+	ts.cap = n
+	ts.evictLocked()
+	ts.mu.Unlock()
+}
+
+// SetSampleRate sets the probability (clamped to [0,1]) that a trace
+// which neither errored nor ran slow is retained at finalization.
+// Errored and slow traces are always retained regardless of the rate.
+func (ts *TraceStore) SetSampleRate(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	ts.mu.Lock()
+	ts.rate = p
+	ts.mu.Unlock()
+}
+
+// Reset drops every retained and pending trace — the test-isolation
+// hook.
+func (ts *TraceStore) Reset() {
+	ts.mu.Lock()
+	ts.pending = make(map[string][]SpanRecord)
+	ts.pendOrd = nil
+	ts.traces = make(map[string]*Trace)
+	ts.order = nil
+	ts.mu.Unlock()
+}
+
+// record buffers one finished non-root span under its trace ID. If the
+// trace was already finalized (a second segment of a merged worker
+// trace), the span lands directly on the retained entry.
+func (ts *TraceStore) record(rec SpanRecord) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if tr, ok := ts.traces[rec.TraceID]; ok && len(tr.Spans) < maxSpansPerTrace {
+		tr.Spans = append(tr.Spans, rec)
+		return
+	}
+	buf, ok := ts.pending[rec.TraceID]
+	if !ok {
+		if len(ts.pendOrd) >= maxPendingTraces {
+			// A pending trace whose root never ends must not pin the
+			// store: evict the oldest pending buffer.
+			delete(ts.pending, ts.pendOrd[0])
+			ts.pendOrd = ts.pendOrd[1:]
+		}
+		ts.pendOrd = append(ts.pendOrd, rec.TraceID)
+	}
+	if len(buf) < maxSpansPerTrace {
+		ts.pending[rec.TraceID] = append(buf, rec)
+	}
+}
+
+// finish finalizes one trace (or remote segment): the buffered spans
+// plus the root record become a Trace, and the tail sampler decides
+// retention — errored and slow always kept, remote segments always kept
+// (the far root owns the decision), the rest kept with probability
+// rate, deterministically in the trace ID.
+func (ts *TraceStore) finish(root SpanRecord, remote bool) {
+	slow := int64(root.Duration) >= currentSlowThreshold()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	spans := ts.pending[root.TraceID]
+	delete(ts.pending, root.TraceID)
+	for i, id := range ts.pendOrd {
+		if id == root.TraceID {
+			ts.pendOrd = append(ts.pendOrd[:i], ts.pendOrd[i+1:]...)
+			break
+		}
+	}
+	errored := root.Err != ""
+	for _, s := range spans {
+		if s.Err != "" {
+			errored = true
+		}
+	}
+	if tr, ok := ts.traces[root.TraceID]; ok {
+		// A later segment of an already-retained trace (another worker
+		// request under the same trace): merge.
+		tr.Spans = append(tr.Spans, spans...)
+		if len(tr.Spans) < maxSpansPerTrace {
+			tr.Spans = append(tr.Spans, root)
+		}
+		tr.Errored = tr.Errored || errored
+		tr.Slow = tr.Slow || slow
+		return
+	}
+	if !remote && !errored && !slow && !sampleKeep(root.TraceID, ts.rate) {
+		return
+	}
+	name := root.Name
+	if route, ok := root.Attrs["route"]; ok && route != "" {
+		// HTTP roots are all named "http.request" (span names stay a
+		// bounded catalog); the route attribute is the useful display
+		// name and the one the trace list filters on.
+		name = route
+	}
+	tr := &Trace{
+		ID: root.TraceID, Name: name, Start: root.Start,
+		Duration: root.Duration, Errored: errored, Slow: slow, Remote: remote,
+		Spans: append(spans, root),
+	}
+	if !remote {
+		tr.Root = root.SpanID
+	}
+	ts.traces[root.TraceID] = tr
+	ts.order = append(ts.order, root.TraceID)
+	ts.evictLocked()
+}
+
+// evictLocked drops oldest retained traces until the store is within
+// its bound. Callers hold ts.mu.
+func (ts *TraceStore) evictLocked() {
+	for len(ts.order) > ts.cap {
+		delete(ts.traces, ts.order[0])
+		ts.order = ts.order[1:]
+	}
+}
+
+// sampleKeep is the deterministic tail-sampling coin: a trace ID is
+// kept iff its hash falls under the rate, so concurrent processes (and
+// re-runs) agree without coordination.
+func sampleKeep(traceID string, rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(traceID))
+	return float64(h.Sum64()%1_000_000) < rate*1_000_000
+}
+
+// Get returns a copy of one retained trace, with its spans sorted by
+// start time.
+func (ts *TraceStore) Get(id string) (Trace, bool) {
+	ts.mu.Lock()
+	tr, ok := ts.traces[id]
+	if !ok {
+		ts.mu.Unlock()
+		return Trace{}, false
+	}
+	out := *tr
+	out.Spans = append([]SpanRecord(nil), tr.Spans...)
+	ts.mu.Unlock()
+	sort.SliceStable(out.Spans, func(i, j int) bool { return out.Spans[i].Start.Before(out.Spans[j].Start) })
+	return out, true
+}
+
+// TraceFilter narrows a List call. The zero value matches everything.
+type TraceFilter struct {
+	// Route keeps traces whose root name contains the substring.
+	Route string
+	// MinDuration keeps traces at least this slow.
+	MinDuration time.Duration
+	// Limit caps the result count (0 = no cap). Most recent first.
+	Limit int
+}
+
+// List returns retained traces matching the filter, most recent first,
+// without their span bodies (summaries; fetch a full tree with Get).
+func (ts *TraceStore) List(f TraceFilter) []Trace {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Trace, 0, len(ts.order))
+	for i := len(ts.order) - 1; i >= 0; i-- {
+		tr := ts.traces[ts.order[i]]
+		if f.Route != "" && !strings.Contains(tr.Name, f.Route) {
+			continue
+		}
+		if tr.Duration < f.MinDuration {
+			continue
+		}
+		cp := *tr
+		cp.Spans = nil
+		out = append(out, cp)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained traces.
+func (ts *TraceStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.traces)
+}
+
+// ---- context plumbing ----
+
+// activeSpan is the context-carried handle of an in-flight span.
+type activeSpan struct {
+	sc     SpanContext
+	parent string
+	name   string
+	start  time.Time
+	root   bool // ends the trace (or remote segment) when it ends
+	remote bool // trace is rooted in another process
+
+	mu    sync.Mutex
+	attrs map[string]string
+	done  bool
+}
+
+type spanCtxKey struct{}
+type remoteCtxKey struct{}
+type ridCtxKey struct{}
+
+// ContextWithRemote records a remote parent span context (an inbound
+// traceparent) on the context; the next StartTrace joins that trace
+// instead of minting a new one.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteCtxKey{}, sc)
+}
+
+// ContextWithRequestID carries the request ID so outbound calls
+// (cluster.RemoteNode) can forward it alongside the traceparent.
+func ContextWithRequestID(ctx context.Context, rid string) context.Context {
+	if rid == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridCtxKey{}, rid)
+}
+
+// RequestIDFrom returns the request ID carried by the context ("" when
+// none).
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridCtxKey{}).(string)
+	return rid
+}
+
+// TraceIDFrom returns the active trace's ID ("" when the context
+// carries no span).
+func TraceIDFrom(ctx context.Context) string {
+	if as, ok := ctx.Value(spanCtxKey{}).(*activeSpan); ok {
+		return as.sc.TraceID
+	}
+	return ""
+}
+
+// TraceparentFrom renders the traceparent header value of the context's
+// active span ("" when there is none) — the inject half of propagation.
+func TraceparentFrom(ctx context.Context) string {
+	if as, ok := ctx.Value(spanCtxKey{}).(*activeSpan); ok {
+		return as.sc.Traceparent()
+	}
+	return ""
+}
+
+// SetSpanAttrs attaches key/value attribute pairs to the context's
+// active span (no-op without one). Odd trailing keys are dropped.
+func SetSpanAttrs(ctx context.Context, kv ...string) {
+	as, ok := ctx.Value(spanCtxKey{}).(*activeSpan)
+	if !ok {
+		return
+	}
+	as.mu.Lock()
+	if as.attrs == nil {
+		as.attrs = make(map[string]string, len(kv)/2)
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		as.attrs[kv[i]] = kv[i+1]
+	}
+	as.mu.Unlock()
+}
+
+// StartTrace opens the root span of a new trace — or, when the context
+// carries a remote parent (ContextWithRemote), the root of a local
+// segment of that remote trace. The returned context carries the span
+// for StartSpan/Span call sites below it; the returned func ends the
+// span, finalizes the trace, and runs the tail sampler. Pass a non-nil
+// error to mark the trace errored (always retained).
+func StartTrace(ctx context.Context, name string) (context.Context, func(err error)) {
+	as := &activeSpan{name: name, start: time.Now(), root: true}
+	if rsc, ok := ctx.Value(remoteCtxKey{}).(SpanContext); ok {
+		as.sc = SpanContext{TraceID: rsc.TraceID, SpanID: NewSpanID()}
+		as.parent = rsc.SpanID
+		as.remote = true
+	} else {
+		as.sc = SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	}
+	ctx = context.WithValue(ctx, spanCtxKey{}, as)
+	return ctx, func(err error) {
+		rec, first := as.finishRecord(err)
+		if !first {
+			return
+		}
+		observeSpan(rec)
+		Traces.finish(rec, as.remote)
+	}
+}
+
+// StartSpan opens a child of the context's active span. Without one the
+// span is detached: it still feeds the duration histogram and the slow
+// ring, but no trace records it. The returned context carries the new
+// span; the returned func ends it (non-nil error marks it, and its
+// trace, errored).
+func StartSpan(ctx context.Context, name string) (context.Context, func(err error)) {
+	parent, traced := ctx.Value(spanCtxKey{}).(*activeSpan)
+	as := &activeSpan{name: name, start: time.Now()}
+	if traced {
+		as.sc = SpanContext{TraceID: parent.sc.TraceID, SpanID: NewSpanID()}
+		as.parent = parent.sc.SpanID
+		ctx = context.WithValue(ctx, spanCtxKey{}, as)
+	}
+	return ctx, func(err error) {
+		rec, first := as.finishRecord(err)
+		if !first {
+			return
+		}
+		observeSpan(rec)
+		if traced {
+			Traces.record(rec)
+		}
+	}
+}
+
+// finishRecord renders the span's record exactly once; later calls
+// report first=false and change nothing.
+func (as *activeSpan) finishRecord(err error) (SpanRecord, bool) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.done {
+		return SpanRecord{}, false
+	}
+	as.done = true
+	rec := SpanRecord{
+		TraceID: as.sc.TraceID, SpanID: as.sc.SpanID, Parent: as.parent,
+		Name: as.name, Start: as.start, Duration: time.Since(as.start),
+		Attrs: as.attrs,
+	}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	return rec, true
+}
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if !fillRand(b) {
+		return strings.Repeat("0", 2*n-1) + "1" // never all-zero
+	}
+	return hex.EncodeToString(b)
+}

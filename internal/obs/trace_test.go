@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// resetTracing restores the process-global tracing state around a test.
+func resetTracing(t *testing.T) {
+	t.Helper()
+	Traces.Reset()
+	Traces.SetSampleRate(1.0)
+	Traces.SetCap(DefaultTraceCap)
+	SetSlowThreshold(250 * time.Millisecond)
+	ResetSlowSpans()
+	t.Cleanup(func() {
+		Traces.Reset()
+		Traces.SetSampleRate(1.0)
+		Traces.SetCap(DefaultTraceCap)
+		SetSlowThreshold(250 * time.Millisecond)
+		ResetSlowSpans()
+	})
+}
+
+// TestTraceparentRoundTrip pins the W3C render/parse pair: a valid span
+// context survives the round trip; malformed headers parse to "no
+// parent", never panic or half-parse.
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if !sc.Valid() {
+		t.Fatalf("minted span context invalid: %+v", sc)
+	}
+	hdr := sc.Traceparent()
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip %q: got %+v ok=%v, want %+v", hdr, got, ok, sc)
+	}
+	// A foreign version with extra trailing data is still a 4-field parse
+	// failure under our strict reader (version 00 widths only).
+	tid, sid := sc.TraceID, sc.SpanID
+
+	malformed := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"garbage", "not-a-traceparent"},
+		{"three fields", "00-" + tid + "-" + sid},
+		{"five fields", "00-" + tid + "-" + sid + "-01-extra"},
+		{"reserved version ff", "ff-" + tid + "-" + sid + "-01"},
+		{"non-hex version", "zz-" + tid + "-" + sid + "-01"},
+		{"short trace id", "00-" + tid[:31] + "-" + sid + "-01"},
+		{"long trace id", "00-" + tid + "0-" + sid + "-01"},
+		{"short span id", "00-" + tid + "-" + sid[:15] + "-01"},
+		{"non-hex trace id", "00-" + strings.Repeat("g", 32) + "-" + sid + "-01"},
+		{"uppercase hex", "00-" + strings.ToUpper(tid) + "-" + sid + "-01"},
+		{"all-zero trace id", "00-" + strings.Repeat("0", 32) + "-" + sid + "-01"},
+		{"all-zero span id", "00-" + tid + "-" + strings.Repeat("0", 16) + "-01"},
+		{"short flags", "00-" + tid + "-" + sid + "-1"},
+		{"non-hex flags", "00-" + tid + "-" + sid + "-zz"},
+	}
+	for _, tc := range malformed {
+		if _, ok := ParseTraceparent(tc.in); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want reject", tc.name, tc.in)
+		}
+	}
+	// Flags other than 01 are fine (we ignore them), and surrounding
+	// whitespace is trimmed.
+	for _, in := range []string{
+		"00-" + tid + "-" + sid + "-00",
+		"  00-" + tid + "-" + sid + "-01  ",
+	} {
+		if got, ok := ParseTraceparent(in); !ok || got.TraceID != tid || got.SpanID != sid {
+			t.Errorf("ParseTraceparent(%q) = %+v ok=%v, want accept with same IDs", in, got, ok)
+		}
+	}
+}
+
+// TestTraceParentLinks builds one trace through the public API and
+// checks the recorded tree: children point at their parents, every span
+// shares the trace ID, and attributes land on the span they were set on.
+func TestTraceParentLinks(t *testing.T) {
+	resetTracing(t)
+	ctx, endTrace := StartTrace(context.Background(), "http.request")
+	SetSpanAttrs(ctx, "route", "POST /api/v1/sessions/{id}/deltas")
+	rootID := TraceIDFrom(ctx)
+	if rootID == "" {
+		t.Fatal("no trace ID on the root context")
+	}
+	if tp := TraceparentFrom(ctx); !strings.Contains(tp, rootID) {
+		t.Fatalf("traceparent %q does not carry trace ID %s", tp, rootID)
+	}
+	childCtx, endChild := StartSpan(ctx, "stream.apply")
+	SetSpanAttrs(childCtx, "seq", "1")
+	_, endGrand := StartSpan(childCtx, "persist.journal")
+	endGrand(nil)
+	endChild(nil)
+	endTrace(nil)
+
+	tr, ok := Traces.Get(rootID)
+	if !ok {
+		t.Fatalf("trace %s not retained (rate 1.0)", rootID)
+	}
+	if tr.Name != "POST /api/v1/sessions/{id}/deltas" {
+		t.Errorf("trace name = %q, want the route attribute", tr.Name)
+	}
+	byName := map[string]SpanRecord{}
+	for _, sp := range tr.Spans {
+		if sp.TraceID != rootID {
+			t.Errorf("span %s carries trace ID %s, want %s", sp.Name, sp.TraceID, rootID)
+		}
+		byName[sp.Name] = sp
+	}
+	if len(tr.Spans) != 3 {
+		t.Fatalf("retained %d spans, want 3: %+v", len(tr.Spans), tr.Spans)
+	}
+	root, child, grand := byName["http.request"], byName["stream.apply"], byName["persist.journal"]
+	if root.Parent != "" {
+		t.Errorf("root has parent %q", root.Parent)
+	}
+	if tr.Root != root.SpanID {
+		t.Errorf("trace root = %q, want %q", tr.Root, root.SpanID)
+	}
+	if child.Parent != root.SpanID {
+		t.Errorf("child parent = %q, want root %q", child.Parent, root.SpanID)
+	}
+	if grand.Parent != child.SpanID {
+		t.Errorf("grandchild parent = %q, want child %q", grand.Parent, child.SpanID)
+	}
+	if child.Attrs["seq"] != "1" {
+		t.Errorf("child attrs = %v, want seq=1", child.Attrs)
+	}
+}
+
+// TestRemoteSegmentAlwaysKept pins the worker-side contract: a trace
+// rooted in another process (inbound traceparent) is retained regardless
+// of the sample rate — the root-owning process makes the call.
+func TestRemoteSegmentAlwaysKept(t *testing.T) {
+	resetTracing(t)
+	Traces.SetSampleRate(0)
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	ctx := ContextWithRemote(context.Background(), parent)
+	ctx, endTrace := StartTrace(ctx, "http.request")
+	if got := TraceIDFrom(ctx); got != parent.TraceID {
+		t.Fatalf("remote segment trace ID = %s, want adopted %s", got, parent.TraceID)
+	}
+	_, endChild := StartSpan(ctx, "stream.apply")
+	endChild(nil)
+	endTrace(nil)
+	tr, ok := Traces.Get(parent.TraceID)
+	if !ok {
+		t.Fatal("remote segment dropped by the sampler; must always be kept")
+	}
+	if !tr.Remote || tr.Root != "" {
+		t.Errorf("remote=%v root=%q, want remote=true with no local root", tr.Remote, tr.Root)
+	}
+	// The segment root links back to the remote parent span.
+	var segRoot SpanRecord
+	for _, sp := range tr.Spans {
+		if sp.Name == "http.request" {
+			segRoot = sp
+		}
+	}
+	if segRoot.Parent != parent.SpanID {
+		t.Errorf("segment root parent = %q, want remote parent %q", segRoot.Parent, parent.SpanID)
+	}
+}
+
+// TestTailSamplingProperty drives many randomized traces through the
+// finalizer and checks the sampler's invariants: every errored trace and
+// every slow-over-threshold trace is retained regardless of the rate;
+// unremarkable traces are dropped at rate 0 and kept at rate 1; and the
+// store never exceeds its configured bound.
+func TestTailSamplingProperty(t *testing.T) {
+	resetTracing(t)
+	const bound = 32
+	Traces.SetCap(bound)
+	rng := rand.New(rand.NewSource(1))
+
+	finishOne := func(errored, slow bool) string {
+		ctx, endTrace := StartTrace(context.Background(), "http.request")
+		id := TraceIDFrom(ctx)
+		// The threshold is read at finalization, so flipping it between
+		// start and end deterministically makes this trace slow (0 =
+		// everything is slow) or not (1h).
+		if slow {
+			SetSlowThreshold(0)
+		} else {
+			SetSlowThreshold(time.Hour)
+		}
+		var err error
+		if errored {
+			err = fmt.Errorf("boom")
+		}
+		endTrace(err)
+		return id
+	}
+
+	for i := 0; i < 400; i++ {
+		rate := []float64{0, 0.5, 1}[rng.Intn(3)]
+		Traces.SetSampleRate(rate)
+		errored, slow := rng.Intn(2) == 0, rng.Intn(2) == 0
+		id := finishOne(errored, slow)
+		_, kept := Traces.Get(id)
+		switch {
+		case errored || slow:
+			if !kept {
+				t.Fatalf("iter %d: errored=%v slow=%v rate=%v dropped; must always be retained", i, errored, slow, rate)
+			}
+		case rate == 0:
+			if kept {
+				t.Fatalf("iter %d: unremarkable trace kept at rate 0", i)
+			}
+		case rate == 1:
+			if !kept {
+				t.Fatalf("iter %d: unremarkable trace dropped at rate 1", i)
+			}
+		}
+		if n := Traces.Len(); n > bound {
+			t.Fatalf("iter %d: store holds %d traces, bound is %d", i, n, bound)
+		}
+	}
+
+	// Determinism: the keep decision is a pure function of the trace ID,
+	// so distinct processes (and re-runs) agree.
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if sampleKeep(id, 0.3) != sampleKeep(id, 0.3) {
+			t.Fatal("sampleKeep not deterministic in the trace ID")
+		}
+	}
+}
+
+// TestSlowRingIsTraceView checks the slow ring records carry the trace
+// ID of the trace that produced them, and that the reset hook empties
+// the ring for test isolation.
+func TestSlowRingIsTraceView(t *testing.T) {
+	resetTracing(t)
+	SetSlowThreshold(1)
+	ctx, endTrace := StartTrace(context.Background(), "http.request")
+	id := TraceIDFrom(ctx)
+	time.Sleep(time.Millisecond)
+	endTrace(nil)
+	spans := SlowSpans()
+	if len(spans) == 0 {
+		t.Fatal("no slow spans retained under a 1ns threshold")
+	}
+	if spans[0].TraceID != id {
+		t.Errorf("slow span trace ID = %q, want %q", spans[0].TraceID, id)
+	}
+	ResetSlowSpans()
+	if got := SlowSpans(); len(got) != 0 {
+		t.Errorf("ring not empty after reset: %d spans", len(got))
+	}
+}
+
+// TestDetachedSpanStaysOut: a span started without an active trace feeds
+// metrics only — the trace store must not accumulate orphan buffers for
+// it beyond the pending bound (which Reset clears anyway).
+func TestDetachedSpanStaysOut(t *testing.T) {
+	resetTracing(t)
+	_, end := StartSpan(context.Background(), "stage.profile")
+	end(nil)
+	if n := Traces.Len(); n != 0 {
+		t.Fatalf("detached span retained a trace: %d", n)
+	}
+}
+
+// TestSpanCatalogCoversTestNames guards the names used across the test
+// suite (and thus the codebase's span vocabulary) are registered.
+func TestSpanCatalogCoversTestNames(t *testing.T) {
+	for _, name := range []string{
+		"http.request", "stage.profile", "stage.detection", "stream.bootstrap",
+		"stream.apply", "shard.fanout", "shard.node.apply", "cluster.rpc",
+		"cluster.wal.append", "persist.journal",
+	} {
+		if !SpanNameRegistered(name) {
+			t.Errorf("span name %q not in the catalog", name)
+		}
+	}
+	if SpanNameRegistered("made.up.name") {
+		t.Error("catalog accepted an unregistered name")
+	}
+}

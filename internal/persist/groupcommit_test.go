@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -27,7 +28,7 @@ func TestGroupCommitConcurrentJournal(t *testing.T) {
 		go func(id string) {
 			defer wg.Done()
 			for seq := int64(1); seq <= perSession; seq++ {
-				if err := m.Journal(id, seq, stream.Batch{stream.DeleteRows(int(seq))}); err != nil {
+				if err := m.Journal(context.Background(), id, seq, stream.Batch{stream.DeleteRows(int(seq))}); err != nil {
 					errs <- err
 					return
 				}
@@ -85,7 +86,7 @@ func TestGroupCommitCoalesces(t *testing.T) {
 		go func(seq int64) {
 			defer done.Done()
 			started.Add(1)
-			if err := m.Journal("s", seq, stream.Batch{stream.DeleteRows(int(seq))}); err != nil {
+			if err := m.Journal(context.Background(), "s", seq, stream.Batch{stream.DeleteRows(int(seq))}); err != nil {
 				t.Error(err)
 			}
 		}(seq)
@@ -140,7 +141,7 @@ func TestGroupCommitRoundRollback(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.JournalSharded("s", 2, 1, stream.Batch{stream.DeleteRows(1)}); err != nil {
+	if err := m.JournalSharded(context.Background(), "s", 2, 1, stream.Batch{stream.DeleteRows(1)}); err != nil {
 		t.Fatal(err)
 	}
 	ws, err := m.state("s")
@@ -157,7 +158,7 @@ func TestGroupCommitRoundRollback(t *testing.T) {
 	ws.files[1] = ro
 	ws.mu.Unlock()
 
-	if err := m.JournalSharded("s", 2, 2, stream.Batch{stream.DeleteRows(2)}); err == nil {
+	if err := m.JournalSharded(context.Background(), "s", 2, 2, stream.Batch{stream.DeleteRows(2)}); err == nil {
 		t.Fatal("journal with a read-only shard file should fail")
 	}
 	ws.mu.Lock()
@@ -191,7 +192,7 @@ func TestSerialCommitEquivalence(t *testing.T) {
 		}
 		defer m.Close()
 		for seq := int64(1); seq <= 5; seq++ {
-			if err := m.Journal("s", seq, stream.Batch{stream.UpdateCell(int(seq), "c", "v")}); err != nil {
+			if err := m.Journal(context.Background(), "s", seq, stream.Batch{stream.UpdateCell(int(seq), "c", "v")}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -234,7 +235,7 @@ func BenchmarkWALJournal(b *testing.B) {
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
-					if err := m.Journal("bench", seq.Add(1), batch); err != nil {
+					if err := m.Journal(context.Background(), "bench", seq.Add(1), batch); err != nil {
 						b.Error(err)
 						return
 					}

@@ -44,17 +44,20 @@
 package persist
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/anmat/anmat/internal/core"
 	"github.com/anmat/anmat/internal/docstore"
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/stream"
 	"github.com/anmat/anmat/internal/wal"
 )
@@ -252,8 +255,8 @@ func syncDir(dir string) error {
 // write-ahead half of core.Persister: the session's engine calls it after
 // validating a batch and before applying it. Distinct sessions append
 // concurrently — only same-session appends serialize.
-func (m *Manager) Journal(sessionID string, seq int64, batch stream.Batch) error {
-	return m.journal(sessionID, []int{baseWAL}, seq, batch)
+func (m *Manager) Journal(ctx context.Context, sessionID string, seq int64, batch stream.Batch) error {
+	return m.journal(ctx, sessionID, []int{baseWAL}, seq, batch)
 }
 
 // JournalSharded durably appends one delta batch to each of the
@@ -263,29 +266,38 @@ func (m *Manager) Journal(sessionID string, seq int64, batch stream.Batch) error
 // tail is intact. All k appends must succeed for the batch to be
 // acknowledged; on failure every copy written in this call is rolled
 // back.
-func (m *Manager) JournalSharded(sessionID string, k int, seq int64, batch stream.Batch) error {
+func (m *Manager) JournalSharded(ctx context.Context, sessionID string, k int, seq int64, batch stream.Batch) error {
 	if k <= 1 {
-		return m.Journal(sessionID, seq, batch)
+		return m.Journal(ctx, sessionID, seq, batch)
 	}
 	targets := make([]int, k)
 	for s := range targets {
 		targets[s] = s
 	}
-	return m.journal(sessionID, targets, seq, batch)
+	return m.journal(ctx, sessionID, targets, seq, batch)
 }
 
 // journal appends one record to each target WAL of the session, either
 // through the group committer (default) or serially (SerialCommit).
-func (m *Manager) journal(sessionID string, targets []int, seq int64, batch stream.Batch) error {
+func (m *Manager) journal(ctx context.Context, sessionID string, targets []int, seq int64, batch stream.Batch) error {
+	ctx, endSpan := obs.StartSpan(ctx, "persist.journal")
 	ws, err := m.state(sessionID)
 	if err != nil {
+		endSpan(err)
 		return err
 	}
 	t0 := time.Now()
 	enc, err := wal.Encode(walRecord{Seq: seq, Batch: batch})
 	if err != nil {
-		return fmt.Errorf("persist: journal %s: %w", sessionID, err)
+		err = fmt.Errorf("persist: journal %s: %w", sessionID, err)
+		endSpan(err)
+		return err
 	}
+	obs.SetSpanAttrs(ctx,
+		"session", sessionID,
+		"seq", strconv.FormatInt(seq, 10),
+		"wal_bytes", strconv.Itoa(len(enc)*len(targets)),
+		"targets", strconv.Itoa(len(targets)))
 	if m.opts.SerialCommit {
 		err = m.journalSerial(ws, sessionID, targets, seq, enc)
 	} else {
@@ -294,6 +306,7 @@ func (m *Manager) journal(sessionID string, targets []int, seq int64, batch stre
 			done: make(chan struct{}),
 		})
 	}
+	endSpan(err)
 	if err != nil {
 		return err
 	}

@@ -393,7 +393,7 @@ func TestInvalidSessionID(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if err := m.Journal("../escape", 1, stream.Batch{stream.DeleteRows(0)}); err == nil {
+	if err := m.Journal(context.Background(), "../escape", 1, stream.Batch{stream.DeleteRows(0)}); err == nil {
 		t.Error("path-escaping id should be rejected")
 	}
 	if err := m.Drop("a/b"); err == nil {

@@ -269,7 +269,7 @@ func TestShardedJournalFsync(t *testing.T) {
 		t.Fatal(err)
 	}
 	// JournalSharded with k<=1 must fall through to the base WAL.
-	if err := m.JournalSharded(se.ID+"x", 1, 1, stream.Batch{stream.UpdateCell(0, "city", "LA")}); err != nil {
+	if err := m.JournalSharded(context.Background(), se.ID+"x", 1, 1, stream.Batch{stream.UpdateCell(0, "city", "LA")}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(m.walPath(se.ID + "x")); err != nil {

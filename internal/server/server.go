@@ -266,8 +266,15 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /api/v1/sessions/restore", s.apiRestore)
 	handle("GET /api/v1/projects", s.apiProjects)
 	handle("GET /api/v1/stats", s.apiStats)
+	// Trace inspection: passive (reading traces must not mint traces),
+	// like the liveness probe below.
+	passive := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, obs.InstrumentPassive(pattern, h, s.accessLog))
+	}
+	passive("GET /api/v1/traces", s.apiTraces)
+	passive("GET /api/v1/traces/{id}", s.apiTraceDetail)
 	// Liveness/readiness probe for load balancers: cheap, lock-free.
-	handle("GET /healthz", s.apiHealthz)
+	passive("GET /healthz", s.apiHealthz)
 	// Observability: Prometheus exposition + optional pprof.
 	s.mountObs(mux)
 	// Deprecated unversioned aliases onto the default session.
@@ -589,6 +596,7 @@ func (s *Server) apiStats(w http.ResponseWriter, r *http.Request) {
 		"max_procs":   runtime.GOMAXPROCS(0),
 		"num_cpu":     runtime.NumCPU(),
 		"per_session": out,
+		"slow_spans":  obs.SlowSpans(),
 	})
 }
 
@@ -978,7 +986,7 @@ func (s *Server) apiDeltas(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	diff, err := sess.ApplyDeltas(body.Deltas)
+	diff, err := sess.ApplyDeltasCtx(r.Context(), body.Deltas)
 	if s.adm != nil {
 		// Settle to the observed table size whatever happened: a rejected
 		// batch returns its reservation, deletes credit rows back.

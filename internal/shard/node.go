@@ -16,6 +16,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -93,7 +94,9 @@ type NodeStats struct {
 type Node interface {
 	// Apply executes the batch's operations in order and returns one
 	// globalized diff per engine op (mapping-only NodeOps yield none).
-	Apply(NodeBatch) ([]*stream.Diff, error)
+	// The context carries the coordinator's active trace span, so a
+	// remote implementation propagates it over the wire.
+	Apply(context.Context, NodeBatch) ([]*stream.Diff, error)
 	// Violations returns the node's maintained violation set, globalized.
 	Violations() ([]pfd.Violation, error)
 	// Stats summarizes the node's state.
@@ -138,7 +141,7 @@ func NewLocalNode(boot NodeBoot, rules []*pfd.PFD) (*LocalNode, error) {
 // Apply executes the translated operations in order, applying each op's
 // mapping directive before its engine op — the engine's GlobalID hook
 // must see the mapping the operation leads to while it recomputes.
-func (n *LocalNode) Apply(nb NodeBatch) ([]*stream.Diff, error) {
+func (n *LocalNode) Apply(ctx context.Context, nb NodeBatch) ([]*stream.Diff, error) {
 	var out []*stream.Diff
 	for i, op := range nb.Ops {
 		if err := n.applyMapping(op); err != nil {
@@ -147,7 +150,7 @@ func (n *LocalNode) Apply(nb NodeBatch) ([]*stream.Diff, error) {
 		if op.Op == nil {
 			continue
 		}
-		d, err := n.eng.Apply(stream.Batch{*op.Op})
+		d, err := n.eng.ApplyCtx(ctx, stream.Batch{*op.Op})
 		if err != nil {
 			return nil, fmt.Errorf("shard node op %d: %w", i, err)
 		}

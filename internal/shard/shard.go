@@ -48,6 +48,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -55,6 +56,7 @@ import (
 	"time"
 
 	"github.com/anmat/anmat/internal/detect"
+	"github.com/anmat/anmat/internal/obs"
 	"github.com/anmat/anmat/internal/pattern"
 	"github.com/anmat/anmat/internal/pfd"
 	"github.com/anmat/anmat/internal/stream"
@@ -512,7 +514,7 @@ type Config struct {
 	// after validation (and after the write-ahead sink on Apply), before
 	// translation. It is the coordinator's own failover journal, distinct
 	// from the session-durability sink installed via SetSink.
-	Journal func(seq int64, batch stream.Batch) error
+	Journal func(ctx context.Context, seq int64, batch stream.Batch) error
 }
 
 // Coordinator fans one table's delta stream out over K shard nodes and
@@ -534,7 +536,7 @@ type Coordinator struct {
 	// reports true until the holder rebuilds.
 	broken  bool
 	recover RecoverFunc
-	journal func(seq int64, batch stream.Batch) error
+	journal func(ctx context.Context, seq int64, batch stream.Batch) error
 
 	seq int64
 	// vio is the merged, deduplicated global violation set after the last
@@ -546,7 +548,7 @@ type Coordinator struct {
 	vio    map[string]pfd.Violation
 	owners map[string]int
 	log    *stream.DiffLog
-	sink   func(seq int64, batch stream.Batch) error
+	sink   func(ctx context.Context, seq int64, batch stream.Batch) error
 }
 
 // New builds a coordinator with K in-process shards over the table's
@@ -676,7 +678,7 @@ func (c *Coordinator) Stale() bool {
 // batch and the sequence number it is about to receive — after
 // validation, before any shard is touched. A sink error aborts the batch
 // with nothing applied anywhere. Replay bypasses it. Pass nil to detach.
-func (c *Coordinator) SetSink(fn func(seq int64, batch stream.Batch) error) {
+func (c *Coordinator) SetSink(fn func(ctx context.Context, seq int64, batch stream.Batch) error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sink = fn
@@ -712,7 +714,14 @@ func (c *Coordinator) Since(seq int64) (*stream.Diff, error) {
 // returns the merged global violation diff. On a validation or journaling
 // error nothing is applied.
 func (c *Coordinator) Apply(batch stream.Batch) (*stream.Diff, error) {
-	return c.apply(batch, true)
+	return c.apply(context.Background(), batch, true)
+}
+
+// ApplyCtx is Apply carrying the caller's context: the fan-out and
+// per-shard apply spans (and, for remote nodes, the RPC spans) join the
+// context's active trace.
+func (c *Coordinator) ApplyCtx(ctx context.Context, batch stream.Batch) (*stream.Diff, error) {
+	return c.apply(ctx, batch, true)
 }
 
 // Replay is Apply without the session-durability sink — the recovery
@@ -720,7 +729,7 @@ func (c *Coordinator) Apply(batch stream.Batch) (*stream.Diff, error) {
 // coordinator's own Journal hook still runs: replayed batches are part of
 // its failover timeline.
 func (c *Coordinator) Replay(batch stream.Batch) (*stream.Diff, error) {
-	return c.apply(batch, false)
+	return c.apply(context.Background(), batch, false)
 }
 
 // shardDiffs is one shard's globalized per-op diffs for one batch.
@@ -729,7 +738,7 @@ type shardDiffs struct {
 	diffs []*stream.Diff
 }
 
-func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, error) {
+func (c *Coordinator) apply(ctx context.Context, batch stream.Batch, journal bool) (*stream.Diff, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.broken {
@@ -743,12 +752,12 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 	}
 	seq := c.seq + 1
 	if journal && c.sink != nil {
-		if err := c.sink(seq, batch); err != nil {
+		if err := c.sink(ctx, seq, batch); err != nil {
 			return nil, fmt.Errorf("shard: journal batch %d: %w", seq, err)
 		}
 	}
 	if c.journal != nil {
-		if err := c.journal(seq, batch); err != nil {
+		if err := c.journal(ctx, seq, batch); err != nil {
 			return nil, fmt.Errorf("shard: cluster journal batch %d: %w", seq, err)
 		}
 	}
@@ -764,6 +773,8 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 
 	// Fan the translated batches out concurrently — the shards' engines
 	// are independent, and the bookkeeping is already in place.
+	fanCtx, endFanout := obs.StartSpan(ctx, "shard.fanout")
+	obs.SetSpanAttrs(fanCtx, "seq", strconv.FormatInt(seq, 10), "shards", strconv.Itoa(c.k))
 	var (
 		wg      sync.WaitGroup
 		resMu   sync.Mutex
@@ -778,9 +789,12 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			t0 := time.Now()
-			diffs, err := c.nodes[s].Apply(NodeBatch{Seq: seq, Ops: ops[s], Diffs: !renumbered})
 			shardLbl := strconv.Itoa(s)
+			nodeCtx, endNode := obs.StartSpan(fanCtx, "shard.node.apply")
+			obs.SetSpanAttrs(nodeCtx, "shard", shardLbl, "seq", strconv.FormatInt(seq, 10))
+			t0 := time.Now()
+			diffs, err := c.nodes[s].Apply(nodeCtx, NodeBatch{Seq: seq, Ops: ops[s], Diffs: !renumbered})
+			endNode(err)
 			nodeApplyDur.WithLabelValues(shardLbl).Observe(time.Since(t0).Seconds())
 			resMu.Lock()
 			defer resMu.Unlock()
@@ -795,6 +809,11 @@ func (c *Coordinator) apply(batch stream.Batch, journal bool) (*stream.Diff, err
 		}(s)
 	}
 	wg.Wait()
+	if len(failed) > 0 {
+		endFanout(errsBy[failed[0]])
+	} else {
+		endFanout(nil)
+	}
 
 	// Failover: replace dead nodes and re-merge. The replacement boots
 	// from the shard's post-batch state (the translator already reflects

@@ -38,6 +38,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -125,7 +126,7 @@ type Engine struct {
 	// the batch and the sequence number the batch will receive, after
 	// validation but before any mutation. A sink error aborts the batch
 	// untouched. Replay never calls it.
-	sink func(seq int64, batch Batch) error
+	sink func(ctx context.Context, seq int64, batch Batch) error
 }
 
 // EngineOptions tunes NewEngineOpts. The zero value reproduces NewEngine.
@@ -352,7 +353,7 @@ func (e *Engine) Stats() Stats {
 // is never in memory without being durably journaled first. Replay
 // bypasses the sink (replayed batches are already in the journal).
 // Pass nil to detach.
-func (e *Engine) SetSink(fn func(seq int64, batch Batch) error) {
+func (e *Engine) SetSink(fn func(ctx context.Context, seq int64, batch Batch) error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.sink = fn
@@ -363,7 +364,14 @@ func (e *Engine) SetSink(fn func(seq int64, batch Batch) error) {
 // validation or journaling error nothing is applied. Applying to a stale
 // engine (table mutated externally) fails.
 func (e *Engine) Apply(batch Batch) (*Diff, error) {
-	return e.apply(batch, true)
+	return e.apply(context.Background(), batch, true)
+}
+
+// ApplyCtx is Apply carrying the caller's context: the apply span (and
+// the journal sink's spans under it) join the context's active trace,
+// so a server request's trace shows where the batch spent its time.
+func (e *Engine) ApplyCtx(ctx context.Context, batch Batch) (*Diff, error) {
+	return e.apply(ctx, batch, true)
 }
 
 // Replay is Apply without the journal hook: the recovery path uses it to
@@ -371,23 +379,31 @@ func (e *Engine) Apply(batch Batch) (*Diff, error) {
 // journaled a second time. Diffs still land in the Since log, so cursors
 // spanning replayed batches resolve exactly.
 func (e *Engine) Replay(batch Batch) (*Diff, error) {
-	return e.apply(batch, false)
+	return e.apply(context.Background(), batch, false)
 }
 
-func (e *Engine) apply(batch Batch, journal bool) (*Diff, error) {
+func (e *Engine) apply(ctx context.Context, batch Batch, journal bool) (*Diff, error) {
+	ctx, endSpan := obs.StartSpan(ctx, "stream.apply")
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.t.Version() != e.version {
+		endSpan(nil)
 		return nil, fmt.Errorf("stream: table mutated outside the engine (version %d, engine at %d); rebuild the engine", e.t.Version(), e.version)
 	}
 	if err := validate(e.t, batch); err != nil {
-		return nil, fmt.Errorf("stream: invalid batch: %w", err)
+		err = fmt.Errorf("stream: invalid batch: %w", err)
+		endSpan(err)
+		return nil, err
 	}
+	obs.SetSpanAttrs(ctx, "seq", strconv.FormatInt(e.seq+1, 10), "ops", strconv.Itoa(len(batch)))
 	if journal && e.sink != nil {
-		if err := e.sink(e.seq+1, batch); err != nil {
-			return nil, fmt.Errorf("stream: journal batch %d: %w", e.seq+1, err)
+		if err := e.sink(ctx, e.seq+1, batch); err != nil {
+			err = fmt.Errorf("stream: journal batch %d: %w", e.seq+1, err)
+			endSpan(err)
+			return nil, err
 		}
 	}
+	defer endSpan(nil)
 	start := time.Now()
 	d := newBatchDiff()
 	for _, op := range batch {

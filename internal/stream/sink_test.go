@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestSinkWriteAhead(t *testing.T) {
 	}
 	var calls []call
 	var fail bool
-	e.SetSink(func(seq int64, batch Batch) error {
+	e.SetSink(func(_ context.Context, seq int64, batch Batch) error {
 		if fail {
 			return fmt.Errorf("disk full")
 		}
